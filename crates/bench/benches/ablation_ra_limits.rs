@@ -1,0 +1,69 @@
+//! Ablation — dynamic-reallocation limits (§VI-B design choices).
+//!
+//! Sweeps the concurrent-borrow limit (paper: 4) and the consecutive-flush
+//! limit (paper: 3) on the deepest-stack scenes, reporting normalized IPC
+//! and reallocation activity.
+
+use sms_bench::{run_matrix, setup, Table};
+use sms_sim::rtunit::{SmsParams, StackConfig};
+
+fn main() {
+    let (mut scenes, render) = setup("Ablation", "intra-warp reallocation limits");
+    // Deep-stack scenes stress reallocation; keep the run affordable.
+    if scenes.len() > 4 {
+        scenes.retain(|s| {
+            matches!(
+                s.name(),
+                "SHIP" | "CHSNT" | "PARTY" | "ROBOT"
+            )
+        });
+    }
+
+    let cfg = |borrow: usize, flush: u8| {
+        StackConfig::Sms(SmsParams {
+            borrow_limit: borrow,
+            flush_limit: flush,
+            ..SmsParams::default()
+        }
+        .with_skewed(true)
+        .with_realloc(true))
+    };
+    let configs = [
+        cfg(4, 3), // paper default first = the normalization baseline
+        cfg(0, 3),
+        cfg(1, 3),
+        cfg(2, 3),
+        cfg(8, 3),
+        cfg(4, 0),
+        cfg(4, 1),
+        cfg(4, 4),
+    ];
+    let labels =
+        ["borrow4/flush3*", "borrow0", "borrow1", "borrow2", "borrow8", "flush0", "flush1", "flush4"];
+    let results = run_matrix(&scenes, &configs, &render);
+
+    let mut headers = vec!["scene".to_owned()];
+    headers.extend(labels.iter().map(|s| s.to_string()));
+    let mut table = Table::new(headers);
+    for (i, id) in scenes.iter().enumerate() {
+        let mut row = vec![id.name().to_owned()];
+        for r in &results[i] {
+            row.push(format!("{:.3}", r.normalized_ipc(&results[i][0])));
+        }
+        table.row(row);
+    }
+    println!("{table}");
+
+    let mut activity = Table::new(["scene", "borrows", "flushes", "global spills"]);
+    for (i, id) in scenes.iter().enumerate() {
+        let s = &results[i][0].stats;
+        activity.row([
+            id.name().to_owned(),
+            s.ra_borrows.to_string(),
+            s.ra_flushes.to_string(),
+            s.sh_spills.to_string(),
+        ]);
+    }
+    println!("{activity}");
+    println!("(* = paper's configuration; values are IPC relative to it)");
+}

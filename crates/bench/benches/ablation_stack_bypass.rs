@@ -1,0 +1,64 @@
+//! Ablation — does caching spill traffic in the L1D rescue the baseline?
+//!
+//! The paper's model accounts traversal-stack spills as off-chip traffic
+//! (§II-C, Fig. 15b); our default matches (`stack_bypasses_l1 = true`).
+//! This ablation re-runs the headline comparison with spills *allowed* to
+//! allocate in L1D, quantifying how much of the baseline's penalty comes
+//! from the off-chip spill path — and confirming the paper's §III-B claim
+//! that the L1D is a poor substitute for a real secondary stack.
+
+use sms_bench::{fmt_improvement, geomean, setup, Table};
+use sms_sim::experiments::run_prepared;
+use sms_sim::gpu::GpuConfig;
+use sms_sim::render::PreparedScene;
+use sms_sim::rtunit::StackConfig;
+
+fn main() {
+    let (mut scenes, render) = setup("Ablation", "stack spill traffic: off-chip vs L1-cached");
+    if scenes.len() > 6 {
+        scenes.retain(|s| {
+            matches!(s.name(), "SHIP" | "CHSNT" | "PARTY" | "BATH" | "FRST" | "SPNZA")
+        });
+    }
+
+    let mut table = Table::new([
+        "scene",
+        "SMS vs base (off-chip spills)",
+        "SMS vs base (L1-cached spills)",
+        "FULL vs base (off-chip spills)",
+    ]);
+    let mut bypass_gains = Vec::new();
+    let mut cached_gains = Vec::new();
+    for &id in &scenes {
+        eprint!("  {id} ...");
+        let prepared = PreparedScene::build(id, &render);
+        let gpu_bypass = GpuConfig::default();
+        let mut gpu_cached = GpuConfig::default();
+        gpu_cached.l1.stack_bypasses_l1 = false;
+
+        let base_b = run_prepared(&prepared, StackConfig::baseline8(), gpu_bypass, &render);
+        let sms_b = run_prepared(&prepared, StackConfig::sms_default(), gpu_bypass, &render);
+        let full_b = run_prepared(&prepared, StackConfig::FullOnChip, gpu_bypass, &render);
+        let base_c = run_prepared(&prepared, StackConfig::baseline8(), gpu_cached, &render);
+        let sms_c = run_prepared(&prepared, StackConfig::sms_default(), gpu_cached, &render);
+        eprintln!(" done");
+
+        let gb = sms_b.normalized_ipc(&base_b);
+        let gc = sms_c.normalized_ipc(&base_c);
+        bypass_gains.push(gb);
+        cached_gains.push(gc);
+        table.row([
+            id.name().to_owned(),
+            fmt_improvement(gb),
+            fmt_improvement(gc),
+            fmt_improvement(full_b.normalized_ipc(&base_b)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "gmean SMS gain: {} with off-chip spills (paper's model) vs {} when the \
+         L1D may cache spills",
+        fmt_improvement(geomean(&bypass_gains)),
+        fmt_improvement(geomean(&cached_gains)),
+    );
+}

@@ -1,0 +1,33 @@
+//! Fig. 4 — maximum / average / median traversal-stack depth per workload.
+//!
+//! Paper reference: averages and medians between 4 and 5, maxima around 30.
+//! Depths depend only on traversal order, so this harness uses the fast
+//! functional renderer.
+
+use sms_bench::{setup, Table};
+use sms_sim::analyze::measure_all;
+
+fn main() {
+    let (scenes, render) = setup("Fig. 4", "stack depth summary per workload");
+    let (rows, total) = measure_all(&render, &scenes);
+
+    let mut table = Table::new(["scene", "max", "average", "median", "ops"]);
+    for r in &rows {
+        table.row([
+            r.id.name().to_owned(),
+            r.recorder.max_depth().to_string(),
+            format!("{:.2}", r.recorder.mean_depth()),
+            r.recorder.median_depth().to_string(),
+            r.recorder.ops().to_string(),
+        ]);
+    }
+    table.row([
+        "ALL".to_owned(),
+        total.max_depth().to_string(),
+        format!("{:.2}", total.mean_depth()),
+        total.median_depth().to_string(),
+        total.ops().to_string(),
+    ]);
+    println!("{table}");
+    println!("paper: avg/median 4-5, max ~30 across workloads");
+}

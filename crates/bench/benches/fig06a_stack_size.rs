@@ -1,0 +1,31 @@
+//! Fig. 6a — IPC with varying baseline RB-stack sizes, normalized to RB_8.
+//!
+//! Paper reference: RB_4 -18.4%, RB_16 +19.9%, RB_32 +25.2%, with marginal
+//! gains beyond 32 entries.
+
+use sms_bench::{fmt_improvement, print_normalized_ipc, run_matrix, setup};
+use sms_sim::rtunit::StackConfig;
+
+fn main() {
+    let (scenes, render) = setup("Fig. 6a", "IPC vs RB stack size (baseline architecture)");
+    let configs = [
+        StackConfig::baseline8(), // baseline column first
+        StackConfig::Baseline { rb_entries: 4 },
+        StackConfig::Baseline { rb_entries: 16 },
+        StackConfig::Baseline { rb_entries: 32 },
+        StackConfig::Baseline { rb_entries: 64 },
+        StackConfig::FullOnChip,
+    ];
+    let results = run_matrix(&scenes, &configs, &render);
+    let gmeans = print_normalized_ipc(&scenes, &results);
+
+    println!("paper:  RB_4 -18.4%   RB_16 +19.9%   RB_32 +25.2%   (beyond 32: marginal)");
+    println!(
+        "ours:   RB_4 {}   RB_16 {}   RB_32 {}   RB_64 {}   FULL {}",
+        fmt_improvement(gmeans[1]),
+        fmt_improvement(gmeans[2]),
+        fmt_improvement(gmeans[3]),
+        fmt_improvement(gmeans[4]),
+        fmt_improvement(gmeans[5]),
+    );
+}

@@ -1,0 +1,62 @@
+//! Fig. 6b — IPC with varying L1D sizes (baseline RB_8), normalized to 64KB.
+//!
+//! Paper reference: 16KB -9.6%, 32KB -4.5%, 128KB +4.5%, 256KB +12.6% —
+//! notably flatter than the stack-size sweep of Fig. 6a, which motivates
+//! trading a little L1D for SH stacks.
+
+use sms_bench::{fmt_improvement, geomean, run_matrix, setup, Table};
+use sms_sim::config::RenderConfig;
+use sms_sim::experiments::run_prepared;
+use sms_sim::gpu::GpuConfig;
+use sms_sim::render::PreparedScene;
+use sms_sim::rtunit::StackConfig;
+
+fn main() {
+    let (scenes, render) = setup("Fig. 6b", "IPC vs L1D size (baseline RB_8)");
+    let sizes_kb = [64u64, 16, 32, 128, 256];
+    let stack = StackConfig::baseline8();
+
+    // run_matrix sweeps stacks, not GPUs, so roll the sweep by hand.
+    let _ = run_matrix; // (see fig06a for the stack-sweep variant)
+    let _ = RenderConfig::fast();
+    let mut headers = vec!["scene".to_owned()];
+    headers.extend(sizes_kb.iter().map(|kb| format!("{kb}KB")));
+    let mut table = Table::new(headers);
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); sizes_kb.len()];
+    for &id in &scenes {
+        eprint!("  {id} ...");
+        let prepared = PreparedScene::build(id, &render);
+        let runs: Vec<_> = sizes_kb
+            .iter()
+            .map(|&kb| {
+                let gpu = GpuConfig::default().with_l1_size(kb * 1024);
+                run_prepared(&prepared, stack, gpu, &render)
+            })
+            .collect();
+        eprintln!(" done");
+        let mut row = vec![id.name().to_owned()];
+        for (c, r) in runs.iter().enumerate() {
+            let ratio = r.normalized_ipc(&runs[0]);
+            ratios[c].push(ratio);
+            row.push(format!("{ratio:.3}"));
+        }
+        table.row(row);
+    }
+    let mut row = vec!["gmean".to_owned()];
+    let mut gmeans = Vec::new();
+    for r in &ratios {
+        let g = geomean(r);
+        gmeans.push(g);
+        row.push(format!("{g:.3}"));
+    }
+    table.row(row);
+    println!("{table}");
+    println!("paper:  16KB -9.6%   32KB -4.5%   128KB +4.5%   256KB +12.6%");
+    println!(
+        "ours:   16KB {}   32KB {}   128KB {}   256KB {}",
+        fmt_improvement(gmeans[1]),
+        fmt_improvement(gmeans[2]),
+        fmt_improvement(gmeans[3]),
+        fmt_improvement(gmeans[4]),
+    );
+}

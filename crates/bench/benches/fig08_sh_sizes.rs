@@ -1,0 +1,31 @@
+//! Fig. 8 — IPC with different L1D/shared-memory splits: `RB_8 + SH_M`
+//! (no SK/RA) against `RB_FULL`, normalized to `RB_8`.
+//!
+//! Shared-memory bytes are carved out of the unified 64KB array, so a
+//! larger SH stack means a smaller L1D — exactly the paper's trade.
+//! Paper reference: SH_4 +11.0%, SH_8 +17.4%, SH_16 +21.2%, FULL +25.3%.
+
+use sms_bench::{fmt_improvement, print_normalized_ipc, run_matrix, setup};
+use sms_sim::rtunit::{SmsParams, StackConfig};
+
+fn main() {
+    let (scenes, render) = setup("Fig. 8", "IPC of RB_8+SH_M splits vs full stack");
+    let sh = |m: usize| StackConfig::Sms(SmsParams { sh_entries: m, ..SmsParams::default() });
+    let configs =
+        [StackConfig::baseline8(), sh(4), sh(8), sh(16), StackConfig::FullOnChip];
+    let results = run_matrix(&scenes, &configs, &render);
+    let gmeans = print_normalized_ipc(&scenes, &results);
+
+    println!("paper:  +SH_4 +11.0%   +SH_8 +17.4%   +SH_16 +21.2%   FULL +25.3%");
+    println!(
+        "ours:   +SH_4 {}   +SH_8 {}   +SH_16 {}   FULL {}",
+        fmt_improvement(gmeans[1]),
+        fmt_improvement(gmeans[2]),
+        fmt_improvement(gmeans[3]),
+        fmt_improvement(gmeans[4]),
+    );
+    println!(
+        "\nresource note: SH_8 x 4 warps = 8KB shared (56KB L1D left); \
+         SH_16 = 16KB shared (48KB L1D left)"
+    );
+}

@@ -1,0 +1,36 @@
+//! Fig. 13 — IPC improvements of the SMS architecture per scene:
+//! `+SH_8`, `+SK`, `+RA`, against `RB_FULL`, normalized to the `RB_8`
+//! baseline.
+//!
+//! Paper reference (averages): +SH_8 +15.1%, +SK +19.4%, +RA +23.2%,
+//! FULL +25.3%.
+
+use sms_bench::{fmt_improvement, print_normalized_ipc, run_matrix, setup};
+use sms_sim::rtunit::{SmsParams, StackConfig};
+
+fn main() {
+    let (scenes, render) = setup("Fig. 13", "IPC improvements of SMS (SH_8 / +SK / +RA)");
+    let configs = [
+        StackConfig::baseline8(),
+        StackConfig::Sms(SmsParams::default()),                    // +SH_8
+        StackConfig::Sms(SmsParams::default().with_skewed(true)),  // +SK
+        StackConfig::sms_default(),                                // +SK +RA
+        StackConfig::FullOnChip,
+    ];
+    let results = run_matrix(&scenes, &configs, &render);
+    let gmeans = print_normalized_ipc(&scenes, &results);
+
+    println!("paper:  +SH_8 +15.1%   +SK +19.4%   +RA (full SMS) +23.2%   FULL +25.3%");
+    println!(
+        "ours:   +SH_8 {}   +SK {}   +RA (full SMS) {}   FULL {}",
+        fmt_improvement(gmeans[1]),
+        fmt_improvement(gmeans[2]),
+        fmt_improvement(gmeans[3]),
+        fmt_improvement(gmeans[4]),
+    );
+    println!(
+        "\nexpected shape: SMS captures most of the full-stack headroom; deep or \
+         leaf-heavy scenes (SHIP, CHSNT, PARTY, ROBOT) gain most; shallow ones \
+         (REF, WKND) least (paper §VII-B)."
+    );
+}

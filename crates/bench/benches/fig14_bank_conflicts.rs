@@ -1,0 +1,39 @@
+//! Fig. 14 — effect of skewed bank access on shared-memory conflict delay.
+//!
+//! Compares total bank-conflict delay cycles of `RB_8+SH_8` before and
+//! after enabling the skewed mapping. Paper reference: −27.3% delay cycles
+//! on average.
+
+use sms_bench::{geomean, run_matrix, setup, Table};
+use sms_sim::rtunit::{SmsParams, StackConfig};
+
+fn main() {
+    let (scenes, render) = setup("Fig. 14", "bank-conflict delay cycles, SH_8 vs SH_8+SK");
+    let configs = [
+        StackConfig::Sms(SmsParams::default()),
+        StackConfig::Sms(SmsParams::default().with_skewed(true)),
+    ];
+    let results = run_matrix(&scenes, &configs, &render);
+
+    let mut table = Table::new(["scene", "delay (SH_8)", "delay (SH_8+SK)", "reduction"]);
+    let mut keep = Vec::new();
+    for (i, id) in scenes.iter().enumerate() {
+        let before = results[i][0].stats.mem.bank_conflict_cycles;
+        let after = results[i][1].stats.mem.bank_conflict_cycles;
+        let red = if before > 0 {
+            let r = 1.0 - after as f64 / before as f64;
+            keep.push((after as f64 + 1.0) / (before as f64 + 1.0));
+            format!("-{:.1}%", r * 100.0)
+        } else {
+            "n/a (no conflicts)".to_owned()
+        };
+        table.row([id.name().to_owned(), before.to_string(), after.to_string(), red]);
+    }
+    println!("{table}");
+    if !keep.is_empty() {
+        println!(
+            "gmean delay-cycle reduction: -{:.1}%   (paper: -27.3%)",
+            (1.0 - geomean(&keep)) * 100.0
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Fig. 15b — off-chip memory access counts for RB_{2,4,8,16} with and
+//! without SMS, normalized to the `RB_8` baseline.
+//!
+//! Paper reference: RB_2 raises off-chip accesses by +62.3%; adding SMS
+//! lowers them by 79.2pp (below the RB_8 baseline).
+
+use sms_bench::{geomean, run_matrix, setup, Table};
+use sms_sim::rtunit::{SmsParams, StackConfig};
+
+fn main() {
+    let (scenes, render) = setup("Fig. 15b", "off-chip accesses for RB sweeps ± SMS");
+    let sms = |rb: usize| {
+        StackConfig::Sms(
+            SmsParams { rb_entries: rb, ..SmsParams::default() }
+                .with_skewed(true)
+                .with_realloc(true),
+        )
+    };
+    let configs = [
+        StackConfig::baseline8(),
+        StackConfig::Baseline { rb_entries: 2 },
+        sms(2),
+        StackConfig::Baseline { rb_entries: 4 },
+        sms(4),
+        sms(8),
+        StackConfig::Baseline { rb_entries: 16 },
+        sms(16),
+    ];
+    let results = run_matrix(&scenes, &configs, &render);
+
+    let mut headers = vec!["scene".to_owned()];
+    headers.extend(configs.iter().map(|c| c.label()));
+    let mut table = Table::new(headers);
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for (i, id) in scenes.iter().enumerate() {
+        let base = results[i][0].stats.mem.offchip_accesses() as f64;
+        let mut row = vec![id.name().to_owned()];
+        for (c, r) in results[i].iter().enumerate() {
+            let ratio = r.stats.mem.offchip_accesses() as f64 / base;
+            ratios[c].push(ratio);
+            row.push(format!("{ratio:.3}"));
+        }
+        table.row(row);
+    }
+    let mut row = vec!["gmean".to_owned()];
+    let mut g = Vec::new();
+    for r in &ratios {
+        g.push(geomean(r));
+        row.push(format!("{:.3}", g.last().unwrap()));
+    }
+    table.row(row);
+    println!("{table}");
+    println!("paper:  RB_2 1.62x the RB_8 baseline; RB_2+SMS drops ~79pp below that");
+    println!(
+        "ours:   RB_2 {:.2}x -> RB_2+SMS {:.2}x;  RB_8+SMS {:.2}x;  RB_16 {:.2}x",
+        g[1], g[2], g[5], g[6]
+    );
+}

@@ -1,0 +1,27 @@
+//! Table I — baseline GPU parameters.
+//!
+//! Prints the simulated configuration in the paper's Table I format so the
+//! transcription can be checked at a glance.
+
+use sms_sim::gpu::GpuConfig;
+use sms_sim::rtunit::StackConfig;
+
+fn main() {
+    println!("=== Table I: Baseline GPU parameters ===\n");
+    let base = GpuConfig::default();
+    println!("{base}\n");
+
+    println!("SMS default resource split (§IV-B):");
+    let sms = StackConfig::sms_default();
+    let carve = sms.shared_carveout(base.max_warps_per_rt_unit);
+    let cfg = base.with_shared_carveout(carve);
+    println!(
+        "  {} -> {} KB shared memory for SH stacks, {} KB L1D",
+        sms.label(),
+        carve / 1024,
+        cfg.l1.size_bytes / 1024
+    );
+    assert_eq!(carve, 8 * 1024, "paper: 8KB shared / 56KB L1D");
+    assert_eq!(cfg.l1.size_bytes, 56 * 1024);
+    println!("\nOK: matches the paper's 56KB L1D + 8KB shared split.");
+}

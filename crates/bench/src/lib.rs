@@ -1,0 +1,87 @@
+//! Shared plumbing for the per-figure bench harnesses.
+//!
+//! Every `benches/figNN_*.rs` target (built with `harness = false`)
+//! regenerates one table or figure of the paper: same rows, same series,
+//! printed as plain text. Absolute numbers come from our simulator; the
+//! *shape* (who wins, by roughly what factor) is what reproduces the paper.
+//!
+//! Environment knobs honoured by all harnesses:
+//!
+//! * `SMS_PAPER=1` — paper-sized workloads (128×128×2spp) instead of the
+//!   default fast ones (32×32×1spp; trends are resolution-stable, §VII-A).
+//! * `SMS_SCENES=SHIP,PARTY` — restrict to a scene subset.
+
+use sms_sim::config::RenderConfig;
+use sms_sim::experiments::{self, RunResult};
+use sms_sim::render::PreparedScene;
+use sms_sim::rtunit::StackConfig;
+use sms_sim::scene::SceneId;
+
+pub use sms_sim::report::{fmt_improvement, fmt_pct, geomean, Table};
+
+/// Prints the standard harness banner and returns `(scenes, render)`.
+pub fn setup(figure: &str, description: &str) -> (Vec<SceneId>, RenderConfig) {
+    let render = RenderConfig::from_env();
+    let scenes = experiments::scene_list();
+    println!("=== {figure}: {description} ===");
+    println!(
+        "workload: {:?} mode, {} scenes{}\n",
+        render.mode,
+        scenes.len(),
+        if scenes.len() < 16 { " (SMS_SCENES subset)" } else { "" }
+    );
+    (scenes, render)
+}
+
+/// Runs `configs` on every scene (reusing each scene's BVH); returns
+/// results grouped per scene and prints progress.
+pub fn run_matrix(
+    scenes: &[SceneId],
+    configs: &[StackConfig],
+    render: &RenderConfig,
+) -> Vec<Vec<RunResult>> {
+    let gpu = sms_sim::gpu::GpuConfig::default();
+    scenes
+        .iter()
+        .map(|&id| {
+            eprint!("  {id} ...");
+            let prepared = PreparedScene::build(id, render);
+            let row: Vec<RunResult> = configs
+                .iter()
+                .map(|&stack| experiments::run_prepared(&prepared, stack, gpu, render))
+                .collect();
+            eprintln!(" done");
+            row
+        })
+        .collect()
+}
+
+/// Prints a per-scene normalized-IPC table: first config is the baseline.
+/// Returns the per-config geometric means (including the baseline's 1.0).
+pub fn print_normalized_ipc(scenes: &[SceneId], results: &[Vec<RunResult>]) -> Vec<f64> {
+    let configs = &results[0];
+    let mut headers = vec!["scene".to_owned()];
+    headers.extend(configs.iter().map(|r| r.stack.label()));
+    let mut table = Table::new(headers);
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for (i, id) in scenes.iter().enumerate() {
+        let base = &results[i][0];
+        let mut row = vec![id.name().to_owned()];
+        for (c, r) in results[i].iter().enumerate() {
+            let ratio = r.normalized_ipc(base);
+            ratios[c].push(ratio);
+            row.push(format!("{:.3}", ratio));
+        }
+        table.row(row);
+    }
+    let mut gmeans = Vec::with_capacity(configs.len());
+    let mut row = vec!["gmean".to_owned()];
+    for r in &ratios {
+        let g = geomean(r);
+        gmeans.push(g);
+        row.push(format!("{:.3}", g));
+    }
+    table.row(row);
+    println!("{table}");
+    gmeans
+}

@@ -1,0 +1,419 @@
+//! Binned surface-area-heuristic (SAH) binary BVH builder.
+//!
+//! The binary tree is an intermediate product: [`crate::wide::WideBvh`]
+//! collapses it into the wide BVH the RT unit traverses.
+
+use crate::Primitive;
+use sms_geom::Aabb;
+
+/// Number of SAH bins per axis.
+const SAH_BINS: usize = 16;
+
+/// How internal nodes choose their split plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitMethod {
+    /// Binned surface-area heuristic: high-quality, low-overlap trees.
+    BinnedSah,
+    /// Object-median split along the widest centroid axis: the fast,
+    /// lower-quality strategy typical of runtime builders (Vulkan-Sim's
+    /// builder is of this class). Sibling bounds overlap more, so rays hit
+    /// several children per node and traversal stacks go deeper — matching
+    /// the stack-depth distributions the paper reports (Figs. 4/5).
+    Median,
+}
+
+/// Parameters controlling BVH construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildParams {
+    /// Maximum primitives per leaf.
+    pub max_leaf_size: usize,
+    /// Relative cost of a primitive intersection vs. a node traversal step,
+    /// used by the SAH termination criterion.
+    pub traversal_cost: f32,
+    /// Branching factor of the collapsed wide BVH (the paper uses 6).
+    pub branching_factor: usize,
+    /// Split strategy.
+    pub split: SplitMethod,
+}
+
+impl Default for BuildParams {
+    /// Defaults mirror the evaluated system: BVH6, single-primitive leaves,
+    /// median splits (see [`SplitMethod::Median`]).
+    fn default() -> Self {
+        BuildParams {
+            max_leaf_size: 1,
+            traversal_cost: 1.0,
+            branching_factor: 6,
+            split: SplitMethod::Median,
+        }
+    }
+}
+
+impl BuildParams {
+    /// A high-quality binned-SAH configuration (for BVH-quality ablations).
+    pub fn sah() -> Self {
+        BuildParams { split: SplitMethod::BinnedSah, ..BuildParams::default() }
+    }
+}
+
+/// A node of the intermediate binary BVH.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinaryNode {
+    /// Internal node with two children (indices into [`BinaryBvh::nodes`]).
+    Inner {
+        /// Bounds of the whole subtree.
+        aabb: Aabb,
+        /// Left child index.
+        left: u32,
+        /// Right child index.
+        right: u32,
+    },
+    /// Leaf node referencing a range of [`BinaryBvh::prim_order`].
+    Leaf {
+        /// Bounds of the contained primitives.
+        aabb: Aabb,
+        /// First index into `prim_order`.
+        first: u32,
+        /// Number of primitives.
+        count: u32,
+    },
+}
+
+impl BinaryNode {
+    /// The node bounds.
+    pub fn aabb(&self) -> Aabb {
+        match self {
+            BinaryNode::Inner { aabb, .. } | BinaryNode::Leaf { aabb, .. } => *aabb,
+        }
+    }
+}
+
+/// An intermediate binary BVH over a primitive array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinaryBvh {
+    /// Node pool; index 0 is the root.
+    pub nodes: Vec<BinaryNode>,
+    /// Permutation of primitive indices; leaves reference ranges of it.
+    pub prim_order: Vec<u32>,
+}
+
+impl BinaryBvh {
+    /// Builds a binary BVH over `prims` with binned SAH splits.
+    ///
+    /// An empty primitive list yields a single empty leaf so that traversal
+    /// code never needs a special case.
+    pub fn build<P: Primitive>(prims: &[P], params: &BuildParams) -> Self {
+        let mut info: Vec<PrimInfo> = prims
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let aabb = p.aabb();
+                PrimInfo { index: i as u32, centroid: aabb.centroid(), aabb }
+            })
+            .collect();
+
+        let mut nodes = Vec::with_capacity(prims.len().max(1) * 2);
+        if info.is_empty() {
+            nodes.push(BinaryNode::Leaf { aabb: Aabb::EMPTY, first: 0, count: 0 });
+            return BinaryBvh { nodes, prim_order: Vec::new() };
+        }
+
+        nodes.push(BinaryNode::Leaf { aabb: Aabb::EMPTY, first: 0, count: 0 }); // root placeholder
+        let n = info.len();
+        build_recursive(&mut nodes, 0, &mut info, 0, n, params);
+        let prim_order = info.iter().map(|p| p.index).collect();
+        BinaryBvh { nodes, prim_order }
+    }
+
+    /// Maximum leaf depth (root = depth 0).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[BinaryNode], id: usize) -> usize {
+            match &nodes[id] {
+                BinaryNode::Leaf { .. } => 0,
+                BinaryNode::Inner { left, right, .. } => {
+                    1 + rec(nodes, *left as usize).max(rec(nodes, *right as usize))
+                }
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PrimInfo {
+    index: u32,
+    centroid: sms_geom::Vec3,
+    aabb: Aabb,
+}
+
+/// Builds the subtree for `info[first..first+count]` into `nodes[node_id]`.
+fn build_recursive(
+    nodes: &mut Vec<BinaryNode>,
+    node_id: usize,
+    info: &mut [PrimInfo],
+    first: usize,
+    count: usize,
+    params: &BuildParams,
+) {
+    let slice = &info[first..first + count];
+    let mut bounds = Aabb::EMPTY;
+    let mut centroid_bounds = Aabb::EMPTY;
+    for p in slice {
+        bounds.grow(&p.aabb);
+        centroid_bounds.grow_point(p.centroid);
+    }
+
+    if count <= params.max_leaf_size {
+        nodes[node_id] =
+            BinaryNode::Leaf { aabb: bounds, first: first as u32, count: count as u32 };
+        return;
+    }
+
+    let split = match params.split {
+        SplitMethod::BinnedSah => {
+            find_best_split(&info[first..first + count], &centroid_bounds, &bounds, params)
+        }
+        SplitMethod::Median => {
+            if centroid_bounds.extent().max_component() <= 1e-9 {
+                None
+            } else {
+                sort_along_widest_axis(&mut info[first..first + count], &centroid_bounds);
+                Some(MEDIAN_SPLIT)
+            }
+        }
+    };
+
+    let mid = match split {
+        Some(MEDIAN_SPLIT) => count / 2,
+        Some((axis, plane)) => {
+            let mid = partition(&mut info[first..first + count], axis, plane);
+            if mid == 0 || mid == count {
+                // Degenerate SAH split: sort along the widest centroid axis
+                // and cut at the median.
+                sort_along_widest_axis(&mut info[first..first + count], &centroid_bounds);
+                count / 2
+            } else {
+                mid
+            }
+        }
+        None => {
+            // All centroids coincide: either make a leaf (small) or split in
+            // half (any order) to bound recursion depth.
+            if count <= params.max_leaf_size * 4 {
+                nodes[node_id] =
+                    BinaryNode::Leaf { aabb: bounds, first: first as u32, count: count as u32 };
+                return;
+            }
+            count / 2
+        }
+    };
+
+    let left_id = nodes.len();
+    nodes.push(BinaryNode::Leaf { aabb: Aabb::EMPTY, first: 0, count: 0 });
+    let right_id = nodes.len();
+    nodes.push(BinaryNode::Leaf { aabb: Aabb::EMPTY, first: 0, count: 0 });
+    nodes[node_id] =
+        BinaryNode::Inner { aabb: bounds, left: left_id as u32, right: right_id as u32 };
+
+    build_recursive(nodes, left_id, info, first, mid, params);
+    build_recursive(nodes, right_id, info, first + mid, count - mid, params);
+}
+
+/// Sentinel split value marking a median split (primitives pre-sorted).
+const MEDIAN_SPLIT: (usize, f32) = (usize::MAX, 0.0);
+
+/// Deterministically orders primitives along the widest centroid axis.
+fn sort_along_widest_axis(slice: &mut [PrimInfo], centroid_bounds: &Aabb) {
+    let axis = centroid_bounds.extent().max_axis();
+    slice.sort_by(|a, b| {
+        a.centroid[axis]
+            .partial_cmp(&b.centroid[axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+}
+
+/// Finds the best binned SAH split; `None` when all centroids coincide.
+fn find_best_split(
+    slice: &[PrimInfo],
+    centroid_bounds: &Aabb,
+    _bounds: &Aabb,
+    _params: &BuildParams,
+) -> Option<(usize, f32)> {
+    let ext = centroid_bounds.extent();
+    if ext.max_component() <= 1e-9 {
+        return None;
+    }
+
+    let mut best: Option<(usize, f32, f32)> = None; // (axis, plane, cost)
+    for axis in 0..3 {
+        if ext[axis] <= 1e-9 {
+            continue;
+        }
+        let lo = centroid_bounds.min[axis];
+        let scale = SAH_BINS as f32 / ext[axis];
+
+        let mut bin_bounds = [Aabb::EMPTY; SAH_BINS];
+        let mut bin_counts = [0usize; SAH_BINS];
+        for p in slice {
+            let b = (((p.centroid[axis] - lo) * scale) as usize).min(SAH_BINS - 1);
+            bin_bounds[b].grow(&p.aabb);
+            bin_counts[b] += 1;
+        }
+
+        // Sweep from the right to accumulate suffix bounds/counts.
+        let mut right_bounds = [Aabb::EMPTY; SAH_BINS];
+        let mut right_counts = [0usize; SAH_BINS];
+        let mut acc = Aabb::EMPTY;
+        let mut cnt = 0usize;
+        for i in (1..SAH_BINS).rev() {
+            acc.grow(&bin_bounds[i]);
+            cnt += bin_counts[i];
+            right_bounds[i] = acc;
+            right_counts[i] = cnt;
+        }
+
+        let mut left_acc = Aabb::EMPTY;
+        let mut left_cnt = 0usize;
+        for i in 0..SAH_BINS - 1 {
+            left_acc.grow(&bin_bounds[i]);
+            left_cnt += bin_counts[i];
+            if left_cnt == 0 || right_counts[i + 1] == 0 {
+                continue;
+            }
+            let cost = left_acc.surface_area() * left_cnt as f32
+                + right_bounds[i + 1].surface_area() * right_counts[i + 1] as f32;
+            let plane = lo + (i + 1) as f32 / scale;
+            if best.map_or(true, |(_, _, c)| cost < c) {
+                best = Some((axis, plane, cost));
+            }
+        }
+    }
+    best.map(|(axis, plane, _)| (axis, plane))
+}
+
+/// Partitions `slice` so primitives with `centroid[axis] < plane` come first;
+/// returns the partition point.
+fn partition(slice: &mut [PrimInfo], axis: usize, plane: f32) -> usize {
+    let mut mid = 0;
+    for i in 0..slice.len() {
+        if slice[i].centroid[axis] < plane {
+            slice.swap(i, mid);
+            mid += 1;
+        }
+    }
+    mid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrimHit;
+    use sms_geom::{Ray, Triangle, Vec3};
+
+    struct Tri(Triangle);
+    impl Primitive for Tri {
+        fn aabb(&self) -> Aabb {
+            self.0.aabb()
+        }
+        fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<PrimHit> {
+            self.0.intersect(ray, t_min, t_max).map(|h| PrimHit { t: h.t, u: h.u, v: h.v })
+        }
+    }
+
+    fn grid(n: usize) -> Vec<Tri> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f32 * 2.0;
+                let z = (i / 10) as f32 * 2.0;
+                Tri(Triangle::new(
+                    Vec3::new(x, 0.0, z),
+                    Vec3::new(x + 1.0, 0.0, z),
+                    Vec3::new(x, 1.0, z),
+                ))
+            })
+            .collect()
+    }
+
+    fn leaf_prim_multiset(bvh: &BinaryBvh) -> Vec<u32> {
+        let mut v = bvh.prim_order.clone();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_input_single_empty_leaf() {
+        let prims: Vec<Tri> = Vec::new();
+        let bvh = BinaryBvh::build(&prims, &BuildParams::default());
+        assert_eq!(bvh.nodes.len(), 1);
+        assert!(matches!(bvh.nodes[0], BinaryNode::Leaf { count: 0, .. }));
+    }
+
+    #[test]
+    fn all_primitives_present_exactly_once() {
+        let prims = grid(100);
+        let bvh = BinaryBvh::build(&prims, &BuildParams::default());
+        let order = leaf_prim_multiset(&bvh);
+        assert_eq!(order, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn root_bounds_contain_all_leaves() {
+        let prims = grid(100);
+        let bvh = BinaryBvh::build(&prims, &BuildParams::default());
+        let root = bvh.nodes[0].aabb();
+        for n in &bvh.nodes {
+            assert!(root.contains(&n.aabb()), "root must contain {:?}", n.aabb());
+        }
+    }
+
+    #[test]
+    fn parent_contains_children() {
+        let prims = grid(100);
+        let bvh = BinaryBvh::build(&prims, &BuildParams::default());
+        for n in &bvh.nodes {
+            if let BinaryNode::Inner { aabb, left, right } = n {
+                assert!(aabb.contains(&bvh.nodes[*left as usize].aabb()));
+                assert!(aabb.contains(&bvh.nodes[*right as usize].aabb()));
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_respect_max_size() {
+        let prims = grid(200);
+        let params = BuildParams { max_leaf_size: 2, ..BuildParams::default() };
+        let bvh = BinaryBvh::build(&prims, &params);
+        for n in &bvh.nodes {
+            if let BinaryNode::Leaf { count, .. } = n {
+                assert!(*count <= 2 * 4, "leaf too big: {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn coincident_centroids_terminate() {
+        // 100 identical triangles: centroid bounds are a point.
+        let t = Triangle::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        let prims: Vec<Tri> = (0..100).map(|_| Tri(t)).collect();
+        let bvh = BinaryBvh::build(&prims, &BuildParams::default());
+        assert_eq!(leaf_prim_multiset(&bvh).len(), 100);
+        assert!(bvh.depth() < 64);
+    }
+
+    #[test]
+    fn single_primitive() {
+        let prims = grid(1);
+        let bvh = BinaryBvh::build(&prims, &BuildParams::default());
+        assert_eq!(bvh.nodes.len(), 1);
+        assert_eq!(bvh.prim_order, vec![0]);
+    }
+
+    #[test]
+    fn depth_is_logarithmic_for_uniform_grid() {
+        let prims = grid(1000);
+        let bvh = BinaryBvh::build(&prims, &BuildParams::default());
+        // 1000 prims / 4 per leaf = 250 leaves; a balanced tree is depth ~8.
+        assert!(bvh.depth() <= 20, "depth {} too large", bvh.depth());
+    }
+}

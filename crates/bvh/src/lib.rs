@@ -1,0 +1,87 @@
+//! Bounding volume hierarchy construction, layout and traversal.
+//!
+//! This crate implements the acceleration-structure substrate the paper's
+//! evaluation rests on (§II-A):
+//!
+//! * [`builder`] — a binned-SAH *binary* BVH builder.
+//! * [`wide`] — collapse of the binary BVH into a *wide* BVH ("BVHk", the
+//!   paper traverses BVH6: up to six children per internal node).
+//! * [`layout`] — the flattened memory image of the BVH: every node and
+//!   primitive record gets a byte address in the simulated global address
+//!   space, which is what the cycle-level RT unit fetches through the cache
+//!   hierarchy.
+//! * [`traverse`] — the *logical* traversal algorithm (depth-first with a
+//!   traversal stack, nearest-first child ordering). Both the functional
+//!   reference renderer and the cycle-level RT unit drive the same
+//!   [`traverse::node_step`] kernel, which guarantees that traversal work is
+//!   identical across stack configurations — only *timing* differs.
+//! * [`stats`] — stack-depth recording (paper Figs. 4, 5 and 10) and BVH
+//!   size statistics (Table II).
+//!
+//! # Example
+//!
+//! ```
+//! use sms_bvh::{BuildParams, Primitive, PrimHit, WideBvh};
+//! use sms_geom::{Aabb, Ray, Triangle, Vec3};
+//!
+//! struct Tri(Triangle);
+//! impl Primitive for Tri {
+//!     fn aabb(&self) -> Aabb { self.0.aabb() }
+//!     fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<PrimHit> {
+//!         self.0.intersect(ray, t_min, t_max)
+//!             .map(|h| PrimHit { t: h.t, u: h.u, v: h.v })
+//!     }
+//! }
+//!
+//! let prims: Vec<Tri> = (0..64)
+//!     .map(|i| {
+//!         let x = i as f32;
+//!         Tri(Triangle::new(
+//!             Vec3::new(x, 0.0, 0.0),
+//!             Vec3::new(x + 1.0, 0.0, 0.0),
+//!             Vec3::new(x, 1.0, 0.0),
+//!         ))
+//!     })
+//!     .collect();
+//! let bvh = WideBvh::build(&prims, &BuildParams::default());
+//! let ray = Ray::new(Vec3::new(10.2, 0.2, -5.0), Vec3::new(0.0, 0.0, 1.0));
+//! let hit = sms_bvh::traverse::intersect_nearest(&bvh, &prims, &ray, 0.0, f32::INFINITY, &mut ());
+//! assert!(hit.is_some());
+//! ```
+
+pub mod builder;
+pub mod layout;
+pub mod restart;
+pub mod stats;
+pub mod traverse;
+pub mod wide;
+
+pub use builder::{BinaryBvh, BuildParams};
+pub use restart::{intersect_nearest_restart, RestartStats};
+pub use layout::{BvhLayout, NODE_BASE_ADDR, NODE_STRIDE, PRIM_BASE_ADDR, PRIM_STRIDE};
+pub use stats::{BvhStats, DepthRecorder};
+pub use traverse::{intersect_any, intersect_nearest, Hit, StackObserver};
+pub use wide::{NodeId, WideBvh, WideChild, WideNode};
+
+use sms_geom::{Aabb, Ray};
+
+/// Result of a successful ray/primitive intersection inside a BVH leaf.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrimHit {
+    /// Ray parameter at the hit.
+    pub t: f32,
+    /// First barycentric / parametric coordinate (0 for analytic prims).
+    pub u: f32,
+    /// Second barycentric / parametric coordinate (0 for analytic prims).
+    pub v: f32,
+}
+
+/// A primitive that can be stored in BVH leaves.
+///
+/// Implemented by the scene crate for its triangle and sphere primitives.
+pub trait Primitive {
+    /// Tight bounding box used by the builder.
+    fn aabb(&self) -> Aabb;
+    /// Nearest intersection within `[t_min, t_max]`, if any.
+    fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<PrimHit>;
+}

@@ -1,0 +1,385 @@
+//! Logical BVH traversal: depth-first, nearest-first, stack-based.
+//!
+//! The traversal *algorithm* is deliberately factored out of the timing
+//! model: [`node_step`] performs the work of one node visit (the ray-box
+//! tests of an internal node, or the ray-primitive tests of a leaf), and the
+//! drivers — [`intersect_nearest`], [`intersect_any`] here, and the RT-unit
+//! state machine in the `sms-rtunit` crate — layer stack management on top.
+//! Because traversal order depends only on the ray and the BVH, *every stack
+//! configuration performs identical traversal work*; configurations differ
+//! only in where stack entries physically live and what memory traffic they
+//! cost. This mirrors the paper's normalized-IPC methodology.
+
+use crate::wide::{NodeId, WideBvh, WideNode};
+use crate::{PrimHit, Primitive};
+
+/// Maximum supported branching factor (the paper's BVH6 fits comfortably).
+pub const MAX_WIDTH: usize = 8;
+
+/// A successful nearest-hit traversal result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Ray parameter of the nearest hit.
+    pub t: f32,
+    /// Index of the hit primitive in the *scene's* primitive array.
+    pub prim: u32,
+    /// Barycentric / parametric coordinate.
+    pub u: f32,
+    /// Barycentric / parametric coordinate.
+    pub v: f32,
+}
+
+/// Observes logical traversal-stack activity.
+///
+/// The paper records "the stack depth … at every push and pop operation
+/// across all rays" (Fig. 5). Implementations receive the depth *after* the
+/// operation took effect. `()` is the no-op observer.
+pub trait StackObserver {
+    /// Called after each push with the new logical depth.
+    fn on_push(&mut self, depth: usize);
+    /// Called after each pop with the new logical depth.
+    fn on_pop(&mut self, depth: usize);
+}
+
+impl StackObserver for () {
+    #[inline]
+    fn on_push(&mut self, _depth: usize) {}
+    #[inline]
+    fn on_pop(&mut self, _depth: usize) {}
+}
+
+/// Children of an internal node that the ray intersects, sorted nearest
+/// first. Fixed-capacity to keep the hot path allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct ChildHits {
+    entries: [(f32, NodeId); MAX_WIDTH],
+    len: usize,
+}
+
+impl ChildHits {
+    /// No intersected children.
+    #[inline]
+    pub fn empty() -> Self {
+        ChildHits { entries: [(0.0, 0); MAX_WIDTH], len: 0 }
+    }
+
+    /// Number of intersected children.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no child was intersected.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th nearest intersected child as `(t_entry, node)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> (f32, NodeId) {
+        assert!(i < self.len);
+        self.entries[i]
+    }
+
+    /// Iterates over `(t_entry, node)` pairs nearest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (f32, NodeId)> + '_ {
+        self.entries[..self.len].iter().copied()
+    }
+
+    #[inline]
+    fn push(&mut self, t: f32, node: NodeId) {
+        debug_assert!(self.len < MAX_WIDTH);
+        self.entries[self.len] = (t, node);
+        self.len += 1;
+    }
+
+    /// Insertion sort by `(t, node)` — deterministic tie-breaking.
+    fn sort(&mut self) {
+        let s = &mut self.entries[..self.len];
+        for i in 1..s.len() {
+            let key = s[i];
+            let mut j = i;
+            while j > 0 && (s[j - 1].0 > key.0 || (s[j - 1].0 == key.0 && s[j - 1].1 > key.1)) {
+                s[j] = s[j - 1];
+                j -= 1;
+            }
+            s[j] = key;
+        }
+    }
+}
+
+/// The outcome of visiting one BVH node.
+#[derive(Debug, Clone)]
+pub enum NodeStep {
+    /// An internal node was visited: these children were intersected
+    /// (nearest first). The driver visits the first and pushes the rest.
+    Inner(ChildHits),
+    /// A leaf node was visited: the nearest primitive hit in `[t_min, t_max]`
+    /// if any.
+    Leaf(Option<Hit>),
+}
+
+/// Performs the intersection work of a single node visit.
+///
+/// For internal nodes this is `k` ray-box tests; for leaves it is
+/// `count` ray-primitive tests. This is exactly the work one RT-unit
+/// operation-unit dispatch performs per fetched node.
+pub fn node_step<P: Primitive>(
+    bvh: &WideBvh,
+    prims: &[P],
+    ray: &sms_geom::Ray,
+    node: NodeId,
+    t_min: f32,
+    t_max: f32,
+) -> NodeStep {
+    match &bvh.nodes[node as usize] {
+        WideNode::Inner { children } => {
+            let mut hits = ChildHits::empty();
+            for c in children {
+                if let Some(t) = c.aabb.intersect(ray, t_min, t_max) {
+                    hits.push(t, c.node);
+                }
+            }
+            hits.sort();
+            NodeStep::Inner(hits)
+        }
+        WideNode::Leaf { first, count } => {
+            let mut best: Option<Hit> = None;
+            let mut limit = t_max;
+            for slot in *first..*first + *count {
+                let prim_id = bvh.prim_order[slot as usize];
+                if let Some(PrimHit { t, u, v }) =
+                    prims[prim_id as usize].intersect(ray, t_min, limit)
+                {
+                    limit = t;
+                    best = Some(Hit { t, prim: prim_id, u, v });
+                }
+            }
+            NodeStep::Leaf(best)
+        }
+    }
+}
+
+/// Nearest-hit traversal with an unbounded logical stack.
+///
+/// This is the functional reference: the RT-unit timing model performs the
+/// same visits in the same order and must produce identical results (asserted
+/// by integration tests).
+pub fn intersect_nearest<P: Primitive, O: StackObserver>(
+    bvh: &WideBvh,
+    prims: &[P],
+    ray: &sms_geom::Ray,
+    t_min: f32,
+    t_max: f32,
+    observer: &mut O,
+) -> Option<Hit> {
+    let mut stack: Vec<NodeId> = Vec::with_capacity(64);
+    let mut current: Option<NodeId> = Some(0);
+    let mut best: Option<Hit> = None;
+    let mut limit = t_max;
+
+    while let Some(node) = current {
+        match node_step(bvh, prims, ray, node, t_min, limit) {
+            NodeStep::Inner(hits) => {
+                if hits.is_empty() {
+                    current = pop(&mut stack, observer);
+                } else {
+                    // Visit nearest child next; push the rest far-to-near so
+                    // the nearest pending child is popped first (paper §II-A).
+                    for i in (1..hits.len()).rev() {
+                        stack.push(hits.get(i).1);
+                        observer.on_push(stack.len());
+                    }
+                    current = Some(hits.get(0).1);
+                }
+            }
+            NodeStep::Leaf(hit) => {
+                if let Some(h) = hit {
+                    if h.t < limit {
+                        limit = h.t;
+                        best = Some(h);
+                    }
+                }
+                current = pop(&mut stack, observer);
+            }
+        }
+    }
+    best
+}
+
+/// Any-hit (occlusion) traversal: returns `true` as soon as any primitive is
+/// hit in `[t_min, t_max]`. Used for shadow rays.
+pub fn intersect_any<P: Primitive, O: StackObserver>(
+    bvh: &WideBvh,
+    prims: &[P],
+    ray: &sms_geom::Ray,
+    t_min: f32,
+    t_max: f32,
+    observer: &mut O,
+) -> bool {
+    let mut stack: Vec<NodeId> = Vec::with_capacity(64);
+    let mut current: Option<NodeId> = Some(0);
+
+    while let Some(node) = current {
+        match node_step(bvh, prims, ray, node, t_min, t_max) {
+            NodeStep::Inner(hits) => {
+                if hits.is_empty() {
+                    current = pop(&mut stack, observer);
+                } else {
+                    for i in (1..hits.len()).rev() {
+                        stack.push(hits.get(i).1);
+                        observer.on_push(stack.len());
+                    }
+                    current = Some(hits.get(0).1);
+                }
+            }
+            NodeStep::Leaf(hit) => {
+                if hit.is_some() {
+                    return true;
+                }
+                current = pop(&mut stack, observer);
+            }
+        }
+    }
+    false
+}
+
+#[inline]
+fn pop<O: StackObserver>(stack: &mut Vec<NodeId>, observer: &mut O) -> Option<NodeId> {
+    let v = stack.pop();
+    if v.is_some() {
+        observer.on_pop(stack.len());
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BuildParams;
+    use sms_geom::{Aabb, Ray, Triangle, Vec3};
+
+    struct Tri(Triangle);
+    impl Primitive for Tri {
+        fn aabb(&self) -> Aabb {
+            self.0.aabb()
+        }
+        fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<PrimHit> {
+            self.0.intersect(ray, t_min, t_max).map(|h| PrimHit { t: h.t, u: h.u, v: h.v })
+        }
+    }
+
+    /// A wall of triangles at increasing z; rays down +z must hit the nearest.
+    fn walls(n: usize) -> Vec<Tri> {
+        (0..n)
+            .map(|i| {
+                let z = i as f32 + 1.0;
+                Tri(Triangle::new(
+                    Vec3::new(-10.0, -10.0, z),
+                    Vec3::new(10.0, -10.0, z),
+                    Vec3::new(0.0, 10.0, z),
+                ))
+            })
+            .collect()
+    }
+
+    fn brute_force(prims: &[Tri], ray: &Ray, t_min: f32, t_max: f32) -> Option<Hit> {
+        let mut best: Option<Hit> = None;
+        let mut limit = t_max;
+        for (i, p) in prims.iter().enumerate() {
+            if let Some(h) = p.intersect(ray, t_min, limit) {
+                limit = h.t;
+                best = Some(Hit { t: h.t, prim: i as u32, u: h.u, v: h.v });
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn nearest_hit_matches_brute_force() {
+        let prims = walls(50);
+        let bvh = crate::WideBvh::build(&prims, &BuildParams::default());
+        for i in 0..20 {
+            let x = (i as f32) * 0.05 - 0.5;
+            let ray = Ray::new(Vec3::new(x, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+            let a = intersect_nearest(&bvh, &prims, &ray, 0.0, f32::INFINITY, &mut ());
+            let b = brute_force(&prims, &ray, 0.0, f32::INFINITY);
+            assert_eq!(a.map(|h| h.prim), b.map(|h| h.prim));
+        }
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let prims = walls(10);
+        let bvh = crate::WideBvh::build(&prims, &BuildParams::default());
+        let ray = Ray::new(Vec3::new(100.0, 100.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(intersect_nearest(&bvh, &prims, &ray, 0.0, f32::INFINITY, &mut ()).is_none());
+        assert!(!intersect_any(&bvh, &prims, &ray, 0.0, f32::INFINITY, &mut ()));
+    }
+
+    #[test]
+    fn any_hit_detects_occlusion_within_range() {
+        let prims = walls(10);
+        let bvh = crate::WideBvh::build(&prims, &BuildParams::default());
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(intersect_any(&bvh, &prims, &ray, 0.0, f32::INFINITY, &mut ()));
+        // Nothing closer than z=1, so a segment ending at 0.5 is unoccluded.
+        assert!(!intersect_any(&bvh, &prims, &ray, 0.0, 0.5, &mut ()));
+    }
+
+    #[test]
+    fn child_hits_sorted_nearest_first() {
+        let mut h = ChildHits::empty();
+        h.push(3.0, 1);
+        h.push(1.0, 2);
+        h.push(2.0, 3);
+        h.push(1.0, 0);
+        h.sort();
+        let order: Vec<_> = h.iter().collect();
+        assert_eq!(order, vec![(1.0, 0), (1.0, 2), (2.0, 3), (3.0, 1)]);
+    }
+
+    #[test]
+    fn observer_sees_pushes_and_pops() {
+        #[derive(Default)]
+        struct Counter {
+            pushes: usize,
+            pops: usize,
+            max_depth: usize,
+        }
+        impl StackObserver for Counter {
+            fn on_push(&mut self, depth: usize) {
+                self.pushes += 1;
+                self.max_depth = self.max_depth.max(depth);
+            }
+            fn on_pop(&mut self, depth: usize) {
+                self.pops += 1;
+                let _ = depth;
+            }
+        }
+        let prims = walls(64);
+        let bvh = crate::WideBvh::build(&prims, &BuildParams::default());
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        let mut c = Counter::default();
+        let _ = intersect_nearest(&bvh, &prims, &ray, 0.0, f32::INFINITY, &mut c);
+        // Every push is eventually popped (traversal runs to completion).
+        assert_eq!(c.pushes, c.pops);
+        assert!(c.pushes > 0, "a ray through 64 stacked walls must push");
+    }
+
+    #[test]
+    fn t_max_limits_traversal() {
+        let prims = walls(50);
+        let bvh = crate::WideBvh::build(&prims, &BuildParams::default());
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        let hit = intersect_nearest(&bvh, &prims, &ray, 0.0, 0.5, &mut ());
+        assert!(hit.is_none());
+        let hit = intersect_nearest(&bvh, &prims, &ray, 1.5, f32::INFINITY, &mut ());
+        assert_eq!(hit.unwrap().prim, 1, "t_min skips the first wall");
+    }
+}

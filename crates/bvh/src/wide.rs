@@ -1,0 +1,299 @@
+//! Wide BVH ("BVHk"): the paper's traversed structure.
+//!
+//! A wide BVH allows up to `k` children per internal node (the paper, like
+//! Vulkan-Sim, traverses BVH6: §II-C, Fig. 3). Each child of an internal
+//! node is itself a node — either another internal node or a *leaf node*
+//! holding a primitive range. Traversal-stack entries hold node identifiers
+//! (standing in for the 8-byte node addresses of real hardware).
+
+use crate::builder::{BinaryBvh, BinaryNode, BuildParams};
+use crate::Primitive;
+use sms_geom::Aabb;
+
+/// Identifier of a node in a [`WideBvh`] (index into [`WideBvh::nodes`]).
+pub type NodeId = u32;
+
+/// A reference from an internal node to one of its children.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WideChild {
+    /// Child bounds, tested by the ray-box operation unit before the child
+    /// is visited or pushed.
+    pub aabb: Aabb,
+    /// Child node id.
+    pub node: NodeId,
+}
+
+/// A node of the wide BVH.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WideNode {
+    /// Internal node with 2..=k children.
+    Inner {
+        /// Children in build order.
+        children: Vec<WideChild>,
+    },
+    /// Leaf node referencing `prim_order[first..first + count]`.
+    Leaf {
+        /// First index into [`WideBvh::prim_order`].
+        first: u32,
+        /// Number of primitives in the leaf.
+        count: u32,
+    },
+}
+
+/// A wide bounding volume hierarchy.
+///
+/// Build one with [`WideBvh::build`] (which constructs a binary SAH tree and
+/// collapses it) or [`WideBvh::from_binary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WideBvh {
+    /// Maximum branching factor the tree was collapsed to.
+    pub width: usize,
+    /// Node pool; index 0 is the root (always an `Inner` unless the scene
+    /// is a single leaf).
+    pub nodes: Vec<WideNode>,
+    /// Bounds of the whole scene.
+    pub root_aabb: Aabb,
+    /// Permutation of primitive indices referenced by leaves.
+    pub prim_order: Vec<u32>,
+}
+
+impl WideBvh {
+    /// Builds a wide BVH directly from primitives.
+    pub fn build<P: Primitive>(prims: &[P], params: &BuildParams) -> Self {
+        let binary = BinaryBvh::build(prims, params);
+        Self::from_binary(&binary, params.branching_factor)
+    }
+
+    /// Collapses a binary BVH into a wide BVH with branching factor `width`.
+    ///
+    /// Collapse strategy: starting from a binary node, repeatedly replace the
+    /// inner child whose subtree bounds have the largest surface area with
+    /// its two children, until `width` children are reached or only leaves
+    /// remain. This is the standard BVH2→BVHk conversion used by wide-BVH
+    /// work the paper builds on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 2`.
+    pub fn from_binary(binary: &BinaryBvh, width: usize) -> Self {
+        assert!(width >= 2, "branching factor must be at least 2, got {width}");
+        let mut out = WideBvh {
+            width,
+            nodes: Vec::with_capacity(binary.nodes.len()),
+            root_aabb: binary.nodes[0].aabb(),
+            prim_order: binary.prim_order.clone(),
+        };
+        collapse(binary, 0, width, &mut out.nodes);
+        out
+    }
+
+    /// Number of internal nodes.
+    pub fn inner_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, WideNode::Inner { .. })).count()
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.len() - self.inner_count()
+    }
+
+    /// Maximum node depth (root = 0).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[WideNode], id: NodeId) -> usize {
+            match &nodes[id as usize] {
+                WideNode::Leaf { .. } => 0,
+                WideNode::Inner { children } => {
+                    1 + children.iter().map(|c| rec(nodes, c.node)).max().unwrap_or(0)
+                }
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+/// Emits the wide node for binary node `bin_id` into `nodes`, returning its id.
+fn collapse(binary: &BinaryBvh, bin_id: u32, width: usize, nodes: &mut Vec<WideNode>) -> NodeId {
+    let my_id = nodes.len() as NodeId;
+    match &binary.nodes[bin_id as usize] {
+        BinaryNode::Leaf { first, count, .. } => {
+            nodes.push(WideNode::Leaf { first: *first, count: *count });
+            my_id
+        }
+        BinaryNode::Inner { left, right, .. } => {
+            // Gather up to `width` binary subtree roots under this node.
+            let mut slots: Vec<u32> = vec![*left, *right];
+            loop {
+                if slots.len() >= width {
+                    break;
+                }
+                // Expand the inner slot with the largest surface area.
+                let candidate = slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &s)| matches!(binary.nodes[s as usize], BinaryNode::Inner { .. }))
+                    .max_by(|(_, &a), (_, &b)| {
+                        let sa = binary.nodes[a as usize].aabb().surface_area();
+                        let sb = binary.nodes[b as usize].aabb().surface_area();
+                        sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i);
+                let Some(i) = candidate else { break };
+                // Expanding adds one slot; never exceeds width.
+                let expanded = slots.remove(i);
+                let BinaryNode::Inner { left, right, .. } = &binary.nodes[expanded as usize]
+                else {
+                    unreachable!("candidate filter only selects inner nodes")
+                };
+                slots.push(*left);
+                slots.push(*right);
+            }
+
+            nodes.push(WideNode::Inner { children: Vec::new() });
+            let children: Vec<WideChild> = slots
+                .into_iter()
+                .map(|s| WideChild {
+                    aabb: binary.nodes[s as usize].aabb(),
+                    node: collapse(binary, s, width, nodes),
+                })
+                .collect();
+            nodes[my_id as usize] = WideNode::Inner { children };
+            my_id
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PrimHit;
+    use sms_geom::{Ray, Triangle, Vec3};
+
+    struct Tri(Triangle);
+    impl Primitive for Tri {
+        fn aabb(&self) -> Aabb {
+            self.0.aabb()
+        }
+        fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<PrimHit> {
+            self.0.intersect(ray, t_min, t_max).map(|h| PrimHit { t: h.t, u: h.u, v: h.v })
+        }
+    }
+
+    fn grid(n: usize) -> Vec<Tri> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 16) as f32 * 2.0;
+                let z = (i / 16) as f32 * 2.0;
+                Tri(Triangle::new(
+                    Vec3::new(x, 0.0, z),
+                    Vec3::new(x + 1.0, 0.0, z),
+                    Vec3::new(x, 1.0, z),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn children_within_branching_factor() {
+        for width in [2, 4, 6, 8] {
+            let prims = grid(300);
+            let params = BuildParams { branching_factor: width, ..BuildParams::default() };
+            let bvh = WideBvh::build(&prims, &params);
+            for n in &bvh.nodes {
+                if let WideNode::Inner { children } = n {
+                    assert!(children.len() >= 2);
+                    assert!(children.len() <= width, "node has {} > {width}", children.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_primitives_reachable_once() {
+        let prims = grid(257);
+        let bvh = WideBvh::build(&prims, &BuildParams::default());
+        let mut seen = vec![0u32; 257];
+        fn walk(bvh: &WideBvh, id: NodeId, seen: &mut [u32]) {
+            match &bvh.nodes[id as usize] {
+                WideNode::Leaf { first, count } => {
+                    for i in *first..*first + *count {
+                        seen[bvh.prim_order[i as usize] as usize] += 1;
+                    }
+                }
+                WideNode::Inner { children } => {
+                    for c in children {
+                        walk(bvh, c.node, seen);
+                    }
+                }
+            }
+        }
+        walk(&bvh, 0, &mut seen);
+        assert!(seen.iter().all(|&c| c == 1), "every primitive exactly once");
+    }
+
+    #[test]
+    fn wider_trees_are_shallower() {
+        let prims = grid(1024);
+        let d2 = WideBvh::build(
+            &prims,
+            &BuildParams { branching_factor: 2, ..BuildParams::default() },
+        )
+        .depth();
+        let d6 = WideBvh::build(&prims, &BuildParams::default()).depth();
+        assert!(d6 <= d2, "BVH6 depth {d6} should not exceed BVH2 depth {d2}");
+    }
+
+    #[test]
+    fn child_bounds_match_subtrees() {
+        let prims = grid(300);
+        let bvh = WideBvh::build(&prims, &BuildParams::default());
+        for n in &bvh.nodes {
+            if let WideNode::Inner { children } = n {
+                for c in children {
+                    // Child AABB must contain everything in its subtree.
+                    let mut sub = Aabb::EMPTY;
+                    fn gather(bvh: &WideBvh, id: NodeId, acc: &mut Aabb) {
+                        match &bvh.nodes[id as usize] {
+                            WideNode::Leaf { .. } => {}
+                            WideNode::Inner { children } => {
+                                for c in children {
+                                    acc.grow(&c.aabb);
+                                    gather(bvh, c.node, acc);
+                                }
+                            }
+                        }
+                    }
+                    gather(&bvh, c.node, &mut sub);
+                    if !sub.is_empty() {
+                        assert!(c.aabb.contains(&sub));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_scene() {
+        let prims = grid(3);
+        let params = BuildParams { max_leaf_size: 4, ..BuildParams::default() };
+        let bvh = WideBvh::build(&prims, &params);
+        assert_eq!(bvh.nodes.len(), 1);
+        assert!(matches!(bvh.nodes[0], WideNode::Leaf { count: 3, .. }));
+        assert_eq!(bvh.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "branching factor")]
+    fn width_one_rejected() {
+        let prims = grid(10);
+        let binary = BinaryBvh::build(&prims, &BuildParams::default());
+        let _ = WideBvh::from_binary(&binary, 1);
+    }
+
+    #[test]
+    fn node_counts_consistent() {
+        let prims = grid(500);
+        let bvh = WideBvh::build(&prims, &BuildParams::default());
+        assert_eq!(bvh.inner_count() + bvh.leaf_count(), bvh.nodes.len());
+        assert!(bvh.inner_count() > 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Functional stack-depth analysis (paper §III-A, Figs. 4 and 5).
+//!
+//! Depth statistics depend only on traversal order, not on timing, so they
+//! are gathered with the fast functional renderer.
+
+use crate::config::RenderConfig;
+use crate::render::{render, PreparedScene};
+use sms_bvh::DepthRecorder;
+use sms_scene::SceneId;
+
+/// Per-scene stack-depth summary (one row of Fig. 4).
+#[derive(Debug, Clone)]
+pub struct SceneDepths {
+    /// The scene.
+    pub id: SceneId,
+    /// Depth histogram recorded at every push/pop across all rays.
+    pub recorder: DepthRecorder,
+}
+
+impl SceneDepths {
+    /// Measures one scene.
+    pub fn measure(id: SceneId, config: &RenderConfig) -> Self {
+        let prepared = PreparedScene::build(id, config);
+        let out = render(&prepared, config);
+        SceneDepths { id, recorder: out.depths }
+    }
+}
+
+/// Measures every Table II scene and the all-workload aggregate
+/// (Fig. 4 rows plus the Fig. 5 distribution).
+pub fn measure_all(config: &RenderConfig, scenes: &[SceneId]) -> (Vec<SceneDepths>, DepthRecorder) {
+    let mut rows = Vec::with_capacity(scenes.len());
+    let mut total = DepthRecorder::new();
+    for &id in scenes {
+        let row = SceneDepths::measure(id, config);
+        total.merge(&row.recorder);
+        rows.push(row);
+    }
+    (rows, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ship_depths_nontrivial() {
+        let d = SceneDepths::measure(SceneId::Ship, &RenderConfig::tiny());
+        assert!(d.recorder.ops() > 100);
+        assert!(d.recorder.max_depth() >= 4, "max depth {}", d.recorder.max_depth());
+    }
+
+    #[test]
+    fn aggregate_merges() {
+        let cfg = RenderConfig::tiny();
+        let (rows, total) = measure_all(&cfg, &[SceneId::Ship, SceneId::Bunny]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(total.ops(), rows[0].recorder.ops() + rows[1].recorder.ops());
+    }
+}

@@ -1,0 +1,160 @@
+//! Reusable experiment entry points for the paper's tables and figures.
+//!
+//! Each bench harness in `crates/bench` composes these primitives into the
+//! exact rows/series the paper reports; see `DESIGN.md` for the experiment
+//! index.
+
+use crate::config::{RenderConfig, SimConfig};
+use crate::render::PreparedScene;
+use crate::report::geomean;
+use crate::sim::GpuSim;
+use sms_gpu::{GpuConfig, SimStats};
+use sms_rtunit::StackConfig;
+use sms_scene::SceneId;
+
+/// The outcome of one `(scene, configuration)` cycle-level run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The scene simulated.
+    pub scene: SceneId,
+    /// The stack architecture simulated.
+    pub stack: StackConfig,
+    /// All counters.
+    pub stats: SimStats,
+}
+
+impl RunResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+
+    /// This run's IPC normalized to a baseline run of the same scene.
+    ///
+    /// Traversal and compute work are identical across stack
+    /// configurations, so this equals `baseline.cycles / self.cycles`.
+    pub fn normalized_ipc(&self, baseline: &RunResult) -> f64 {
+        assert_eq!(self.scene, baseline.scene, "normalize within one scene");
+        debug_assert_eq!(
+            self.stats.instructions(),
+            baseline.stats.instructions(),
+            "work must be configuration-independent"
+        );
+        baseline.stats.cycles as f64 / self.stats.cycles as f64
+    }
+}
+
+/// Runs one scene under one stack configuration on the Table I GPU.
+pub fn run_scene(id: SceneId, stack: StackConfig, render: &RenderConfig) -> RunResult {
+    run_scene_on(id, stack, GpuConfig::default(), render)
+}
+
+/// Runs one scene with an explicit GPU configuration (L1 sweeps etc.).
+/// The stack's shared-memory carveout is applied on top of `gpu`.
+pub fn run_scene_on(
+    id: SceneId,
+    stack: StackConfig,
+    gpu: GpuConfig,
+    render: &RenderConfig,
+) -> RunResult {
+    let prepared = PreparedScene::build(id, render);
+    run_prepared(&prepared, stack, gpu, render)
+}
+
+/// Runs an already-prepared scene (reuse the BVH across configurations).
+pub fn run_prepared(
+    prepared: &PreparedScene,
+    stack: StackConfig,
+    gpu: GpuConfig,
+    render: &RenderConfig,
+) -> RunResult {
+    let config = SimConfig::new(gpu, stack, *render);
+    let run = GpuSim::new(prepared, config).run();
+    RunResult { scene: prepared.scene.id, stack, stats: run.stats }
+}
+
+/// The scene list a harness should evaluate: all 16 by default, or the
+/// comma-separated subset in `SMS_SCENES` (e.g. `SMS_SCENES=SHIP,BUNNY`).
+pub fn scene_list() -> Vec<SceneId> {
+    match std::env::var("SMS_SCENES") {
+        Ok(s) if !s.trim().is_empty() => s
+            .split(',')
+            .map(|name| {
+                name.trim()
+                    .parse::<SceneId>()
+                    .unwrap_or_else(|e| panic!("SMS_SCENES: {e}"))
+            })
+            .collect(),
+        _ => SceneId::ALL.to_vec(),
+    }
+}
+
+/// Runs every `(scene, config)` pair, reusing each scene's BVH.
+/// Results are grouped per scene in the order given.
+pub fn run_suite(
+    scenes: &[SceneId],
+    configs: &[StackConfig],
+    render: &RenderConfig,
+) -> Vec<Vec<RunResult>> {
+    scenes
+        .iter()
+        .map(|&id| {
+            let prepared = PreparedScene::build(id, render);
+            configs
+                .iter()
+                .map(|&stack| run_prepared(&prepared, stack, GpuConfig::default(), render))
+                .collect()
+        })
+        .collect()
+}
+
+/// Geometric-mean normalized IPC of `runs` against `baselines`
+/// (elementwise by scene).
+pub fn gmean_normalized_ipc(runs: &[RunResult], baselines: &[RunResult]) -> f64 {
+    assert_eq!(runs.len(), baselines.len());
+    let ratios: Vec<f64> =
+        runs.iter().zip(baselines).map(|(r, b)| r.normalized_ipc(b)).collect();
+    geomean(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_scene_produces_cycles_and_work() {
+        let r = run_scene(SceneId::Ship, StackConfig::baseline8(), &RenderConfig::tiny());
+        assert!(r.stats.cycles > 0);
+        assert!(r.stats.node_visits > 0);
+        assert!(r.stats.rays_traced >= 256);
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn normalized_ipc_is_inverse_cycle_ratio() {
+        let render = RenderConfig::tiny();
+        let prepared = PreparedScene::build(SceneId::Ship, &render);
+        let base = run_prepared(&prepared, StackConfig::baseline8(), GpuConfig::default(), &render);
+        let full = run_prepared(&prepared, StackConfig::FullOnChip, GpuConfig::default(), &render);
+        let n = full.normalized_ipc(&base);
+        let expected = base.stats.cycles as f64 / full.stats.cycles as f64;
+        assert!((n - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scene_list_env_parsing() {
+        // Uses the default path (no env var set in tests).
+        let all = scene_list();
+        assert!(all.len() == 16 || !all.is_empty());
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let render = RenderConfig::tiny();
+        let a = run_scene(SceneId::Bunny, StackConfig::sms_default(), &render);
+        let b = run_scene(SceneId::Bunny, StackConfig::sms_default(), &render);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.node_visits, b.stats.node_visits);
+        assert_eq!(a.stats.mem, b.stats.mem);
+    }
+}

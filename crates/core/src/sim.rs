@@ -1,0 +1,549 @@
+//! The cycle-level GPU simulator.
+//!
+//! [`GpuSim`] launches one thread per `(pixel, sample)` path, groups
+//! threads into warps, distributes warps round-robin over the SMs of
+//! Table I, and advances everything cycle by cycle:
+//!
+//! * the SIMT compute model issues warp instructions (ray generation,
+//!   shading, accumulation phases of the PT kernel) at `issue_width` warps
+//!   per SM per cycle, oldest-first;
+//! * trace-ray instructions enter the SM's RT unit (≤4 warps resident),
+//!   which performs the actual BVH traversal with the configured stack
+//!   architecture (see `sms-rtunit`);
+//! * all memory traffic — node/primitive fetches, stack spills, material
+//!   loads, framebuffer stores — flows through the per-SM L1D and shared
+//!   memory and the device-wide L2/DRAM.
+//!
+//! Idle stretches (every warp waiting on memory) are skipped by jumping to
+//! the next completion event; the result is cycle-exact with respect to the
+//! non-skipping loop.
+//!
+//! The simulator's shading is *functionally exact*: it reuses
+//! [`crate::driver`], so the image it produces is bit-identical to the
+//! functional renderer's — asserted by integration tests.
+
+use crate::config::SimConfig;
+use crate::driver::{self, PathState, ACCUM_COST, RAYGEN_COST, SHADE_COST};
+use crate::render::PreparedScene;
+use sms_bvh::DepthRecorder;
+use sms_geom::{Ray, Vec3};
+use sms_gpu::{SimStats, WarpId, WARP_SIZE};
+use sms_mem::{
+    coalesce_lines, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1, SHADE_BASE_ADDR,
+};
+use sms_rtunit::{RayQuery, RtUnit, RtUnitConfig, ThreadTraceRecorder, TraceRequest, TraceResult};
+use std::collections::VecDeque;
+
+/// Base address of the framebuffer (radiance accumulation) region.
+const FRAMEBUFFER_BASE: u64 = 0xE000_0000;
+
+/// Where a warp is in the PT kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    /// Ray-generation compute phase.
+    GenCompute,
+    /// Main (nearest-hit) trace in the RT unit.
+    MainTrace,
+    /// Shading compute phase.
+    ShadeCompute,
+    /// Material loads in flight.
+    ShadeMem,
+    /// Shadow (occlusion) trace in the RT unit.
+    ShadowTrace,
+    /// Accumulation compute phase.
+    AccumCompute,
+    /// Kernel complete.
+    Finished,
+}
+
+#[derive(Debug, Clone)]
+enum Phase {
+    Compute { remaining: u32 },
+    WaitMem { done: Cycle },
+    TraceWait,
+    InRt,
+    Done,
+}
+
+#[derive(Debug)]
+struct WarpCtx {
+    id: WarpId,
+    paths: Vec<PathState>,
+    /// Current radiance ray per lane.
+    rays: Vec<Option<Ray>>,
+    /// Pending shadow query and its gated contribution per lane.
+    shadow: Vec<Option<(RayQuery, Vec3)>>,
+    /// Next bounce ray per lane.
+    bounce: Vec<Option<Ray>>,
+    /// Material record addresses to load during `ShadeMem`.
+    mat_loads: Vec<u64>,
+    /// Which lanes are real threads (the last warp may be partial).
+    real: Vec<bool>,
+    step: Step,
+    phase: Phase,
+    /// Lanes participating in the current phase (instruction accounting).
+    active: u32,
+    pending_req: Option<TraceRequest>,
+}
+
+struct Sm {
+    l1: SmL1,
+    shared: SharedMem,
+    rt: RtUnit,
+    warps: Vec<WarpCtx>,
+    pending: VecDeque<WarpCtx>,
+    done_warps: u64,
+    total_warps: u64,
+}
+
+/// Result of one cycle-level run.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// Aggregated counters (cycles, instructions, traffic, stack events).
+    pub stats: SimStats,
+    /// The rendered image (bit-identical to the functional renderer).
+    pub image: Vec<Vec3>,
+    /// Image width.
+    pub width: u32,
+    /// Image height.
+    pub height: u32,
+    /// Stack-depth histogram (when `config.record_depths`).
+    pub depths: DepthRecorder,
+    /// Per-thread stack traces (when `config.trace_warp_limit > 0`).
+    pub thread_traces: Vec<(WarpId, u8, u32, u16)>,
+}
+
+/// The cycle-level GPU model.
+pub struct GpuSim<'a> {
+    prepared: &'a PreparedScene,
+    config: SimConfig,
+    record_depths: bool,
+    trace_warp_limit: u32,
+}
+
+impl<'a> GpuSim<'a> {
+    /// Creates a simulator for a prepared scene.
+    pub fn new(prepared: &'a PreparedScene, config: SimConfig) -> Self {
+        GpuSim { prepared, config, record_depths: false, trace_warp_limit: 0 }
+    }
+
+    /// Records stack depths at every push/pop (Figs. 4/5, slight overhead).
+    pub fn record_depths(mut self, on: bool) -> Self {
+        self.record_depths = on;
+        self
+    }
+
+    /// Records per-thread depth traces for warps below `limit` (Fig. 10).
+    pub fn trace_warps(mut self, limit: u32) -> Self {
+        self.trace_warp_limit = limit;
+        self
+    }
+
+    /// Runs the workload to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model deadlocks (a bug) or exceeds a hard cycle cap.
+    pub fn run(self) -> SimRun {
+        let scene = &self.prepared.scene;
+        let (w, h, spp) = self.config.render.workload(scene.id);
+        let total_threads = (w * h * spp) as usize;
+        let num_warps = total_threads.div_ceil(WARP_SIZE);
+        let gpu = &self.config.gpu;
+
+        // Build all warps and distribute round-robin over SMs.
+        let mut sms: Vec<Sm> = (0..gpu.num_sms)
+            .map(|_| {
+                let mut rt_cfg = RtUnitConfig::new(self.config.stack);
+                rt_cfg.max_warps = gpu.max_warps_per_rt_unit;
+                rt_cfg.box_latency = gpu.box_latency;
+                rt_cfg.tri_latency = gpu.tri_latency;
+                rt_cfg.record_depths = self.record_depths;
+                let mut rt = RtUnit::new(rt_cfg);
+                if self.trace_warp_limit > 0 {
+                    rt.thread_traces = Some(ThreadTraceRecorder::new(self.trace_warp_limit));
+                }
+                Sm {
+                    l1: SmL1::new(gpu.l1),
+                    shared: SharedMem::new(gpu.shared),
+                    rt,
+                    warps: Vec::new(),
+                    pending: VecDeque::new(),
+                    done_warps: 0,
+                    total_warps: 0,
+                }
+            })
+            .collect();
+
+        for wid in 0..num_warps {
+            let mut paths = Vec::with_capacity(WARP_SIZE);
+            for lane in 0..WARP_SIZE {
+                let t = wid * WARP_SIZE + lane;
+                if t < total_threads {
+                    let pixel = (t as u32) / spp;
+                    let sample = (t as u32) % spp;
+                    paths.push(PathState::new(
+                        pixel % w,
+                        pixel / w,
+                        sample,
+                        self.config.render.seed,
+                    ));
+                } else {
+                    let mut dead = PathState::new(0, 0, 0, self.config.render.seed);
+                    dead.alive = false;
+                    paths.push(dead);
+                }
+            }
+            let real: Vec<bool> = paths.iter().map(|p| p.alive).collect();
+            let active = real.iter().filter(|&&r| r).count() as u32;
+            let ctx = WarpCtx {
+                id: wid as WarpId,
+                paths,
+                real,
+                rays: vec![None; WARP_SIZE],
+                shadow: vec![None; WARP_SIZE],
+                bounce: vec![None; WARP_SIZE],
+                mat_loads: Vec::new(),
+                step: Step::GenCompute,
+                phase: Phase::Compute { remaining: RAYGEN_COST },
+                active,
+                pending_req: None,
+            };
+            sms[wid % gpu.num_sms].pending.push_back(ctx);
+        }
+        for sm in &mut sms {
+            sm.total_warps = sm.pending.len() as u64;
+            while sm.warps.len() < gpu.resident_warps_per_sm {
+                match sm.pending.pop_front() {
+                    Some(wc) => sm.warps.push(wc),
+                    None => break,
+                }
+            }
+        }
+
+        let mut global = GlobalMemory::new(gpu.global);
+        let mut stats = SimStats::default();
+        let mut image = vec![Vec3::ZERO; (w * h) as usize];
+        let mut now: Cycle = 0;
+        let bvh = &self.prepared.bvh;
+        let prims = self.prepared.prims();
+        let max_depth = self.config.render.max_depth;
+        let shadow_on = self.config.render.shadow_rays;
+        let resident_cap = gpu.resident_warps_per_sm;
+        let issue_width = gpu.issue_width;
+
+        loop {
+            for sm in &mut sms {
+                // 1. RT unit cycle; process retiring traces.
+                let results =
+                    sm.rt.tick(now, bvh, prims, &mut sm.l1, &mut sm.shared, &mut global, &mut stats);
+                for res in results {
+                    let warp = sm
+                        .warps
+                        .iter_mut()
+                        .find(|wc| wc.id == res.warp)
+                        .expect("retired warp resident");
+                    Self::on_trace_result(warp, &res, scene, max_depth, shadow_on);
+                    Self::advance_after_trace(warp, scene);
+                }
+
+                // 2. Memory-wait completions.
+                for warp in &mut sm.warps {
+                    if let Phase::WaitMem { done } = warp.phase {
+                        if done <= now {
+                            Self::after_shade_mem(warp, scene);
+                        }
+                    }
+                }
+
+                // 3. Trace admission (oldest first).
+                sm.warps.sort_by_key(|wc| wc.id);
+                for warp in &mut sm.warps {
+                    if matches!(warp.phase, Phase::TraceWait) && sm.rt.has_free_slot() {
+                        let req = warp.pending_req.take().expect("TraceWait has a request");
+                        sm.rt.try_admit(req, &mut stats).expect("slot checked free");
+                        warp.phase = Phase::InRt;
+                    }
+                }
+
+                // 4. Compute issue: up to issue_width warps, oldest first.
+                let mut issued = 0;
+                for warp in &mut sm.warps {
+                    if issued >= issue_width {
+                        break;
+                    }
+                    if let Phase::Compute { remaining } = &mut warp.phase {
+                        *remaining -= 1;
+                        stats.thread_instructions += warp.active as u64;
+                        issued += 1;
+                        if *remaining == 0 {
+                            Self::on_compute_done(
+                                warp,
+                                scene,
+                                now,
+                                &mut sm.l1,
+                                &mut global,
+                                &mut image,
+                            );
+                        }
+                    }
+                }
+
+                // 5. Retire finished warps; pull in pending ones.
+                let mut i = 0;
+                while i < sm.warps.len() {
+                    if matches!(sm.warps[i].phase, Phase::Done) {
+                        let _ = sm.warps.swap_remove(i);
+                        sm.done_warps += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                while sm.warps.len() < resident_cap {
+                    match sm.pending.pop_front() {
+                        Some(wc) => sm.warps.push(wc),
+                        None => break,
+                    }
+                }
+            }
+            if sms.iter().all(|sm| sm.done_warps == sm.total_warps) {
+                break;
+            }
+
+            // Advance time: step by one while anything is issuable, else
+            // jump to the next completion event.
+            let mut issuable = false;
+            let mut next: Option<Cycle> = None;
+            for sm in &sms {
+                if sm.rt.has_issuable() {
+                    issuable = true;
+                }
+                if let Some(c) = sm.rt.next_completion() {
+                    next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+                }
+                for warp in &sm.warps {
+                    match &warp.phase {
+                        Phase::Compute { .. } => issuable = true,
+                        Phase::TraceWait => {
+                            if sm.rt.has_free_slot() {
+                                issuable = true;
+                            }
+                        }
+                        Phase::WaitMem { done } => {
+                            next = Some(next.map_or(*done, |n: Cycle| n.min(*done)));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            now = if issuable {
+                now + 1
+            } else {
+                match next {
+                    Some(c) => c.max(now + 1),
+                    None => {
+                        for (i, sm) in sms.iter().enumerate() {
+                            eprintln!(
+                                "SM{i}: done {}/{} rt_busy={} rt_issuable={} rt_next={:?}",
+                                sm.done_warps,
+                                sm.total_warps,
+                                sm.rt.busy_warps(),
+                                sm.rt.has_issuable(),
+                                sm.rt.next_completion()
+                            );
+                            for w in &sm.warps {
+                                eprintln!("  warp {} step {:?} phase {:?}", w.id, w.step, w.phase);
+                            }
+                        }
+                        panic!("simulator deadlock at cycle {now}")
+                    }
+                }
+            };
+            assert!(now < 1 << 40, "cycle cap exceeded — runaway simulation");
+        }
+
+        stats.cycles = now;
+        let mut depths = DepthRecorder::new();
+        let mut thread_traces = Vec::new();
+        for sm in sms {
+            stats.mem.merge(&sm.l1.stats);
+            depths.merge(&sm.rt.depth_recorder);
+            if let Some(tr) = sm.rt.thread_traces {
+                thread_traces.extend(tr.samples);
+            }
+        }
+        stats.mem.merge(&global.stats);
+        SimRun { stats, image, width: w, height: h, depths, thread_traces }
+    }
+
+    /// Consumes a trace result: shading (main) or shadow application.
+    fn on_trace_result(
+        warp: &mut WarpCtx,
+        res: &TraceResult,
+        scene: &sms_scene::Scene,
+        max_depth: u32,
+        shadow_on: bool,
+    ) {
+        match warp.step {
+            Step::MainTrace => {
+                warp.mat_loads.clear();
+                for lane in 0..WARP_SIZE {
+                    let Some(ray) = warp.rays[lane] else { continue };
+                    let hit = res.hits[lane];
+                    if let Some(h) = hit {
+                        // Fetch the hit primitive's shading record (normals,
+                        // uvs, material id): divergent per-lane addresses,
+                        // as in a real PT hit shader.
+                        warp.mat_loads.push(SHADE_BASE_ADDR + h.prim as u64 * 64);
+                    }
+                    let path = &mut warp.paths[lane];
+                    let out = driver::shade(scene, path, &ray, hit, max_depth, shadow_on);
+                    warp.shadow[lane] = out.shadow;
+                    warp.bounce[lane] = out.bounce;
+                }
+            }
+            Step::ShadowTrace => {
+                for lane in 0..WARP_SIZE {
+                    if let Some((_, contrib)) = warp.shadow[lane].take() {
+                        driver::apply_shadow(&mut warp.paths[lane], contrib, res.occluded[lane]);
+                    }
+                }
+            }
+            _ => unreachable!("trace result in step {:?}", warp.step),
+        }
+    }
+
+    /// Decides what follows a completed trace.
+    fn advance_after_trace(warp: &mut WarpCtx, _scene: &sms_scene::Scene) {
+        match warp.step {
+            Step::MainTrace => {
+                warp.step = Step::ShadeCompute;
+                warp.phase = Phase::Compute { remaining: SHADE_COST };
+            }
+            Step::ShadowTrace => {
+                warp.step = Step::AccumCompute;
+                warp.phase = Phase::Compute { remaining: ACCUM_COST };
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// A compute phase finished: issue follow-up memory or traces.
+    fn on_compute_done(
+        warp: &mut WarpCtx,
+        scene: &sms_scene::Scene,
+        now: Cycle,
+        l1: &mut SmL1,
+        global: &mut GlobalMemory,
+        image: &mut [Vec3],
+    ) {
+        match warp.step {
+            Step::GenCompute => {
+                for lane in 0..WARP_SIZE {
+                    warp.rays[lane] = if warp.paths[lane].alive {
+                        Some(warp.paths[lane].primary_ray(scene))
+                    } else {
+                        None
+                    };
+                }
+                Self::request_main_trace(warp);
+            }
+            Step::ShadeCompute => {
+                if warp.mat_loads.is_empty() {
+                    Self::after_shade_mem(warp, scene);
+                } else {
+                    let mut done = now + 1;
+                    let loads: Vec<(u64, u32)> =
+                        warp.mat_loads.iter().map(|&a| (a, 64)).collect();
+                    for line in coalesce_lines(loads) {
+                        done = done.max(l1.access_line(global, line, AccessKind::Load, now, false));
+                    }
+                    warp.step = Step::ShadeMem;
+                    warp.phase = Phase::WaitMem { done };
+                }
+            }
+            Step::AccumCompute => {
+                Self::after_accum(warp, scene, now, l1, global, image);
+            }
+            _ => unreachable!("compute completion in step {:?}", warp.step),
+        }
+    }
+
+    /// Material loads returned (or were skipped): shadow trace or accumulate.
+    fn after_shade_mem(warp: &mut WarpCtx, _scene: &sms_scene::Scene) {
+        let any_shadow = warp.shadow.iter().any(Option::is_some);
+        if any_shadow {
+            let rays: Vec<Option<RayQuery>> =
+                warp.shadow.iter().map(|s| s.as_ref().map(|(q, _)| *q)).collect();
+            warp.active = rays.iter().filter(|r| r.is_some()).count() as u32;
+            warp.pending_req = Some(TraceRequest::new(warp.id, rays));
+            warp.step = Step::ShadowTrace;
+            warp.phase = Phase::TraceWait;
+        } else {
+            warp.step = Step::AccumCompute;
+            warp.phase = Phase::Compute { remaining: ACCUM_COST };
+        }
+    }
+
+    /// Accumulation finished: bounce or retire the warp.
+    fn after_accum(
+        warp: &mut WarpCtx,
+        scene: &sms_scene::Scene,
+        now: Cycle,
+        l1: &mut SmL1,
+        global: &mut GlobalMemory,
+        image: &mut [Vec3],
+    ) {
+        let mut any = false;
+        for lane in 0..WARP_SIZE {
+            warp.rays[lane] = warp.bounce[lane].take();
+            any |= warp.rays[lane].is_some();
+        }
+        if any {
+            Self::request_main_trace(warp);
+        } else {
+            // Write radiance to the framebuffer (posted stores) and retire.
+            let w = scene.camera.width;
+            let stores: Vec<(u64, u32)> = warp
+                .paths
+                .iter()
+                .zip(&warp.real)
+                .filter(|(_, &real)| real)
+                .map(|(p, _)| (FRAMEBUFFER_BASE + (p.py * w + p.px) as u64 * 16, 16u32))
+                .collect();
+            for line in coalesce_lines(stores) {
+                let _ = l1.access_line(global, line, AccessKind::Store, now, false);
+            }
+            for (p, &real) in warp.paths.iter().zip(&warp.real) {
+                if real {
+                    image[(p.py * w + p.px) as usize] += p.radiance;
+                }
+            }
+            warp.step = Step::Finished;
+            warp.phase = Phase::Done;
+        }
+    }
+
+    fn request_main_trace(warp: &mut WarpCtx) {
+        let rays: Vec<Option<RayQuery>> = warp
+            .rays
+            .iter()
+            .map(|r| r.map(|ray| RayQuery::nearest(ray, 0.0)))
+            .collect();
+        warp.active = rays.iter().filter(|r| r.is_some()).count() as u32;
+        warp.pending_req = Some(TraceRequest::new(warp.id, rays));
+        warp.step = Step::MainTrace;
+        warp.phase = Phase::TraceWait;
+    }
+}
+
+/// Runs the workload and divides the framebuffer by the sample count,
+/// yielding the same image as [`crate::render::render`].
+pub fn run_to_image(prepared: &PreparedScene, config: &SimConfig) -> SimRun {
+    let mut run = GpuSim::new(prepared, *config).run();
+    let spp = config.render.spp(prepared.scene.id) as f32;
+    for px in &mut run.image {
+        *px /= spp;
+    }
+    run
+}

@@ -1,0 +1,46 @@
+//! Determinism and multi-sample correctness of the cycle simulator.
+
+use sms_sim::config::{RenderConfig, SimConfig};
+use sms_sim::render::{render, PreparedScene};
+use sms_sim::rtunit::StackConfig;
+use sms_sim::scene::SceneId;
+use sms_sim::sim::run_to_image;
+
+#[test]
+fn custom_workload_with_multiple_samples_matches_reference() {
+    // spp = 2 exercises the framebuffer sample-normalization path.
+    let cfg = RenderConfig::custom(12, 12, 2);
+    let prepared = PreparedScene::build(SceneId::Bunny, &cfg);
+    let reference = render(&prepared, &cfg);
+    let sim = run_to_image(&prepared, &SimConfig::with_stack(StackConfig::sms_default(), cfg));
+    assert_eq!(sim.width, 12);
+    for (i, (a, b)) in sim.image.iter().zip(&reference.image).enumerate() {
+        assert!((*a - *b).length() < 1e-5, "pixel {i}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn identical_configs_identical_cycles() {
+    let cfg = RenderConfig::tiny();
+    let prepared = PreparedScene::build(SceneId::Crnvl, &cfg);
+    let sim_cfg = SimConfig::with_stack(StackConfig::sms_default(), cfg);
+    let a = sms_sim::GpuSim::new(&prepared, sim_cfg).run();
+    let b = sms_sim::GpuSim::new(&prepared, sim_cfg).run();
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.mem, b.stats.mem);
+    assert_eq!(a.image, b.image);
+}
+
+#[test]
+fn different_seeds_change_work_but_not_determinism() {
+    let mut cfg_a = RenderConfig::tiny();
+    cfg_a.seed = 1;
+    let mut cfg_b = RenderConfig::tiny();
+    cfg_b.seed = 2;
+    let pa = PreparedScene::build(SceneId::Ship, &cfg_a);
+    let ra = render(&pa, &cfg_a);
+    let rb = render(&pa, &cfg_b);
+    // Bounce directions differ; primary ray jitter comes from the camera's
+    // own stream, so ray counts can match but radiance must differ.
+    assert_ne!(ra.image, rb.image);
+}

@@ -1,0 +1,239 @@
+//! Axis-aligned bounding boxes.
+
+use crate::{Ray, Vec3};
+use std::fmt;
+
+/// An axis-aligned bounding box, the bounding volume used by every node of
+/// the BVH (the paper's acceleration structure, §II-A).
+///
+/// The canonical *empty* box has `min = +inf`, `max = -inf` so that unions
+/// behave as expected.
+///
+/// # Example
+///
+/// ```
+/// use sms_geom::{Aabb, Ray, Vec3};
+/// let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+/// let r = Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::new(0.0, 0.0, 1.0));
+/// let t = b.intersect(&r, 0.0, f32::INFINITY).expect("hits the box");
+/// assert!((t - 1.0).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::EMPTY
+    }
+}
+
+impl Aabb {
+    /// The empty box (union identity).
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3::splat(f32::INFINITY),
+        max: Vec3::splat(f32::NEG_INFINITY),
+    };
+
+    /// Creates a box from its corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any `min` component exceeds the matching
+    /// `max` component (use [`Aabb::EMPTY`] for the empty box).
+    #[inline]
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        debug_assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "inverted AABB {min:?}..{max:?}"
+        );
+        Aabb { min, max }
+    }
+
+    /// The box containing a single point.
+    #[inline]
+    pub fn from_point(p: Vec3) -> Self {
+        Aabb { min: p, max: p }
+    }
+
+    /// The smallest box containing both inputs.
+    #[inline]
+    pub fn union(a: &Aabb, b: &Aabb) -> Aabb {
+        Aabb { min: a.min.min(b.min), max: a.max.max(b.max) }
+    }
+
+    /// Grows the box (in place) to contain `p`.
+    #[inline]
+    pub fn grow_point(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Grows the box (in place) to contain `other`.
+    #[inline]
+    pub fn grow(&mut self, other: &Aabb) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// `true` when the box contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// The box diagonal (`max - min`); zero or negative components mean an
+    /// empty box.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Center of the box.
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Surface area; `0.0` for empty boxes. Used by the SAH builder.
+    #[inline]
+    pub fn surface_area(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// `true` when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.y >= self.min.y
+            && p.z >= self.min.z
+            && p.x <= self.max.x
+            && p.y <= self.max.y
+            && p.z <= self.max.z
+    }
+
+    /// `true` when `other` lies fully inside `self`.
+    #[inline]
+    pub fn contains(&self, other: &Aabb) -> bool {
+        other.is_empty()
+            || (self.contains_point(other.min) && self.contains_point(other.max))
+    }
+
+    /// Ray/box slab test.
+    ///
+    /// Returns the entry parameter `t` clamped to `t_min` when the ray
+    /// segment `[t_min, t_max]` overlaps the box, or `None` otherwise.
+    /// This is the kernel executed by the RT unit's ray-box operation unit.
+    #[inline]
+    pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<f32> {
+        let t0 = (self.min - ray.origin).mul_elem(ray.inv_dir);
+        let t1 = (self.max - ray.origin).mul_elem(ray.inv_dir);
+        let t_near = t0.min(t1);
+        let t_far = t0.max(t1);
+        let enter = t_near.max_component().max(t_min);
+        let exit = t_far.min_component().min(t_max);
+        if enter <= exit {
+            Some(enter)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Aabb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> Aabb {
+        Aabb::new(Vec3::ZERO, Vec3::ONE)
+    }
+
+    #[test]
+    fn empty_box_properties() {
+        let e = Aabb::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.surface_area(), 0.0);
+        assert_eq!(Aabb::default(), e);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let b = unit_box();
+        assert_eq!(Aabb::union(&b, &Aabb::EMPTY), b);
+        assert_eq!(Aabb::union(&Aabb::EMPTY, &b), b);
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        let b = Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0));
+        let u = Aabb::union(&a, &b);
+        assert!(u.contains(&a));
+        assert!(u.contains(&b));
+    }
+
+    #[test]
+    fn surface_area_of_unit_cube() {
+        assert_eq!(unit_box().surface_area(), 6.0);
+    }
+
+    #[test]
+    fn ray_hits_and_misses() {
+        let b = unit_box();
+        let hit = Ray::new(Vec3::new(0.5, 0.5, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        let miss = Ray::new(Vec3::new(2.0, 2.0, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(b.intersect(&hit, 0.0, f32::INFINITY).is_some());
+        assert!(b.intersect(&miss, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn ray_starting_inside_returns_t_min() {
+        let b = unit_box();
+        let r = Ray::new(Vec3::splat(0.5), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(b.intersect(&r, 0.0, f32::INFINITY), Some(0.0));
+    }
+
+    #[test]
+    fn ray_respects_t_max() {
+        let b = unit_box();
+        let r = Ray::new(Vec3::new(0.5, 0.5, -10.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(b.intersect(&r, 0.0, 5.0).is_none());
+        assert!(b.intersect(&r, 0.0, 20.0).is_some());
+    }
+
+    #[test]
+    fn axis_parallel_ray_outside_slab_misses() {
+        let b = unit_box();
+        // Parallel to x, y outside the box: inv_dir has infinities.
+        let r = Ray::new(Vec3::new(-1.0, 2.0, 0.5), Vec3::new(1.0, 0.0, 0.0));
+        assert!(b.intersect(&r, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn grow_point_expands() {
+        let mut b = Aabb::from_point(Vec3::ZERO);
+        b.grow_point(Vec3::ONE);
+        assert_eq!(b, unit_box());
+    }
+
+    #[test]
+    fn centroid_and_extent() {
+        let b = unit_box();
+        assert_eq!(b.centroid(), Vec3::splat(0.5));
+        assert_eq!(b.extent(), Vec3::ONE);
+    }
+}

@@ -1,0 +1,82 @@
+//! Orthonormal bases for transforming sampled directions into world space.
+
+use crate::Vec3;
+
+/// An orthonormal basis `(u, v, w)` with `w` aligned to a given normal.
+///
+/// Built with the branchless Duff et al. construction.
+///
+/// # Example
+///
+/// ```
+/// use sms_geom::{Onb, Vec3};
+/// let onb = Onb::from_w(Vec3::new(0.0, 1.0, 0.0));
+/// let world = onb.to_world(Vec3::new(0.0, 0.0, 1.0));
+/// assert!((world - Vec3::new(0.0, 1.0, 0.0)).length() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Onb {
+    /// First tangent.
+    pub u: Vec3,
+    /// Second tangent.
+    pub v: Vec3,
+    /// The normal direction the basis was built from.
+    pub w: Vec3,
+}
+
+impl Onb {
+    /// Builds a basis whose `w` axis is the unit vector `w`.
+    #[inline]
+    pub fn from_w(w: Vec3) -> Self {
+        let sign = if w.z >= 0.0 { 1.0 } else { -1.0 };
+        let a = -1.0 / (sign + w.z);
+        let b = w.x * w.y * a;
+        let u = Vec3::new(1.0 + sign * w.x * w.x * a, sign * b, -sign * w.x);
+        let v = Vec3::new(b, sign + w.y * w.y * a, -w.y);
+        Onb { u, v, w }
+    }
+
+    /// Transforms a local-frame vector (z = normal) into world space.
+    #[inline]
+    pub fn to_world(&self, local: Vec3) -> Vec3 {
+        self.u * local.x + self.v * local.y + self.w * local.z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{DeterministicRng, SplitMix64};
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..200 {
+            let w = rng.unit_vector();
+            let onb = Onb::from_w(w);
+            assert!(onb.u.dot(onb.v).abs() < 1e-5);
+            assert!(onb.u.dot(onb.w).abs() < 1e-5);
+            assert!(onb.v.dot(onb.w).abs() < 1e-5);
+            assert!((onb.u.length() - 1.0).abs() < 1e-5);
+            assert!((onb.v.length() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn z_maps_to_w() {
+        let mut rng = SplitMix64::new(12);
+        for _ in 0..50 {
+            let w = rng.unit_vector();
+            let onb = Onb::from_w(w);
+            let mapped = onb.to_world(Vec3::new(0.0, 0.0, 1.0));
+            assert!((mapped - w).length() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_down_axis() {
+        let onb = Onb::from_w(Vec3::new(0.0, 0.0, -1.0));
+        assert!(onb.u.is_finite());
+        assert!(onb.v.is_finite());
+    }
+}

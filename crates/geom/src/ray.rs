@@ -1,0 +1,67 @@
+//! Rays with precomputed reciprocal direction for slab tests.
+
+use crate::Vec3;
+
+/// A ray `origin + t * dir`.
+///
+/// The reciprocal direction is precomputed once at construction so that
+/// ray-AABB slab tests (the hottest kernel in BVH traversal) need only
+/// multiplications.
+///
+/// # Example
+///
+/// ```
+/// use sms_geom::{Ray, Vec3};
+/// let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 2.0));
+/// // Direction is normalized on construction.
+/// assert!((r.dir.length() - 1.0).abs() < 1e-6);
+/// assert_eq!(r.at(3.0), Vec3::new(0.0, 0.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub dir: Vec3,
+    /// Component-wise reciprocal of `dir` (may contain infinities).
+    pub inv_dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray, normalizing `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `dir` has near-zero length.
+    #[inline]
+    pub fn new(origin: Vec3, dir: Vec3) -> Self {
+        let dir = dir.normalized();
+        Ray { origin, dir, inv_dir: dir.recip() }
+    }
+
+    /// The point at parameter `t` along the ray.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_advances_along_direction() {
+        let r = Ray::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(r.at(0.0), r.origin);
+        assert_eq!(r.at(2.5), Vec3::new(3.5, 2.0, 3.0));
+    }
+
+    #[test]
+    fn direction_is_normalized() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 10.0, 0.0));
+        assert_eq!(r.dir, Vec3::new(0.0, 1.0, 0.0));
+        assert_eq!(r.inv_dir.y, 1.0);
+        assert!(r.inv_dir.x.is_infinite());
+    }
+}

@@ -1,0 +1,226 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic choice in the reproduction (scene generation, path
+//! tracing bounce directions, Russian roulette) flows from counter-based
+//! generators seeded explicitly, so a simulation run is a pure function of
+//! its configuration. This is what lets the benches assert that traversal
+//! work is *identical* across stack configurations and IPC ratios reduce to
+//! cycle ratios, as in the paper's normalized plots.
+
+/// The SplitMix64 mixing function.
+///
+/// Used both as a standalone generator and to derive stream seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, deterministic PRNG (SplitMix64 stream).
+///
+/// # Example
+///
+/// ```
+/// use sms_geom::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let f = a.next_f32();
+/// assert!((0.0..1.0).contains(&f));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derives an independent stream keyed by `(seed, a, b, c)`.
+    ///
+    /// Used to give each `(pixel, sample, bounce)` its own stream.
+    #[inline]
+    pub fn from_key(seed: u64, a: u64, b: u64, c: u64) -> Self {
+        let mut s = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        s ^= b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        s ^= c.wrapping_mul(0x1656_67B1_9E37_79F9);
+        // One mixing round to decorrelate nearby keys.
+        let mut st = s;
+        let _ = splitmix64(&mut st);
+        SplitMix64 { state: st }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// The next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform float in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / 16_777_216.0)
+    }
+
+    /// A uniform float in `[lo, hi)`.
+    #[inline]
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Multiplicative range reduction; bias is negligible for our n.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Extension methods for sampling geometric quantities.
+///
+/// This trait is sealed: it exists to group the sampling helpers on
+/// [`SplitMix64`] and is not meant to be implemented downstream.
+pub trait DeterministicRng: private::Sealed {
+    /// A uniformly distributed unit vector.
+    fn unit_vector(&mut self) -> crate::Vec3;
+    /// A cosine-weighted direction around +Z (local frame).
+    fn cosine_hemisphere(&mut self) -> crate::Vec3;
+    /// A uniform point in the unit disk (z = 0).
+    fn in_unit_disk(&mut self) -> crate::Vec3;
+}
+
+impl DeterministicRng for SplitMix64 {
+    fn unit_vector(&mut self) -> crate::Vec3 {
+        // Marsaglia via spherical coordinates: deterministic and branch-free.
+        let z = self.range_f32(-1.0, 1.0);
+        let phi = self.range_f32(0.0, core::f32::consts::TAU);
+        let r = (1.0 - z * z).max(0.0).sqrt();
+        crate::Vec3::new(r * phi.cos(), r * phi.sin(), z)
+    }
+
+    fn cosine_hemisphere(&mut self) -> crate::Vec3 {
+        let r1 = self.next_f32();
+        let r2 = self.next_f32();
+        let phi = core::f32::consts::TAU * r1;
+        let r = r2.sqrt();
+        let z = (1.0 - r2).max(0.0).sqrt();
+        crate::Vec3::new(r * phi.cos(), r * phi.sin(), z)
+    }
+
+    fn in_unit_disk(&mut self) -> crate::Vec3 {
+        let r = self.next_f32().sqrt();
+        let phi = core::f32::consts::TAU * self.next_f32();
+        crate::Vec3::new(r * phi.cos(), r * phi.sin(), 0.0)
+    }
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for super::SplitMix64 {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn keyed_streams_decorrelate() {
+        let a = SplitMix64::from_key(0, 1, 0, 0);
+        let b = SplitMix64::from_key(0, 0, 1, 0);
+        let c = SplitMix64::from_key(0, 0, 0, 1);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn floats_in_range() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let f = r.next_f32();
+            assert!((0.0..1.0).contains(&f));
+            let g = r.range_f32(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = SplitMix64::new(4);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+        // Each residue is eventually produced.
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_vector_is_unit_length() {
+        use super::DeterministicRng;
+        let mut r = SplitMix64::new(5);
+        for _ in 0..100 {
+            let v = r.unit_vector();
+            assert!((v.length() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cosine_hemisphere_above_plane() {
+        use super::DeterministicRng;
+        let mut r = SplitMix64::new(6);
+        for _ in 0..100 {
+            let v = r.cosine_hemisphere();
+            assert!(v.z >= 0.0);
+            assert!((v.length() - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn unit_disk_inside() {
+        use super::DeterministicRng;
+        let mut r = SplitMix64::new(8);
+        for _ in 0..100 {
+            let v = r.in_unit_disk();
+            assert!(v.length() <= 1.0 + 1e-6);
+            assert_eq!(v.z, 0.0);
+        }
+    }
+}

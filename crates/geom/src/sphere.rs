@@ -1,0 +1,131 @@
+//! Analytic sphere primitive.
+//!
+//! The WKND scene in the paper's benchmark table has zero triangles — it is
+//! the "Ray Tracing in One Weekend" sphere scene, using procedural sphere
+//! primitives. We support spheres as first-class leaf primitives so that
+//! workload can be reproduced.
+
+use crate::{Aabb, Ray, Vec3};
+
+/// An analytic sphere primitive.
+///
+/// # Example
+///
+/// ```
+/// use sms_geom::{Ray, Sphere, Vec3};
+/// let s = Sphere::new(Vec3::new(0.0, 0.0, 5.0), 1.0);
+/// let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+/// let t = s.intersect(&r, 0.0, f32::INFINITY).expect("hits");
+/// assert!((t - 4.0).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    /// Center point.
+    pub center: Vec3,
+    /// Radius (must be positive).
+    pub radius: f32,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `radius` is not positive and finite.
+    #[inline]
+    pub fn new(center: Vec3, radius: f32) -> Self {
+        debug_assert!(radius > 0.0 && radius.is_finite(), "bad radius {radius}");
+        Sphere { center, radius }
+    }
+
+    /// Tight bounding box.
+    #[inline]
+    pub fn aabb(&self) -> Aabb {
+        let r = Vec3::splat(self.radius);
+        Aabb::new(self.center - r, self.center + r)
+    }
+
+    /// Outward unit normal at a surface point `p`.
+    #[inline]
+    pub fn normal_at(&self, p: Vec3) -> Vec3 {
+        (p - self.center) / self.radius
+    }
+
+    /// Nearest intersection parameter in `[t_min, t_max]`, if any.
+    ///
+    /// Rays starting inside the sphere report the exit point.
+    #[inline]
+    pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<f32> {
+        let oc = ray.origin - self.center;
+        // dir is unit length, so a == 1.
+        let half_b = oc.dot(ray.dir);
+        let c = oc.length_squared() - self.radius * self.radius;
+        let disc = half_b * half_b - c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sqrt_d = disc.sqrt();
+        let t0 = -half_b - sqrt_d;
+        if t0 >= t_min && t0 <= t_max {
+            return Some(t0);
+        }
+        let t1 = -half_b + sqrt_d;
+        if t1 >= t_min && t1 <= t_max {
+            return Some(t1);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontal_hit_nearest_root() {
+        let s = Sphere::new(Vec3::new(0.0, 0.0, 5.0), 2.0);
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+        let t = s.intersect(&r, 0.0, f32::INFINITY).unwrap();
+        assert!((t - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inside_ray_reports_exit() {
+        let s = Sphere::new(Vec3::ZERO, 1.0);
+        let r = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        let t = s.intersect(&r, 1e-4, f32::INFINITY).unwrap();
+        assert!((t - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn tangent_and_miss() {
+        let s = Sphere::new(Vec3::new(0.0, 0.0, 5.0), 1.0);
+        let miss = Ray::new(Vec3::new(0.0, 3.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(s.intersect(&miss, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn respects_t_range() {
+        let s = Sphere::new(Vec3::new(0.0, 0.0, 5.0), 1.0);
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+        assert!(s.intersect(&r, 0.0, 3.0).is_none());
+        // Nearest root is behind t_min = 5.0, so the far root (t = 6) wins.
+        let far = s.intersect(&r, 5.0, f32::INFINITY).unwrap();
+        assert!((far - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn aabb_is_tight() {
+        let s = Sphere::new(Vec3::new(1.0, 2.0, 3.0), 0.5);
+        let b = s.aabb();
+        assert_eq!(b.min, Vec3::new(0.5, 1.5, 2.5));
+        assert_eq!(b.max, Vec3::new(1.5, 2.5, 3.5));
+    }
+
+    #[test]
+    fn normal_is_unit_and_outward() {
+        let s = Sphere::new(Vec3::ZERO, 2.0);
+        let n = s.normal_at(Vec3::new(2.0, 0.0, 0.0));
+        assert_eq!(n, Vec3::new(1.0, 0.0, 0.0));
+    }
+}

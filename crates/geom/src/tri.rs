@@ -1,0 +1,187 @@
+//! Triangle primitive and the Möller–Trumbore intersection kernel.
+
+use crate::{Aabb, Ray, Vec3};
+
+/// Result of a successful ray/triangle intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriHit {
+    /// Ray parameter at the hit point.
+    pub t: f32,
+    /// First barycentric coordinate.
+    pub u: f32,
+    /// Second barycentric coordinate.
+    pub v: f32,
+}
+
+/// A triangle, the basic scene primitive (the paper's scenes contain up to
+/// 20.6M of these; our procedural stand-ins scale that down).
+///
+/// # Example
+///
+/// ```
+/// use sms_geom::{Ray, Triangle, Vec3};
+/// let t = Triangle::new(
+///     Vec3::new(-1.0, -1.0, 0.0),
+///     Vec3::new(1.0, -1.0, 0.0),
+///     Vec3::new(0.0, 1.0, 0.0),
+/// );
+/// let r = Ray::new(Vec3::new(0.0, 0.0, -2.0), Vec3::new(0.0, 0.0, 1.0));
+/// assert!(t.intersect(&r, 0.0, f32::INFINITY).is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub v0: Vec3,
+    /// Second vertex.
+    pub v1: Vec3,
+    /// Third vertex.
+    pub v2: Vec3,
+}
+
+impl Triangle {
+    /// Creates a triangle from its vertices.
+    #[inline]
+    pub const fn new(v0: Vec3, v1: Vec3, v2: Vec3) -> Self {
+        Triangle { v0, v1, v2 }
+    }
+
+    /// The (unnormalized-safe) geometric normal; zero for degenerate
+    /// triangles.
+    #[inline]
+    pub fn normal(&self) -> Vec3 {
+        let n = (self.v1 - self.v0).cross(self.v2 - self.v0);
+        if n.length_squared() > 1e-20 {
+            n.normalized()
+        } else {
+            Vec3::ZERO
+        }
+    }
+
+    /// Triangle area.
+    #[inline]
+    pub fn area(&self) -> f32 {
+        (self.v1 - self.v0).cross(self.v2 - self.v0).length() * 0.5
+    }
+
+    /// Centroid (used by the SAH builder for binning).
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.v0 + self.v1 + self.v2) / 3.0
+    }
+
+    /// Tight bounding box.
+    #[inline]
+    pub fn aabb(&self) -> Aabb {
+        let mut b = Aabb::from_point(self.v0);
+        b.grow_point(self.v1);
+        b.grow_point(self.v2);
+        b
+    }
+
+    /// Möller–Trumbore ray/triangle test over the segment `[t_min, t_max]`.
+    ///
+    /// Back-face hits are reported (the path tracer treats surfaces as
+    /// two-sided, matching the Lumibench PT shader behaviour).
+    #[inline]
+    pub fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<TriHit> {
+        let e1 = self.v1 - self.v0;
+        let e2 = self.v2 - self.v0;
+        let p = ray.dir.cross(e2);
+        let det = e1.dot(p);
+        if det.abs() < 1e-12 {
+            return None; // Ray parallel to triangle plane.
+        }
+        let inv_det = 1.0 / det;
+        let s = ray.origin - self.v0;
+        let u = s.dot(p) * inv_det;
+        if !(0.0..=1.0).contains(&u) {
+            return None;
+        }
+        let q = s.cross(e1);
+        let v = ray.dir.dot(q) * inv_det;
+        if v < 0.0 || u + v > 1.0 {
+            return None;
+        }
+        let t = e2.dot(q) * inv_det;
+        if t >= t_min && t <= t_max {
+            Some(TriHit { t, u, v })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy_tri() -> Triangle {
+        Triangle::new(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn frontal_hit_has_correct_t_and_barycentrics() {
+        let t = xy_tri();
+        let r = Ray::new(Vec3::new(0.25, 0.25, -3.0), Vec3::new(0.0, 0.0, 1.0));
+        let h = t.intersect(&r, 0.0, f32::INFINITY).unwrap();
+        assert!((h.t - 3.0).abs() < 1e-5);
+        assert!((h.u - 0.25).abs() < 1e-5);
+        assert!((h.v - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backface_hit_is_reported() {
+        let t = xy_tri();
+        let r = Ray::new(Vec3::new(0.25, 0.25, 3.0), Vec3::new(0.0, 0.0, -1.0));
+        assert!(t.intersect(&r, 0.0, f32::INFINITY).is_some());
+    }
+
+    #[test]
+    fn miss_outside_edges() {
+        let t = xy_tri();
+        let r = Ray::new(Vec3::new(0.9, 0.9, -1.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(t.intersect(&r, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn parallel_ray_misses() {
+        let t = xy_tri();
+        let r = Ray::new(Vec3::new(0.0, 0.0, 1.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(t.intersect(&r, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn respects_t_range() {
+        let t = xy_tri();
+        let r = Ray::new(Vec3::new(0.25, 0.25, -3.0), Vec3::new(0.0, 0.0, 1.0));
+        assert!(t.intersect(&r, 0.0, 2.0).is_none());
+        assert!(t.intersect(&r, 3.5, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn aabb_contains_all_vertices() {
+        let t = xy_tri();
+        let b = t.aabb();
+        assert!(b.contains_point(t.v0));
+        assert!(b.contains_point(t.v1));
+        assert!(b.contains_point(t.v2));
+    }
+
+    #[test]
+    fn normal_and_area() {
+        let t = xy_tri();
+        assert_eq!(t.normal(), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(t.area(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_triangle_zero_normal() {
+        let t = Triangle::new(Vec3::ZERO, Vec3::ZERO, Vec3::ZERO);
+        assert_eq!(t.normal(), Vec3::ZERO);
+        assert_eq!(t.area(), 0.0);
+    }
+}

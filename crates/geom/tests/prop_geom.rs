@@ -1,0 +1,113 @@
+//! Property-based tests for the geometry kernels.
+
+use proptest::prelude::*;
+use sms_geom::{Aabb, Ray, Sphere, Triangle, Vec3};
+
+fn finite_f32(lo: f32, hi: f32) -> impl Strategy<Value = f32> {
+    (lo..hi).prop_filter("finite", |v: &f32| v.is_finite())
+}
+
+fn vec3(lo: f32, hi: f32) -> impl Strategy<Value = Vec3> {
+    (finite_f32(lo, hi), finite_f32(lo, hi), finite_f32(lo, hi))
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn dir() -> impl Strategy<Value = Vec3> {
+    vec3(-1.0, 1.0).prop_filter("nonzero", |v| v.length() > 0.1)
+}
+
+proptest! {
+    #[test]
+    fn aabb_union_is_commutative_and_contains(a_min in vec3(-100.0, 100.0),
+                                              a_ext in vec3(0.0, 50.0),
+                                              b_min in vec3(-100.0, 100.0),
+                                              b_ext in vec3(0.0, 50.0)) {
+        let a = Aabb::new(a_min, a_min + a_ext);
+        let b = Aabb::new(b_min, b_min + b_ext);
+        let u1 = Aabb::union(&a, &b);
+        let u2 = Aabb::union(&b, &a);
+        prop_assert_eq!(u1, u2);
+        prop_assert!(u1.contains(&a));
+        prop_assert!(u1.contains(&b));
+        // Union never shrinks surface area below either input.
+        prop_assert!(u1.surface_area() >= a.surface_area() * 0.999);
+        prop_assert!(u1.surface_area() >= b.surface_area() * 0.999);
+    }
+
+    #[test]
+    fn ray_hits_box_containing_origin(bmin in vec3(-10.0, 0.0),
+                                      ext in vec3(0.5, 5.0),
+                                      d in dir()) {
+        let b = Aabb::new(bmin, bmin + ext);
+        let r = Ray::new(b.centroid(), d);
+        prop_assert!(b.intersect(&r, 0.0, f32::INFINITY).is_some());
+    }
+
+    #[test]
+    fn ray_toward_box_center_hits(bmin in vec3(-10.0, 10.0),
+                                  ext in vec3(0.5, 5.0),
+                                  origin in vec3(-50.0, 50.0)) {
+        let b = Aabb::new(bmin, bmin + ext);
+        let c = b.centroid();
+        prop_assume!((c - origin).length() > 0.1);
+        let r = Ray::new(origin, c - origin);
+        prop_assert!(b.intersect(&r, 0.0, f32::INFINITY).is_some());
+    }
+
+    #[test]
+    fn triangle_hit_point_inside_its_aabb(v0 in vec3(-5.0, 5.0),
+                                          v1 in vec3(-5.0, 5.0),
+                                          v2 in vec3(-5.0, 5.0),
+                                          origin in vec3(-20.0, 20.0)) {
+        let t = Triangle::new(v0, v1, v2);
+        prop_assume!(t.area() > 1e-3);
+        let target = t.centroid();
+        prop_assume!((target - origin).length() > 0.1);
+        let r = Ray::new(origin, target - origin);
+        if let Some(h) = t.intersect(&r, 0.0, f32::INFINITY) {
+            let p = r.at(h.t);
+            // Hit point lies within a slightly padded triangle AABB.
+            let mut padded = t.aabb();
+            padded.grow_point(padded.min - Vec3::splat(1e-2));
+            padded.grow_point(padded.max + Vec3::splat(1e-2));
+            prop_assert!(padded.contains_point(p));
+            prop_assert!(h.u >= 0.0 && h.v >= 0.0 && h.u + h.v <= 1.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn triangle_hit_implies_aabb_hit(v0 in vec3(-5.0, 5.0),
+                                     v1 in vec3(-5.0, 5.0),
+                                     v2 in vec3(-5.0, 5.0),
+                                     origin in vec3(-20.0, 20.0),
+                                     d in dir()) {
+        let t = Triangle::new(v0, v1, v2);
+        prop_assume!(t.area() > 1e-3);
+        let r = Ray::new(origin, d);
+        if t.intersect(&r, 0.0, f32::INFINITY).is_some() {
+            // Conservativeness: the AABB test can never prune a real hit.
+            prop_assert!(t.aabb().intersect(&r, 0.0, f32::INFINITY).is_some());
+        }
+    }
+
+    #[test]
+    fn sphere_hit_point_on_surface(center in vec3(-10.0, 10.0),
+                                   radius in finite_f32(0.1, 4.0),
+                                   origin in vec3(-30.0, 30.0),
+                                   d in dir()) {
+        let s = Sphere::new(center, radius);
+        let r = Ray::new(origin, d);
+        if let Some(t) = s.intersect(&r, 0.0, f32::INFINITY) {
+            let p = r.at(t);
+            let dist = (p - center).length();
+            prop_assert!((dist - radius).abs() < 1e-2,
+                         "hit point {dist} vs radius {radius}");
+            prop_assert!(s.aabb().intersect(&r, 0.0, f32::INFINITY).is_some());
+        }
+    }
+
+    #[test]
+    fn normalized_vectors_unit_length(v in dir()) {
+        prop_assert!((v.normalized().length() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,27 @@
+//! SM-level GPU modelling: configuration (Table I), the greedy-then-oldest
+//! warp scheduler, and simulation statistics.
+//!
+//! The full cycle loop lives in the `sms-sim` crate (it couples the SIMT
+//! compute model, the RT unit and the memory system); this crate holds the
+//! pieces that are meaningful on their own and shared by both sides:
+//!
+//! * [`GpuConfig`] — the baseline GPU parameters of the paper's Table I,
+//!   with the L1D/shared-memory split knob the SMS architecture turns.
+//! * [`GtoScheduler`] — greedy-then-oldest warp selection, used by both the
+//!   SM compute scheduler and the RT unit's warp buffer (paper §II-B).
+//! * [`SimStats`] — cycle/instruction/traversal counters and the IPC
+//!   quantity every figure normalizes.
+
+pub mod config;
+pub mod sched;
+pub mod stats;
+
+pub use config::GpuConfig;
+pub use sched::GtoScheduler;
+pub use stats::SimStats;
+
+/// Index of a warp within the whole launch (launch order = age).
+pub type WarpId = u32;
+
+/// Number of threads per warp (fixed at 32, as in Table I).
+pub const WARP_SIZE: usize = 32;

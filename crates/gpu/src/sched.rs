@@ -1,0 +1,102 @@
+//! Greedy-then-oldest (GTO) warp scheduling (paper §II-B).
+
+use crate::WarpId;
+
+/// A greedy-then-oldest warp scheduler.
+///
+/// GTO keeps issuing from the same warp until it stalls, then falls back to
+/// the *oldest* ready warp (smallest [`WarpId`], since warps are numbered in
+/// launch order). Both the SM compute scheduler and the RT unit use this
+/// policy in the paper's baseline.
+///
+/// # Example
+///
+/// ```
+/// use sms_gpu::GtoScheduler;
+/// let mut s = GtoScheduler::new();
+/// assert_eq!(s.pick([3, 1, 2]), Some(1));   // oldest first
+/// assert_eq!(s.pick([3, 1, 2]), Some(1));   // greedy: stick with 1
+/// assert_eq!(s.pick([3, 2]), Some(2));      // 1 stalled -> oldest ready
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GtoScheduler {
+    last: Option<WarpId>,
+}
+
+impl GtoScheduler {
+    /// Creates a scheduler with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Picks a warp from `ready` (warps able to issue this cycle):
+    /// the previously scheduled warp if still ready, else the oldest.
+    /// Returns `None` when nothing is ready.
+    pub fn pick(&mut self, ready: impl IntoIterator<Item = WarpId>) -> Option<WarpId> {
+        let mut oldest: Option<WarpId> = None;
+        let mut greedy = false;
+        for w in ready {
+            if Some(w) == self.last {
+                greedy = true;
+            }
+            if oldest.map_or(true, |o| w < o) {
+                oldest = Some(w);
+            }
+        }
+        let choice = if greedy { self.last } else { oldest };
+        self.last = choice.or(self.last);
+        choice
+    }
+
+    /// Forgets the greedy warp (e.g. when it retired).
+    pub fn evict(&mut self, warp: WarpId) {
+        if self.last == Some(warp) {
+            self.last = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ready_set_yields_none() {
+        let mut s = GtoScheduler::new();
+        assert_eq!(s.pick([]), None);
+    }
+
+    #[test]
+    fn prefers_oldest_initially() {
+        let mut s = GtoScheduler::new();
+        assert_eq!(s.pick([5, 9, 2]), Some(2));
+    }
+
+    #[test]
+    fn greedy_until_stall() {
+        let mut s = GtoScheduler::new();
+        assert_eq!(s.pick([2, 5]), Some(2));
+        assert_eq!(s.pick([5, 2]), Some(2));
+        // 2 stalls.
+        assert_eq!(s.pick([5, 9]), Some(5));
+        // 2 comes back ready, but greedy now sticks to 5.
+        assert_eq!(s.pick([2, 5, 9]), Some(5));
+    }
+
+    #[test]
+    fn evict_clears_greedy_preference() {
+        let mut s = GtoScheduler::new();
+        assert_eq!(s.pick([4, 7]), Some(4));
+        s.evict(4);
+        assert_eq!(s.pick([7, 4]), Some(4), "falls back to oldest, not stale greedy");
+    }
+
+    #[test]
+    fn stall_preserves_greedy_warp() {
+        let mut s = GtoScheduler::new();
+        assert_eq!(s.pick([3]), Some(3));
+        assert_eq!(s.pick([]), None);
+        // After a fully stalled cycle, the greedy warp is still preferred.
+        assert_eq!(s.pick([1, 3]), Some(3));
+    }
+}

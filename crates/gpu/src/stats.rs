@@ -1,0 +1,103 @@
+//! Whole-simulation statistics.
+
+use sms_mem::MemStats;
+
+/// Counters accumulated over one simulation run.
+///
+/// `thread_instructions + node_visits` is the committed-instruction count
+/// used for IPC. Traversal work (`node_visits`, per-thread) is identical
+/// across stack configurations by construction, so normalized IPC between
+/// two configurations reduces to their inverse cycle ratio — the paper's
+/// methodology for Figs. 6, 8, 13 and 15.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Thread-level compute instructions committed by the SIMT core model.
+    pub thread_instructions: u64,
+    /// BVH node visits committed by RT units (thread-level).
+    pub node_visits: u64,
+    /// Rays fully traced (nearest-hit queries).
+    pub rays_traced: u64,
+    /// Shadow/occlusion rays traced.
+    pub shadow_rays: u64,
+    /// Traversal-stack spills from the RB stack to the level below.
+    pub rb_spills: u64,
+    /// Traversal-stack reloads into the RB stack from the level below.
+    pub rb_reloads: u64,
+    /// Spills from shared memory to global memory (SMS only).
+    pub sh_spills: u64,
+    /// Reloads from global memory into shared memory (SMS only).
+    pub sh_reloads: u64,
+    /// Whole-stack flushes performed by intra-warp reallocation.
+    pub ra_flushes: u64,
+    /// SH stacks borrowed by intra-warp reallocation.
+    pub ra_borrows: u64,
+    /// Aggregated memory-system counters.
+    pub mem: MemStats,
+}
+
+impl SimStats {
+    /// Committed instructions (compute + traversal).
+    pub fn instructions(&self) -> u64 {
+        self.thread_instructions + self.node_visits
+    }
+
+    /// Instructions per cycle; `0` for an empty run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Accumulates `other` (e.g. per-SM partial stats) into `self`.
+    /// `cycles` takes the maximum rather than the sum.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.thread_instructions += other.thread_instructions;
+        self.node_visits += other.node_visits;
+        self.rays_traced += other.rays_traced;
+        self.shadow_rays += other.shadow_rays;
+        self.rb_spills += other.rb_spills;
+        self.rb_reloads += other.rb_reloads;
+        self.sh_spills += other.sh_spills;
+        self.sh_reloads += other.sh_reloads;
+        self.ra_flushes += other.ra_flushes;
+        self.ra_borrows += other.ra_borrows;
+        self.mem.merge(&other.mem);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_zero_cycles() {
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_counts_compute_and_traversal() {
+        let s = SimStats {
+            cycles: 100,
+            thread_instructions: 300,
+            node_visits: 200,
+            ..Default::default()
+        };
+        assert_eq!(s.instructions(), 500);
+        assert_eq!(s.ipc(), 5.0);
+    }
+
+    #[test]
+    fn merge_maxes_cycles_sums_work() {
+        let mut a = SimStats { cycles: 10, node_visits: 1, ..Default::default() };
+        let b = SimStats { cycles: 25, node_visits: 2, rb_spills: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 25);
+        assert_eq!(a.node_visits, 3);
+        assert_eq!(a.rb_spills, 3);
+    }
+}

@@ -1,0 +1,312 @@
+//! A set-associative LRU cache model.
+//!
+//! Tracks only tags (the simulator moves data functionally); used for both
+//! the fully associative L1D and the 16-way L2 of Table I. LRU order within
+//! a set is maintained with an intrusive doubly-linked list so that even the
+//! 512-line fully associative L1 stays O(1) per access.
+
+use crate::space::{Addr, LINE_SIZE};
+use std::collections::HashMap;
+
+/// Static configuration of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity; `0` means fully associative.
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line_size: u64,
+}
+
+impl CacheConfig {
+    /// The paper's baseline L1D: 64 KB, fully associative.
+    pub fn l1_default() -> Self {
+        CacheConfig { size_bytes: 64 * 1024, assoc: 0, line_size: LINE_SIZE }
+    }
+
+    /// The paper's L2: 3 MB, 16-way.
+    pub fn l2_default() -> Self {
+        CacheConfig { size_bytes: 3 * 1024 * 1024, assoc: 16, line_size: LINE_SIZE }
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_size
+    }
+
+    /// Number of sets (1 for fully associative).
+    pub fn sets(&self) -> u64 {
+        if self.assoc == 0 {
+            1
+        } else {
+            (self.lines() / self.assoc as u64).max(1)
+        }
+    }
+
+    /// Ways per set.
+    pub fn ways(&self) -> u64 {
+        if self.assoc == 0 {
+            self.lines()
+        } else {
+            self.assoc as u64
+        }
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// One set's intrusive LRU list over way slots.
+#[derive(Debug, Clone)]
+struct Set {
+    /// Tag stored in each way; `None` = invalid.
+    tags: Vec<Option<Addr>>,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    lookup: HashMap<Addr, u32>,
+}
+
+impl Set {
+    fn new(ways: usize) -> Self {
+        let mut s = Set {
+            tags: vec![None; ways],
+            prev: vec![NIL; ways],
+            next: vec![NIL; ways],
+            head: NIL,
+            tail: NIL,
+            lookup: HashMap::with_capacity(ways),
+        };
+        // Chain all ways into the list, all invalid, any order.
+        for w in 0..ways as u32 {
+            s.push_front(w);
+        }
+        s
+    }
+
+    fn unlink(&mut self, w: u32) {
+        let (p, n) = (self.prev[w as usize], self.next[w as usize]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn push_front(&mut self, w: u32) {
+        self.prev[w as usize] = NIL;
+        self.next[w as usize] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = w;
+        }
+        self.head = w;
+        if self.tail == NIL {
+            self.tail = w;
+        }
+    }
+
+    fn touch(&mut self, w: u32) {
+        if self.head == w {
+            return;
+        }
+        self.unlink(w);
+        self.push_front(w);
+    }
+
+    /// Looks up `tag`; on hit promotes to MRU.
+    fn probe(&mut self, tag: Addr) -> bool {
+        if let Some(&w) = self.lookup.get(&tag) {
+            self.touch(w);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `tag`, evicting LRU if necessary. Returns the evicted tag.
+    fn fill(&mut self, tag: Addr) -> Option<Addr> {
+        if let Some(&w) = self.lookup.get(&tag) {
+            self.touch(w);
+            return None;
+        }
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL);
+        let evicted = self.tags[victim as usize].take();
+        if let Some(e) = evicted {
+            self.lookup.remove(&e);
+        }
+        self.tags[victim as usize] = Some(tag);
+        self.lookup.insert(tag, victim);
+        self.touch(victim);
+        evicted
+    }
+}
+
+/// A tag-only set-associative LRU cache.
+///
+/// # Example
+///
+/// ```
+/// use sms_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig { size_bytes: 256, assoc: 2, line_size: 128 });
+/// assert!(!c.probe(0));      // cold miss
+/// c.fill(0);
+/// assert!(c.probe(0));       // hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Set>,
+    set_count: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not describe at least one full set
+    /// (size must be a multiple of `line_size * ways`).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        let ways = config.ways();
+        assert!(ways >= 1 && sets >= 1, "degenerate cache config {config:?}");
+        assert!(
+            sets * ways * config.line_size == config.size_bytes,
+            "cache size {} not divisible into {} sets x {} ways x {}B lines",
+            config.size_bytes,
+            sets,
+            ways,
+            config.line_size
+        );
+        Cache {
+            config,
+            sets: (0..sets).map(|_| Set::new(ways as usize)).collect(),
+            set_count: sets,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn set_of(&self, line_addr: Addr) -> usize {
+        ((line_addr / self.config.line_size) % self.set_count) as usize
+    }
+
+    /// Looks up the line containing `line_addr`; `true` on hit (promotes to
+    /// MRU).
+    pub fn probe(&mut self, line_addr: Addr) -> bool {
+        let tag = line_addr / self.config.line_size;
+        let set = self.set_of(line_addr);
+        self.sets[set].probe(tag)
+    }
+
+    /// Installs the line containing `line_addr`, evicting the set's LRU line
+    /// if needed. Returns the evicted line address, if any.
+    pub fn fill(&mut self, line_addr: Addr) -> Option<Addr> {
+        let tag = line_addr / self.config.line_size;
+        let set = self.set_of(line_addr);
+        self.sets[set].fill(tag).map(|t| t * self.config.line_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(assoc: u32) -> Cache {
+        Cache::new(CacheConfig { size_bytes: 512, assoc, line_size: 128 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny(0);
+        assert!(!c.probe(0));
+        c.fill(0);
+        assert!(c.probe(0));
+        assert!(c.probe(64), "same line, different offset");
+        assert!(!c.probe(128));
+    }
+
+    #[test]
+    fn lru_eviction_order_fully_associative() {
+        let mut c = tiny(0); // 4 lines
+        for i in 0..4u64 {
+            c.fill(i * 128);
+        }
+        // Touch line 0 to make line 1 the LRU.
+        assert!(c.probe(0));
+        let evicted = c.fill(4 * 128);
+        assert_eq!(evicted, Some(128));
+        assert!(c.probe(0));
+        assert!(!c.probe(128));
+        assert!(c.probe(4 * 128));
+    }
+
+    #[test]
+    fn set_associative_conflicts() {
+        // 2 sets x 2 ways. Lines 0, 2, 4 map to set 0.
+        let mut c = tiny(2);
+        c.fill(0);
+        c.fill(2 * 128);
+        c.fill(4 * 128); // evicts line 0 (LRU of set 0)
+        assert!(!c.probe(0));
+        assert!(c.probe(2 * 128));
+        assert!(c.probe(4 * 128));
+        // Set 1 lines unaffected.
+        c.fill(128);
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn refill_same_line_is_idempotent() {
+        let mut c = tiny(0);
+        c.fill(0);
+        assert_eq!(c.fill(0), None);
+        assert!(c.probe(0));
+    }
+
+    #[test]
+    fn capacity_eviction_count() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 64 * 1024, assoc: 0, line_size: 128 });
+        // Fill 512 lines; none evicted.
+        let mut evictions = 0;
+        for i in 0..512u64 {
+            if c.fill(i * 128).is_some() {
+                evictions += 1;
+            }
+        }
+        assert_eq!(evictions, 0);
+        // The 513th evicts exactly one.
+        assert!(c.fill(512 * 128).is_some());
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_works() {
+        // The Table I L2 (3MB, 16-way) has 1536 sets; indexing is modulo.
+        let mut c = Cache::new(CacheConfig { size_bytes: 3 * 128 * 2, assoc: 2, line_size: 128 });
+        for i in 0..6u64 {
+            c.fill(i * 128);
+        }
+        for i in 0..6u64 {
+            assert!(c.probe(i * 128), "line {i} must still be resident");
+        }
+    }
+
+    #[test]
+    fn default_configs_are_valid() {
+        let _ = Cache::new(CacheConfig::l1_default());
+        let _ = Cache::new(CacheConfig::l2_default());
+        assert_eq!(CacheConfig::l1_default().lines(), 512);
+        assert_eq!(CacheConfig::l2_default().sets(), 1536);
+    }
+}

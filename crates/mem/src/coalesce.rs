@@ -1,0 +1,77 @@
+//! Warp-level coalescing of per-thread global accesses.
+
+use crate::space::{line_of, Addr, LINE_SIZE};
+
+/// Coalesces per-thread `(addr, size)` accesses into the distinct 128 B
+/// lines they touch, sorted ascending.
+///
+/// One returned line = one memory transaction, as issued by the memory
+/// scheduler for a warp. Scene-geometry fetches from neighbouring rays often
+/// share lines; thread-private stack spills never do (paper §II-C).
+///
+/// # Example
+///
+/// ```
+/// use sms_mem::coalesce_lines;
+/// // Four threads reading consecutive 32B words: one 128B transaction.
+/// let lines = coalesce_lines([(0u64, 32u32), (32, 32), (64, 32), (96, 32)]);
+/// assert_eq!(lines, vec![0]);
+/// ```
+pub fn coalesce_lines(accesses: impl IntoIterator<Item = (Addr, u32)>) -> Vec<Addr> {
+    let mut lines: Vec<Addr> = Vec::new();
+    for (addr, size) in accesses {
+        if size == 0 {
+            continue;
+        }
+        let first = line_of(addr);
+        let last = line_of(addr + size as u64 - 1);
+        let mut l = first;
+        while l <= last {
+            lines.push(l);
+            l += LINE_SIZE;
+        }
+    }
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_threads_coalesce() {
+        let accesses: Vec<(Addr, u32)> = (0..32).map(|t| (t as u64 * 4, 4)).collect();
+        assert_eq!(coalesce_lines(accesses), vec![0]);
+    }
+
+    #[test]
+    fn strided_threads_do_not_coalesce() {
+        // 8B stack entries in 4KB-strided private windows: 32 transactions.
+        let accesses: Vec<(Addr, u32)> = (0..32).map(|t| (t as u64 * 4096, 8)).collect();
+        assert_eq!(coalesce_lines(accesses).len(), 32);
+    }
+
+    #[test]
+    fn access_spanning_lines_counts_both() {
+        assert_eq!(coalesce_lines([(120u64, 16u32)]), vec![0, 128]);
+    }
+
+    #[test]
+    fn multi_line_fetch_expands() {
+        // A 256B node fetch covers two lines.
+        assert_eq!(coalesce_lines([(256u64, 256u32)]), vec![256, 384]);
+    }
+
+    #[test]
+    fn duplicates_merge() {
+        assert_eq!(coalesce_lines([(0u64, 8u32), (8, 8), (0, 128)]), vec![0]);
+    }
+
+    #[test]
+    fn empty_and_zero_size() {
+        assert!(coalesce_lines(std::iter::empty()).is_empty());
+        assert!(coalesce_lines([(64u64, 0u32)]).is_empty());
+    }
+}

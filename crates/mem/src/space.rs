@@ -1,0 +1,110 @@
+//! Simulated address-space layout and basic memory types.
+
+/// A byte address in the simulated global address space.
+pub type Addr = u64;
+
+/// A simulation cycle count.
+pub type Cycle = u64;
+
+/// Cache line size in bytes (both L1 and L2).
+pub const LINE_SIZE: u64 = 128;
+
+/// Base address of the thread-local traversal-stack spill region.
+///
+/// Spill space is laid out like CUDA *local memory*: warp-interleaved, so
+/// that slot `s` of lane `l` in warp `w` lives at
+/// `SPILL_BASE_ADDR + w * SPILL_REGION_BYTES + s * 32*8 + l * 8`.
+/// Warp-uniform accesses (all lanes at the same slot) coalesce into two
+/// 128 B lines — but traversal stacks are *divergent*: lanes sit at
+/// different spill depths, so warp-wide spill traffic scatters across many
+/// lines, and consecutive spills/reloads of one thread touch a *different*
+/// line every time (slots are 256 B apart). This is exactly the
+/// uncoalescable, uncacheable traffic pattern the paper describes (§II-C).
+pub const SPILL_BASE_ADDR: Addr = 0x8000_0000;
+
+/// Maximum spill slots per thread (far above the ≈30-entry maximum stack
+/// depth the paper observes).
+pub const SPILL_MAX_SLOTS: u64 = 512;
+
+/// Bytes of interleaved spill space per warp.
+pub const SPILL_REGION_BYTES: u64 = SPILL_MAX_SLOTS * 32 * 8;
+
+/// Base address of the shading/material data region accessed by the SIMT
+/// compute phases between trace calls.
+pub const SHADE_BASE_ADDR: Addr = 0xC000_0000;
+
+/// Whether an access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read access.
+    Load,
+    /// Write access.
+    Store,
+}
+
+/// The global-memory address of stack-spill slot `slot` for thread
+/// `global_tid` (warp-interleaved local-memory layout).
+#[inline]
+pub fn spill_slot_addr(global_tid: u32, slot: u32) -> Addr {
+    debug_assert!((slot as u64) < SPILL_MAX_SLOTS, "spill slot {slot} out of window");
+    let warp = global_tid as u64 / 32;
+    let lane = global_tid as u64 % 32;
+    SPILL_BASE_ADDR + warp * SPILL_REGION_BYTES + slot as u64 * (32 * 8) + lane * 8
+}
+
+/// The line-aligned address containing `addr`.
+#[inline]
+pub fn line_of(addr: Addr) -> Addr {
+    addr & !(LINE_SIZE - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_regions_are_disjoint() {
+        let end0 = spill_slot_addr(31, (SPILL_MAX_SLOTS - 1) as u32) + 8;
+        let start1 = spill_slot_addr(32, 0);
+        assert!(end0 <= start1);
+    }
+
+    #[test]
+    fn uniform_slot_coalesces_divergent_slots_scatter() {
+        // Warp-uniform access (all lanes, same slot): exactly two lines.
+        let uniform: std::collections::HashSet<u64> =
+            (0..32).map(|l| line_of(spill_slot_addr(l, 3))).collect();
+        assert_eq!(uniform.len(), 2);
+        // Divergent depths (lane l at slot l): many distinct lines.
+        let divergent: std::collections::HashSet<u64> =
+            (0..32).map(|l| line_of(spill_slot_addr(l, l))).collect();
+        assert!(divergent.len() >= 16, "got {}", divergent.len());
+    }
+
+    #[test]
+    fn consecutive_slots_of_one_thread_never_share_a_line() {
+        // The no-burst-locality property: slots are 256B apart.
+        for s in 0..20u32 {
+            assert_ne!(
+                line_of(spill_slot_addr(5, s)),
+                line_of(spill_slot_addr(5, s + 1))
+            );
+        }
+    }
+
+    #[test]
+    fn line_alignment() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(127), 0);
+        assert_eq!(line_of(128), 128);
+        assert_eq!(line_of(300), 256);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        // 8Ki warps (256Ki threads) of spill space stays below the shading
+        // region.
+        let top = SPILL_BASE_ADDR + 8192 * SPILL_REGION_BYTES;
+        assert!(top <= SHADE_BASE_ADDR);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the memory models against simple oracles.
+
+use proptest::prelude::*;
+use sms_mem::{coalesce_lines, Cache, CacheConfig, SharedMem, SharedMemConfig};
+use std::collections::VecDeque;
+
+/// A trivially-correct LRU oracle.
+struct LruOracle {
+    lines: usize,
+    order: VecDeque<u64>, // front = MRU
+}
+
+impl LruOracle {
+    fn new(lines: usize) -> Self {
+        LruOracle { lines, order: VecDeque::new() }
+    }
+    fn probe(&mut self, line: u64) -> bool {
+        if let Some(pos) = self.order.iter().position(|&l| l == line) {
+            self.order.remove(pos);
+            self.order.push_front(line);
+            true
+        } else {
+            false
+        }
+    }
+    fn fill(&mut self, line: u64) {
+        if !self.probe(line) {
+            if self.order.len() == self.lines {
+                self.order.pop_back();
+            }
+            self.order.push_front(line);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn fully_associative_cache_matches_lru_oracle(
+        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..500)
+    ) {
+        // 8-line fully associative cache vs the oracle.
+        let mut cache = Cache::new(CacheConfig { size_bytes: 8 * 128, assoc: 0, line_size: 128 });
+        let mut oracle = LruOracle::new(8);
+        for (line_idx, is_fill) in ops {
+            let line = line_idx * 128;
+            if is_fill {
+                cache.fill(line);
+                oracle.fill(line);
+            } else {
+                prop_assert_eq!(cache.probe(line), oracle.probe(line), "line {}", line_idx);
+            }
+        }
+    }
+
+    #[test]
+    fn coalescing_is_exact_line_cover(
+        accesses in prop::collection::vec((0u64..100_000, 1u32..300), 0..64)
+    ) {
+        let lines = coalesce_lines(accesses.iter().copied());
+        // Sorted, unique, aligned.
+        prop_assert!(lines.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(lines.iter().all(|l| l % 128 == 0));
+        // Every accessed byte is covered.
+        for (addr, size) in &accesses {
+            for b in [*addr, addr + *size as u64 - 1] {
+                let line = b & !127;
+                prop_assert!(lines.binary_search(&line).is_ok(), "byte {b} uncovered");
+            }
+        }
+        // No spurious lines: each returned line overlaps some access.
+        for l in &lines {
+            let covered = accesses
+                .iter()
+                .any(|(a, s)| *a < l + 128 && a + *s as u64 > *l);
+            prop_assert!(covered, "line {l} covers no access");
+        }
+    }
+
+    #[test]
+    fn shared_memory_conflicts_bounded_and_skew_invariant(
+        offsets in prop::collection::vec(0u64..256, 1..32)
+    ) {
+        // Conflicts never exceed the word count of the widest bank, and a
+        // uniform shift of all addresses by a multiple of the full bank
+        // width (128B) leaves the conflict count unchanged.
+        let cfg = SharedMemConfig::default();
+        let mk = |shift: u64| {
+            let mut m = SharedMem::new(cfg);
+            let acc: Vec<(u64, u32)> =
+                offsets.iter().map(|o| (o * 8 + shift, 8u32)).collect();
+            let done = m.access_warp(0, acc);
+            (done, m.conflict_cycles)
+        };
+        let (done0, c0) = mk(0);
+        let (done1, c1) = mk(128);
+        prop_assert_eq!(c0, c1, "bank pattern is shift-periodic");
+        prop_assert_eq!(done0, done1);
+        let max_extra = (offsets.len() as u64 * 2 - 1) * cfg.conflict_replay_cycles;
+        prop_assert!(c0 <= max_extra);
+    }
+}

@@ -1,0 +1,61 @@
+//! Memory micro-operations emitted by the stack manager.
+
+use sms_mem::{AccessKind, Addr};
+
+/// Which physical memory a micro-op targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Space {
+    /// The SM's banked shared memory (SH stacks).
+    Shared,
+    /// Global memory through L1/L2/DRAM (spill region).
+    Global,
+}
+
+/// One ordered memory operation of a stack-manager sequence.
+///
+/// A micro-op may carry several `(addr, size)` pairs when the stack manager
+/// moves a whole stack at once (the RA flush of §VI-B); they form a single
+/// transaction. Micro-ops of one thread execute strictly in order; loads
+/// block the thread until data returns, stores are posted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Target memory.
+    pub space: Space,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Byte accesses of this operation.
+    pub addrs: Vec<(Addr, u32)>,
+}
+
+impl MicroOp {
+    /// A single 8-byte (one stack entry) shared-memory operation.
+    pub fn shared(kind: AccessKind, addr: Addr) -> Self {
+        MicroOp { space: Space::Shared, kind, addrs: vec![(addr, 8)] }
+    }
+
+    /// A single 8-byte global-memory operation.
+    pub fn global(kind: AccessKind, addr: Addr) -> Self {
+        MicroOp { space: Space::Global, kind, addrs: vec![(addr, 8)] }
+    }
+
+    /// `true` when the thread must wait for this op before proceeding.
+    pub fn is_blocking(&self) -> bool {
+        matches!(self.kind, AccessKind::Load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let s = MicroOp::shared(AccessKind::Load, 64);
+        assert_eq!(s.space, Space::Shared);
+        assert_eq!(s.addrs, vec![(64, 8)]);
+        assert!(s.is_blocking());
+        let g = MicroOp::global(AccessKind::Store, 128);
+        assert_eq!(g.space, Space::Global);
+        assert!(!g.is_blocking());
+    }
+}

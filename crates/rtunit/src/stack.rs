@@ -1,0 +1,883 @@
+//! Hierarchical per-thread traversal stacks (paper §IV–§VI).
+//!
+//! Logically every thread owns one LIFO stack of BVH node ids. Physically
+//! the stack is split across up to three levels, newest entries first:
+//!
+//! ```text
+//!   RB stack (ray buffer SRAM)  <- top, free to access
+//!   SH stack (shared memory)    <- SMS only: circular queue, banked
+//!   global memory spill region  <- oldest entries, off-chip
+//! ```
+//!
+//! A push that overflows the RB stack spills the *oldest* RB entry one
+//! level down; a pop eagerly refills the freed RB slot from the most recent
+//! entry one level down (paper Fig. 3 and Fig. 7). Every inter-level move
+//! emits [`MicroOp`]s that the RT unit times through the memory system —
+//! the stack *contents* move immediately, so traversal results are exact.
+//!
+//! The SMS optimizations:
+//! * **Skewed bank access** (§V-A): thread `t`'s circular SH stack starts at
+//!   entry `(t / k) mod N` with `k = 32 / 2N`, spreading warp-wide accesses
+//!   over the 32 shared-memory banks.
+//! * **Dynamic intra-warp reallocation** (§V-B, §VI-B): threads that finish
+//!   traversal mark their SH stack *idle*; running threads whose chain is
+//!   full borrow idle stacks (up to 4 concurrent borrows, tracked like the
+//!   hardware's `Next TID` links). With nothing left to borrow, the chain's
+//!   *bottom* stack is flushed wholesale to global memory and promoted to
+//!   the top (≤3 consecutive flushes per stack before a forced flush).
+
+use crate::microop::MicroOp;
+use sms_gpu::{SimStats, WARP_SIZE};
+use sms_mem::space::spill_slot_addr;
+use sms_mem::{AccessKind, Addr};
+use std::collections::VecDeque;
+
+/// Parameters of the SMS two-level stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmsParams {
+    /// RB (primary) stack entries per thread. Paper default: 8.
+    pub rb_entries: usize,
+    /// SH (secondary) stack entries per thread. Paper default: 8.
+    pub sh_entries: usize,
+    /// Enable skewed bank access (§V-A).
+    pub skewed: bool,
+    /// Enable dynamic intra-warp reallocation (§V-B).
+    pub realloc: bool,
+    /// Maximum concurrently borrowed SH stacks per thread (paper: 4).
+    pub borrow_limit: usize,
+    /// Maximum consecutive flushes per allocated SH stack (paper: 3).
+    pub flush_limit: u8,
+}
+
+impl Default for SmsParams {
+    /// `RB_8 + SH_8` without optimizations (the paper's `+SH_8` bar).
+    fn default() -> Self {
+        SmsParams {
+            rb_entries: 8,
+            sh_entries: 8,
+            skewed: false,
+            realloc: false,
+            borrow_limit: 4,
+            flush_limit: 3,
+        }
+    }
+}
+
+impl SmsParams {
+    /// Returns a copy with skewed bank access enabled/disabled.
+    pub fn with_skewed(mut self, on: bool) -> Self {
+        self.skewed = on;
+        self
+    }
+
+    /// Returns a copy with intra-warp reallocation enabled/disabled.
+    pub fn with_realloc(mut self, on: bool) -> Self {
+        self.realloc = on;
+        self
+    }
+}
+
+/// Which traversal-stack architecture a simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackConfig {
+    /// RB stack only; overflow spills directly to global memory (`RB_N`).
+    Baseline {
+        /// RB entries per thread.
+        rb_entries: usize,
+    },
+    /// The proposed two-level design (`RB_N + SH_M [+SK] [+RA]`).
+    Sms(SmsParams),
+    /// An unbounded on-chip stack (`RB_FULL`) — the paper's impractical
+    /// upper bound.
+    FullOnChip,
+}
+
+impl StackConfig {
+    /// The paper's baseline: an 8-entry RB stack.
+    pub fn baseline8() -> Self {
+        StackConfig::Baseline { rb_entries: 8 }
+    }
+
+    /// The full SMS architecture: `RB_8 + SH_8 + SK + RA`.
+    pub fn sms_default() -> Self {
+        StackConfig::Sms(SmsParams::default().with_skewed(true).with_realloc(true))
+    }
+
+    /// RB capacity in entries.
+    pub fn rb_capacity(&self) -> usize {
+        match self {
+            StackConfig::Baseline { rb_entries } => *rb_entries,
+            StackConfig::Sms(p) => p.rb_entries,
+            StackConfig::FullOnChip => usize::MAX >> 1,
+        }
+    }
+
+    /// SMS parameters, if this is an SMS configuration.
+    pub fn sms_params(&self) -> Option<&SmsParams> {
+        match self {
+            StackConfig::Sms(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Shared-memory bytes one warp's SH stacks occupy.
+    pub fn shared_bytes_per_warp(&self) -> u64 {
+        match self {
+            StackConfig::Sms(p) => (WARP_SIZE * p.sh_entries * 8) as u64,
+            _ => 0,
+        }
+    }
+
+    /// Shared-memory bytes an RT unit holding `max_warps` warps needs —
+    /// the amount carved out of the unified L1/shared array (§IV-B).
+    pub fn shared_carveout(&self, max_warps: usize) -> u64 {
+        self.shared_bytes_per_warp() * max_warps as u64
+    }
+
+    /// Short human-readable label (`RB_8+SH_8+SK+RA` style).
+    pub fn label(&self) -> String {
+        match self {
+            StackConfig::Baseline { rb_entries } => format!("RB_{rb_entries}"),
+            StackConfig::FullOnChip => "RB_FULL".to_owned(),
+            StackConfig::Sms(p) => {
+                let mut s = format!("RB_{}+SH_{}", p.rb_entries, p.sh_entries);
+                if p.skewed {
+                    s.push_str("+SK");
+                }
+                if p.realloc {
+                    s.push_str("+RA");
+                }
+                s
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for StackConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The skewed base entry index of §VI-B:
+/// `base = (tid / k) mod N`, `k = 32 / (N * 2)` (clamped to ≥1).
+pub fn base_entry_index(lane: usize, sh_entries: usize, skewed: bool) -> u32 {
+    if !skewed || sh_entries == 0 {
+        return 0;
+    }
+    let k = (WARP_SIZE / (sh_entries * 2)).max(1);
+    ((lane / k) % sh_entries) as u32
+}
+
+/// One thread-sized SH stack region (a circular queue in shared memory).
+#[derive(Debug, Clone)]
+struct Segment {
+    entries: VecDeque<u32>,
+    cap: u32,
+    /// Physical index where the next pushed entry goes.
+    top_phys: u32,
+    /// Physical index of the current oldest entry.
+    bottom_phys: u32,
+    /// Consecutive flushes since last reset (RA bookkeeping).
+    flushes: u8,
+    /// Available for borrowing (owner finished, nobody using it).
+    idle: bool,
+    /// The skewed base entry this segment resets to.
+    base: u32,
+}
+
+impl Segment {
+    fn new(cap: u32, base: u32) -> Self {
+        Segment { entries: VecDeque::new(), cap, top_phys: base, bottom_phys: base, flushes: 0, idle: false, base }
+    }
+
+    fn is_full(&self) -> bool {
+        self.entries.len() as u32 >= self.cap
+    }
+
+    fn reset(&mut self) {
+        debug_assert!(self.entries.is_empty());
+        self.top_phys = self.base;
+        self.bottom_phys = self.base;
+    }
+
+    /// Pushes on top; returns the physical entry index written.
+    fn push_top(&mut self, v: u32) -> u32 {
+        debug_assert!(!self.is_full());
+        let idx = self.top_phys;
+        self.top_phys = (self.top_phys + 1) % self.cap;
+        self.entries.push_back(v);
+        idx
+    }
+
+    /// Pops the newest entry; returns `(value, physical index read)`.
+    fn pop_top(&mut self) -> (u32, u32) {
+        let v = self.entries.pop_back().expect("pop_top on empty segment");
+        self.top_phys = (self.top_phys + self.cap - 1) % self.cap;
+        (v, self.top_phys)
+    }
+
+    /// Removes the oldest entry; returns `(value, physical index read)`.
+    fn evict_bottom(&mut self) -> (u32, u32) {
+        let v = self.entries.pop_front().expect("evict_bottom on empty segment");
+        let idx = self.bottom_phys;
+        self.bottom_phys = (self.bottom_phys + 1) % self.cap;
+        (v, idx)
+    }
+
+    /// Inserts below the oldest entry; returns the physical index written.
+    fn insert_bottom(&mut self, v: u32) -> u32 {
+        debug_assert!(!self.is_full());
+        self.bottom_phys = (self.bottom_phys + self.cap - 1) % self.cap;
+        self.entries.push_front(v);
+        self.bottom_phys
+    }
+}
+
+/// The traversal stacks of one warp (32 threads), in one RT-unit warp slot.
+///
+/// # Example
+///
+/// ```
+/// use sms_rtunit::{StackConfig, WarpStacks};
+/// use sms_gpu::SimStats;
+///
+/// let mut stacks = WarpStacks::new(&StackConfig::sms_default(), 0, 0);
+/// let mut stats = SimStats::default();
+/// let mut ops = Vec::new();
+/// for n in 0..20 {
+///     stacks.push(0, n, &mut stats, &mut ops);
+/// }
+/// assert_eq!(stacks.depth(0), 20);
+/// for n in (0..20).rev() {
+///     assert_eq!(stacks.pop(0, &mut stats, &mut ops), n);
+/// }
+/// assert!(stacks.is_empty(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WarpStacks {
+    config: StackConfig,
+    rb_cap: usize,
+    rb: Vec<Vec<u32>>,
+    global: Vec<Vec<u32>>,
+    segs: Vec<Segment>,
+    chains: Vec<Vec<u8>>,
+    region_base: Addr,
+    tid_base: u32,
+}
+
+impl WarpStacks {
+    /// Creates empty stacks for a warp.
+    ///
+    /// `region_base` is the warp slot's shared-memory byte offset inside the
+    /// SM's shared array; `tid_base` is the warp's first global thread id
+    /// (determines spill-region addresses).
+    pub fn new(config: &StackConfig, region_base: Addr, tid_base: u32) -> Self {
+        let (segs, chains) = match config {
+            StackConfig::Sms(p) if p.sh_entries > 0 => {
+                let segs = (0..WARP_SIZE)
+                    .map(|lane| {
+                        Segment::new(
+                            p.sh_entries as u32,
+                            base_entry_index(lane, p.sh_entries, p.skewed),
+                        )
+                    })
+                    .collect();
+                let chains = (0..WARP_SIZE).map(|lane| vec![lane as u8]).collect();
+                (segs, chains)
+            }
+            _ => (Vec::new(), (0..WARP_SIZE).map(|_| Vec::new()).collect()),
+        };
+        WarpStacks {
+            rb_cap: config.rb_capacity(),
+            config: *config,
+            rb: vec![Vec::new(); WARP_SIZE],
+            global: vec![Vec::new(); WARP_SIZE],
+            segs,
+            chains,
+            region_base,
+            tid_base,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StackConfig {
+        &self.config
+    }
+
+    /// Logical stack depth of a lane.
+    pub fn depth(&self, lane: usize) -> usize {
+        self.rb[lane].len() + self.sh_count(lane) + self.global[lane].len()
+    }
+
+    /// `true` when the lane's logical stack is empty.
+    pub fn is_empty(&self, lane: usize) -> bool {
+        self.depth(lane) == 0
+    }
+
+    /// Entries currently resident in the lane's SH level.
+    pub fn sh_count(&self, lane: usize) -> usize {
+        self.chains[lane].iter().map(|&s| self.segs[s as usize].entries.len()).sum()
+    }
+
+    /// Number of SH stacks currently linked into the lane's chain
+    /// (1 dedicated + borrows).
+    pub fn chain_len(&self, lane: usize) -> usize {
+        self.chains[lane].len().max(1)
+    }
+
+    /// The lane's full logical stack, oldest first (for tests/debugging).
+    pub fn logical_contents(&self, lane: usize) -> Vec<u32> {
+        let mut v = self.global[lane].clone();
+        for &s in &self.chains[lane] {
+            v.extend(self.segs[s as usize].entries.iter().copied());
+        }
+        v.extend(self.rb[lane].iter().copied());
+        v
+    }
+
+    fn seg_entry_addr(&self, seg: u8, phys: u32) -> Addr {
+        let sh_cap = self.config.sms_params().map(|p| p.sh_entries).unwrap_or(0) as u64;
+        self.region_base + seg as u64 * sh_cap * 8 + phys as u64 * 8
+    }
+
+    fn spill_addr(&self, lane: usize, slot: usize) -> Addr {
+        spill_slot_addr(self.tid_base + lane as u32, slot as u32)
+    }
+
+    /// Pushes `node` onto the lane's logical stack, appending the memory
+    /// micro-ops of any required spills to `ops`.
+    pub fn push(&mut self, lane: usize, node: u32, stats: &mut SimStats, ops: &mut Vec<MicroOp>) {
+        if self.rb[lane].len() < self.rb_cap {
+            self.rb[lane].push(node);
+            return;
+        }
+        // RB overflow: spill the oldest RB entry one level down.
+        stats.rb_spills += 1;
+        let old = self.rb[lane].remove(0);
+        self.rb[lane].push(node);
+        match self.config {
+            StackConfig::Baseline { .. } => {
+                let slot = self.global[lane].len();
+                self.global[lane].push(old);
+                ops.push(MicroOp::global(AccessKind::Store, self.spill_addr(lane, slot)));
+            }
+            StackConfig::Sms(p) => self.push_to_sh(lane, old, &p, stats, ops),
+            StackConfig::FullOnChip => unreachable!("full stack never overflows"),
+        }
+    }
+
+    fn push_to_sh(
+        &mut self,
+        lane: usize,
+        v: u32,
+        p: &SmsParams,
+        stats: &mut SimStats,
+        ops: &mut Vec<MicroOp>,
+    ) {
+        if p.sh_entries == 0 {
+            // Degenerate SH_0: behave like the baseline.
+            let slot = self.global[lane].len();
+            self.global[lane].push(v);
+            ops.push(MicroOp::global(AccessKind::Store, self.spill_addr(lane, slot)));
+            return;
+        }
+        let top = *self.chains[lane].last().expect("chain never empty");
+        if self.segs[top as usize].is_full() {
+            self.make_room(lane, p, stats, ops);
+        }
+        let top = *self.chains[lane].last().expect("chain never empty");
+        let idx = self.segs[top as usize].push_top(v);
+        ops.push(MicroOp::shared(AccessKind::Store, self.seg_entry_addr(top, idx)));
+    }
+
+    /// Frees one slot in the lane's top SH stack: borrow, flush, or
+    /// single-entry spill (§VI-B).
+    fn make_room(&mut self, lane: usize, p: &SmsParams, stats: &mut SimStats, ops: &mut Vec<MicroOp>) {
+        if p.realloc {
+            // 1. Borrow an idle stack from an early-finished thread.
+            if self.chains[lane].len() < 1 + p.borrow_limit {
+                if let Some(idle) = self.find_idle_segment() {
+                    self.segs[idle as usize].idle = false;
+                    self.segs[idle as usize].reset();
+                    self.chains[lane].push(idle);
+                    stats.ra_borrows += 1;
+                    return;
+                }
+            }
+            // 2. Flush the bottom stack wholesale to global memory and
+            //    promote it to the top of the chain. Beyond the flush limit
+            //    this still happens (forced) — it is the only move that
+            //    preserves bottom-up fill order across linked stacks.
+            let bottom = self.chains[lane][0];
+            self.segs[bottom as usize].flushes = self.segs[bottom as usize].flushes.saturating_add(1);
+            stats.ra_flushes += 1;
+            let mut shared_reads = Vec::new();
+            let mut global_writes = Vec::new();
+            while !self.segs[bottom as usize].entries.is_empty() {
+                let (val, idx) = self.segs[bottom as usize].evict_bottom();
+                shared_reads.push((self.seg_entry_addr(bottom, idx), 8));
+                let slot = self.global[lane].len();
+                self.global[lane].push(val);
+                global_writes.push((self.spill_addr(lane, slot), 8));
+                stats.sh_spills += 1;
+            }
+            ops.push(MicroOp { space: crate::Space::Shared, kind: AccessKind::Load, addrs: shared_reads });
+            ops.push(MicroOp { space: crate::Space::Global, kind: AccessKind::Store, addrs: global_writes });
+            self.segs[bottom as usize].reset();
+            self.chains[lane].rotate_left(1);
+        } else {
+            // Plain SMS: move the single segment's oldest entry to global
+            // (shared load -> global store), as in Fig. 7 steps 3-4.
+            let seg = self.chains[lane][0];
+            let (val, idx) = self.segs[seg as usize].evict_bottom();
+            ops.push(MicroOp::shared(AccessKind::Load, self.seg_entry_addr(seg, idx)));
+            let slot = self.global[lane].len();
+            self.global[lane].push(val);
+            ops.push(MicroOp::global(AccessKind::Store, self.spill_addr(lane, slot)));
+            stats.sh_spills += 1;
+        }
+    }
+
+    fn find_idle_segment(&self) -> Option<u8> {
+        (0..WARP_SIZE as u8).find(|&s| self.segs[s as usize].idle)
+    }
+
+    /// Pops the logical top of the lane's stack, eagerly refilling the RB
+    /// stack from below (paper Fig. 3 step 5 / Fig. 7 steps 2, 5, 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane's stack is empty.
+    pub fn pop(&mut self, lane: usize, stats: &mut SimStats, ops: &mut Vec<MicroOp>) -> u32 {
+        let val = self.rb[lane].pop().expect("pop on empty traversal stack");
+        match self.config {
+            StackConfig::FullOnChip => {}
+            StackConfig::Baseline { .. } => {
+                if let Some(v) = self.global[lane].pop() {
+                    stats.rb_reloads += 1;
+                    let slot = self.global[lane].len();
+                    ops.push(MicroOp::global(AccessKind::Load, self.spill_addr(lane, slot)));
+                    self.rb[lane].insert(0, v);
+                }
+            }
+            StackConfig::Sms(_) => {
+                if self.sh_count(lane) > 0 {
+                    stats.rb_reloads += 1;
+                    let top = *self.chains[lane].last().expect("chain never empty");
+                    let (v, idx) = self.segs[top as usize].pop_top();
+                    ops.push(MicroOp::shared(AccessKind::Load, self.seg_entry_addr(top, idx)));
+                    self.rb[lane].insert(0, v);
+                    self.release_empty_tops(lane);
+                    // Refill shared memory from global (newest spilled entry
+                    // moves up) when the bottom stack has room.
+                    let bottom = self.chains[lane][0];
+                    if !self.segs[bottom as usize].is_full() && !self.global[lane].is_empty() {
+                        let g = self.global[lane].pop().expect("checked non-empty");
+                        stats.sh_reloads += 1;
+                        let slot = self.global[lane].len();
+                        ops.push(MicroOp::global(AccessKind::Load, self.spill_addr(lane, slot)));
+                        let idx = self.segs[bottom as usize].insert_bottom(g);
+                        ops.push(MicroOp::shared(
+                            AccessKind::Store,
+                            self.seg_entry_addr(bottom, idx),
+                        ));
+                    }
+                } else if let Some(v) = self.global[lane].pop() {
+                    // SH_0 degenerate case: direct global reload.
+                    stats.rb_reloads += 1;
+                    let slot = self.global[lane].len();
+                    ops.push(MicroOp::global(AccessKind::Load, self.spill_addr(lane, slot)));
+                    self.rb[lane].insert(0, v);
+                }
+            }
+        }
+        val
+    }
+
+    /// Releases emptied borrowed stacks back to the idle pool.
+    fn release_empty_tops(&mut self, lane: usize) {
+        while self.chains[lane].len() > 1 {
+            let top = *self.chains[lane].last().expect("len > 1");
+            if !self.segs[top as usize].entries.is_empty() {
+                break;
+            }
+            self.chains[lane].pop();
+            let seg = &mut self.segs[top as usize];
+            seg.flushes = 0;
+            seg.reset();
+            seg.idle = true;
+        }
+    }
+
+    /// Discards a lane's remaining logical stack without memory traffic —
+    /// hardware just resets the stack-pointer fields. Used when an any-hit
+    /// (occlusion) query terminates early with entries still stacked.
+    pub fn clear_lane(&mut self, lane: usize) {
+        self.rb[lane].clear();
+        self.global[lane].clear();
+        if let StackConfig::Sms(p) = self.config {
+            if p.sh_entries > 0 {
+                while self.chains[lane].len() > 1 {
+                    let top = self.chains[lane].pop().expect("len > 1");
+                    let seg = &mut self.segs[top as usize];
+                    seg.entries.clear();
+                    seg.flushes = 0;
+                    seg.reset();
+                    seg.idle = true;
+                }
+                let own = self.chains[lane][0];
+                let seg = &mut self.segs[own as usize];
+                seg.entries.clear();
+                seg.flushes = 0;
+                seg.reset();
+                if p.realloc {
+                    seg.idle = true;
+                }
+            }
+        }
+    }
+
+    /// Marks a lane's traversal as finished: with reallocation enabled its
+    /// dedicated SH stack becomes available for borrowing (§VI-B `Idle`).
+    ///
+    /// Terminal for the lane within this trace: the lane must not push or
+    /// pop again (the RT unit allocates fresh [`WarpStacks`] per trace
+    /// request, matching the hardware's per-trace warp-buffer lifetime).
+    pub fn mark_done(&mut self, lane: usize) {
+        debug_assert!(self.is_empty(lane), "mark_done with entries left");
+        if let StackConfig::Sms(p) = self.config {
+            if p.realloc && p.sh_entries > 0 {
+                self.release_empty_tops(lane);
+                let seg = &mut self.segs[lane];
+                // The dedicated stack may itself have been borrowed already
+                // if this lane finished long ago; only idle it when it is
+                // still this lane's chain head and empty.
+                if self.chains[lane][0] == lane as u8 && seg.entries.is_empty() && !seg.idle {
+                    seg.flushes = 0;
+                    seg.reset();
+                    seg.idle = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_n(stacks: &mut WarpStacks, lane: usize, n: u32) -> (SimStats, Vec<MicroOp>) {
+        let mut stats = SimStats::default();
+        let mut ops = Vec::new();
+        for i in 0..n {
+            stacks.push(lane, i, &mut stats, &mut ops);
+        }
+        (stats, ops)
+    }
+
+    fn pop_all(stacks: &mut WarpStacks, lane: usize) -> Vec<u32> {
+        let mut stats = SimStats::default();
+        let mut ops = Vec::new();
+        let mut out = Vec::new();
+        while !stacks.is_empty(lane) {
+            out.push(stacks.pop(lane, &mut stats, &mut ops));
+        }
+        out
+    }
+
+    fn lifo_check(config: StackConfig, n: u32) {
+        let mut s = WarpStacks::new(&config, 0, 0);
+        push_n(&mut s, 3, n);
+        assert_eq!(s.depth(3), n as usize);
+        let popped = pop_all(&mut s, 3);
+        let expected: Vec<u32> = (0..n).rev().collect();
+        assert_eq!(popped, expected, "{config} must be LIFO for {n} entries");
+    }
+
+    #[test]
+    fn all_configs_are_lifo() {
+        for n in [1, 7, 8, 9, 16, 17, 40, 100] {
+            lifo_check(StackConfig::baseline8(), n);
+            lifo_check(StackConfig::FullOnChip, n);
+            lifo_check(StackConfig::Sms(SmsParams::default()), n);
+            lifo_check(StackConfig::sms_default(), n);
+            lifo_check(
+                StackConfig::Sms(SmsParams { sh_entries: 4, ..SmsParams::default() }),
+                n,
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_reference() {
+        for config in [
+            StackConfig::baseline8(),
+            StackConfig::Sms(SmsParams::default().with_skewed(true)),
+            StackConfig::sms_default(),
+        ] {
+            let mut s = WarpStacks::new(&config, 0, 0);
+            let mut reference: Vec<u32> = Vec::new();
+            let mut stats = SimStats::default();
+            let mut ops = Vec::new();
+            let mut rng = sms_geom::SplitMix64::new(1234);
+            let mut next = 0u32;
+            for _ in 0..2000 {
+                if reference.is_empty() || rng.next_f32() < 0.55 {
+                    s.push(0, next, &mut stats, &mut ops);
+                    reference.push(next);
+                    next += 1;
+                } else {
+                    let got = s.pop(0, &mut stats, &mut ops);
+                    assert_eq!(got, reference.pop().unwrap(), "{config}");
+                }
+                assert_eq!(s.depth(0), reference.len(), "{config}");
+            }
+            assert_eq!(s.logical_contents(0), reference, "{config}");
+        }
+    }
+
+    #[test]
+    fn baseline_spills_to_global_at_rb_capacity() {
+        let mut s = WarpStacks::new(&StackConfig::baseline8(), 0, 0);
+        let (stats, ops) = push_n(&mut s, 0, 12);
+        assert_eq!(stats.rb_spills, 4);
+        let stores = ops
+            .iter()
+            .filter(|o| o.space == crate::Space::Global && o.kind == AccessKind::Store)
+            .count();
+        assert_eq!(stores, 4);
+    }
+
+    #[test]
+    fn full_stack_never_spills() {
+        let mut s = WarpStacks::new(&StackConfig::FullOnChip, 0, 0);
+        let (stats, ops) = push_n(&mut s, 0, 500);
+        assert_eq!(stats.rb_spills, 0);
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn sms_spills_to_shared_first() {
+        let mut s = WarpStacks::new(&StackConfig::Sms(SmsParams::default()), 0, 0);
+        // 8 RB + 8 SH = first 16 pushes never reach global memory.
+        let (stats, ops) = push_n(&mut s, 0, 16);
+        assert_eq!(stats.rb_spills, 8);
+        assert_eq!(stats.sh_spills, 0);
+        assert!(ops.iter().all(|o| o.space == crate::Space::Shared));
+        // The 17th push overflows SH -> shared load + global store + shared store.
+        let mut stats = SimStats::default();
+        let mut ops = Vec::new();
+        s.push(0, 99, &mut stats, &mut ops);
+        assert_eq!(stats.sh_spills, 1);
+        let kinds: Vec<(crate::Space, AccessKind)> =
+            ops.iter().map(|o| (o.space, o.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (crate::Space::Shared, AccessKind::Load),
+                (crate::Space::Global, AccessKind::Store),
+                (crate::Space::Shared, AccessKind::Store),
+            ],
+            "push with both stacks full follows the Fig. 7 sequence"
+        );
+    }
+
+    #[test]
+    fn pop_eagerly_refills_rb_from_shared() {
+        let mut s = WarpStacks::new(&StackConfig::Sms(SmsParams::default()), 0, 0);
+        push_n(&mut s, 0, 12); // 8 RB + 4 SH
+        let mut stats = SimStats::default();
+        let mut ops = Vec::new();
+        let v = s.pop(0, &mut stats, &mut ops);
+        assert_eq!(v, 11);
+        assert_eq!(stats.rb_reloads, 1);
+        assert_eq!(s.rb[0].len(), 8, "RB stays full while lower levels hold entries");
+        assert_eq!(s.sh_count(0), 3);
+        assert!(matches!(ops[0], MicroOp { space: crate::Space::Shared, kind: AccessKind::Load, .. }));
+    }
+
+    #[test]
+    fn pop_cascades_reload_from_global_into_shared() {
+        let mut s = WarpStacks::new(&StackConfig::Sms(SmsParams::default()), 0, 0);
+        push_n(&mut s, 0, 20); // 8 RB + 8 SH + 4 global
+        assert_eq!(s.global[0].len(), 4);
+        let mut stats = SimStats::default();
+        let mut ops = Vec::new();
+        s.pop(0, &mut stats, &mut ops);
+        assert_eq!(stats.rb_reloads, 1);
+        assert_eq!(stats.sh_reloads, 1);
+        assert_eq!(s.global[0].len(), 3);
+        assert_eq!(s.sh_count(0), 8, "SH refilled from global");
+        let kinds: Vec<(crate::Space, AccessKind)> =
+            ops.iter().map(|o| (o.space, o.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (crate::Space::Shared, AccessKind::Load),
+                (crate::Space::Global, AccessKind::Load),
+                (crate::Space::Shared, AccessKind::Store),
+            ],
+            "pop with both overflows: shared load, then global load + shared store"
+        );
+    }
+
+    #[test]
+    fn skew_formula_matches_paper_example() {
+        // N=8 -> k=2: threads 0,1 -> entry 0; 2,3 -> entry 1; 16,17 -> 0.
+        assert_eq!(base_entry_index(0, 8, true), 0);
+        assert_eq!(base_entry_index(1, 8, true), 0);
+        assert_eq!(base_entry_index(2, 8, true), 1);
+        assert_eq!(base_entry_index(3, 8, true), 1);
+        assert_eq!(base_entry_index(16, 8, true), 0);
+        assert_eq!(base_entry_index(18, 8, true), 1);
+        assert_eq!(base_entry_index(30, 8, true), 7);
+        // N=16 -> k=1: thread t -> t mod 16.
+        assert_eq!(base_entry_index(5, 16, true), 5);
+        assert_eq!(base_entry_index(21, 16, true), 5);
+        // Disabled skew -> always 0.
+        assert_eq!(base_entry_index(9, 8, false), 0);
+    }
+
+    #[test]
+    fn skewed_first_spills_hit_different_entries() {
+        let cfg = StackConfig::Sms(SmsParams::default().with_skewed(true));
+        let mut s = WarpStacks::new(&cfg, 0, 0);
+        let mut addr_of_first_spill = Vec::new();
+        for lane in [0usize, 2, 4, 6] {
+            let mut stats = SimStats::default();
+            let mut ops = Vec::new();
+            for i in 0..9 {
+                s.push(lane, i, &mut stats, &mut ops);
+            }
+            let MicroOp { addrs, .. } = ops.last().unwrap();
+            // Entry index within the segment = (addr - seg base) / 8.
+            let seg_base = (lane as u64) * 8 * 8;
+            addr_of_first_spill.push((addrs[0].0 - seg_base) / 8);
+        }
+        assert_eq!(addr_of_first_spill, vec![0, 1, 2, 3], "skew staggers base entries");
+    }
+
+    #[test]
+    fn realloc_borrows_idle_stack_instead_of_spilling() {
+        let cfg = StackConfig::Sms(SmsParams::default().with_realloc(true));
+        let mut s = WarpStacks::new(&cfg, 0, 0);
+        // Lane 1 finishes immediately: its SH stack becomes idle.
+        s.mark_done(1);
+        // Lane 0 pushes past RB+SH capacity.
+        let (stats, _) = push_n(&mut s, 0, 17);
+        assert_eq!(stats.ra_borrows, 1, "borrowed lane 1's stack");
+        assert_eq!(stats.sh_spills, 0, "no global spill needed");
+        assert_eq!(s.global[0].len(), 0);
+        assert_eq!(s.chain_len(0), 2);
+    }
+
+    #[test]
+    fn realloc_flushes_when_no_idle_stack() {
+        let cfg = StackConfig::Sms(SmsParams::default().with_realloc(true));
+        let mut s = WarpStacks::new(&cfg, 0, 0);
+        // No lane is done: pushing past 16 forces a flush of the bottom stack.
+        let (stats, ops) = push_n(&mut s, 0, 17);
+        assert_eq!(stats.ra_borrows, 0);
+        assert_eq!(stats.ra_flushes, 1);
+        assert_eq!(stats.sh_spills, 8, "whole 8-entry stack flushed");
+        assert_eq!(s.global[0].len(), 8);
+        // Flush is two burst ops: one shared read of 8 entries, one global
+        // write of 8 consecutive spill slots.
+        let flush_read = ops.iter().find(|o| o.addrs.len() == 8 && o.kind == AccessKind::Load);
+        let flush_write = ops.iter().find(|o| o.addrs.len() == 8 && o.kind == AccessKind::Store);
+        assert!(flush_read.is_some() && flush_write.is_some());
+        // LIFO still holds.
+        let popped = pop_all(&mut s, 0);
+        assert_eq!(popped, (0..17).rev().collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn released_borrowed_stack_returns_to_pool() {
+        let cfg = StackConfig::Sms(SmsParams::default().with_realloc(true));
+        let mut s = WarpStacks::new(&cfg, 0, 0);
+        s.mark_done(5);
+        push_n(&mut s, 0, 20); // borrows lane 5's stack
+        assert_eq!(s.chain_len(0), 2);
+        // Pop back down: the borrowed stack empties and is released.
+        let mut stats = SimStats::default();
+        let mut ops = Vec::new();
+        for _ in 0..8 {
+            s.pop(0, &mut stats, &mut ops);
+        }
+        assert_eq!(s.chain_len(0), 1, "borrowed stack released when empty");
+        assert!(s.segs[5].idle, "released stack is idle again");
+        // Another lane can now borrow it.
+        push_n(&mut s, 2, 17);
+        assert_eq!(s.chain_len(2), 2);
+    }
+
+    #[test]
+    fn borrow_limit_respected() {
+        let cfg = StackConfig::Sms(SmsParams {
+            realloc: true,
+            borrow_limit: 2,
+            ..SmsParams::default()
+        });
+        let mut s = WarpStacks::new(&cfg, 0, 0);
+        for lane in 1..8 {
+            s.mark_done(lane);
+        }
+        // 8 RB + (1+2) stacks * 8 = 32 entries before flushing starts.
+        let (stats, _) = push_n(&mut s, 0, 33);
+        assert_eq!(stats.ra_borrows, 2, "borrow limit caps the chain");
+        assert_eq!(stats.ra_flushes, 1, "then flushing takes over");
+        let popped = pop_all(&mut s, 0);
+        assert_eq!(popped.len(), 33);
+        assert_eq!(popped[0], 32);
+    }
+
+    #[test]
+    fn deep_stack_with_realloc_stays_correct() {
+        // Worst case of §VI-B: one thread alone pushing far past every
+        // capacity; forced flushes keep it correct.
+        let cfg = StackConfig::sms_default();
+        let mut s = WarpStacks::new(&cfg, 0, 0);
+        push_n(&mut s, 0, 200);
+        let popped = pop_all(&mut s, 0);
+        assert_eq!(popped, (0..200).rev().collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn spill_addresses_follow_local_memory_layout() {
+        // Warp with tid_base 64 = global warp 2; lanes interleave by 8B.
+        let mut s = WarpStacks::new(&StackConfig::baseline8(), 0, 64);
+        let mut stats = SimStats::default();
+        let (mut o0, mut o1) = (Vec::new(), Vec::new());
+        for i in 0..9 {
+            s.push(0, i, &mut stats, &mut o0);
+            s.push(1, i, &mut stats, &mut o1);
+        }
+        let a0 = o0[0].addrs[0].0;
+        let a1 = o1[0].addrs[0].0;
+        assert_eq!(a0, sms_mem::SPILL_BASE_ADDR + 2 * sms_mem::SPILL_REGION_BYTES);
+        assert_eq!(a1 - a0, 8, "adjacent lanes at the same slot are 8B apart");
+        // The same lane's next spill slot is a warp-width stride away.
+        let mut o0b = Vec::new();
+        s.push(0, 9, &mut stats, &mut o0b);
+        assert_eq!(o0b[0].addrs[0].0 - a0, 32 * 8);
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(StackConfig::baseline8().label(), "RB_8");
+        assert_eq!(StackConfig::FullOnChip.label(), "RB_FULL");
+        assert_eq!(StackConfig::sms_default().label(), "RB_8+SH_8+SK+RA");
+        assert_eq!(
+            StackConfig::Sms(SmsParams::default().with_skewed(true)).label(),
+            "RB_8+SH_8+SK"
+        );
+    }
+
+    #[test]
+    fn shared_carveout_matches_paper() {
+        // 4 warps x 32 threads x 8 entries x 8B = 8KB (paper §IV-B).
+        assert_eq!(StackConfig::sms_default().shared_carveout(4), 8 * 1024);
+        assert_eq!(StackConfig::baseline8().shared_carveout(4), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Trace-ray requests and results exchanged between the SM and its RT unit.
+
+use sms_bvh::Hit;
+use sms_geom::Ray;
+use sms_gpu::{WarpId, WARP_SIZE};
+
+/// One thread's ray query within a warp-level trace instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RayQuery {
+    /// The ray to trace.
+    pub ray: Ray,
+    /// Minimum ray parameter.
+    pub t_min: f32,
+    /// Maximum ray parameter (shadow rays bound this by the light distance).
+    pub t_max: f32,
+    /// `true` for occlusion (any-hit) queries: traversal terminates at the
+    /// first primitive hit.
+    pub any_hit: bool,
+}
+
+impl RayQuery {
+    /// A nearest-hit (closest-hit) query over `[t_min, ∞)`.
+    pub fn nearest(ray: Ray, t_min: f32) -> Self {
+        RayQuery { ray, t_min, t_max: f32::INFINITY, any_hit: false }
+    }
+
+    /// An occlusion query over `[t_min, t_max]`.
+    pub fn occlusion(ray: Ray, t_min: f32, t_max: f32) -> Self {
+        RayQuery { ray, t_min, t_max, any_hit: true }
+    }
+}
+
+/// A warp-level trace instruction entering the RT unit's warp buffer.
+///
+/// `rays[lane] == None` marks an inactive lane (SIMT divergence: that
+/// thread's path already terminated).
+#[derive(Debug, Clone)]
+pub struct TraceRequest {
+    /// The issuing warp.
+    pub warp: WarpId,
+    /// One optional query per lane.
+    pub rays: Vec<Option<RayQuery>>,
+}
+
+impl TraceRequest {
+    /// Creates a request, validating the lane count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rays.len() != 32`.
+    pub fn new(warp: WarpId, rays: Vec<Option<RayQuery>>) -> Self {
+        assert_eq!(rays.len(), WARP_SIZE, "a warp has exactly {WARP_SIZE} lanes");
+        TraceRequest { warp, rays }
+    }
+
+    /// Number of active lanes.
+    pub fn active_lanes(&self) -> usize {
+        self.rays.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// The result of a completed warp trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceResult {
+    /// The warp that issued the trace.
+    pub warp: WarpId,
+    /// Nearest hit per lane (`None` = miss or inactive lane).
+    pub hits: Vec<Option<Hit>>,
+    /// Occlusion answer per lane (only meaningful for any-hit queries).
+    pub occluded: Vec<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sms_geom::Vec3;
+
+    #[test]
+    fn active_lane_count() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+        let mut rays: Vec<Option<RayQuery>> = vec![None; 32];
+        rays[3] = Some(RayQuery::nearest(ray, 0.0));
+        rays[17] = Some(RayQuery::occlusion(ray, 0.0, 5.0));
+        let req = TraceRequest::new(7, rays);
+        assert_eq!(req.active_lanes(), 2);
+        assert_eq!(req.warp, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "32 lanes")]
+    fn wrong_lane_count_rejected() {
+        let _ = TraceRequest::new(0, vec![None; 8]);
+    }
+
+    #[test]
+    fn query_constructors() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        let n = RayQuery::nearest(ray, 0.1);
+        assert!(!n.any_hit);
+        assert_eq!(n.t_max, f32::INFINITY);
+        let o = RayQuery::occlusion(ray, 0.1, 9.0);
+        assert!(o.any_hit);
+        assert_eq!(o.t_max, 9.0);
+    }
+}

@@ -1,0 +1,563 @@
+//! The RT unit proper: warp buffer, traversal state machines, memory issue.
+//!
+//! Per cycle ([`RtUnit::tick`]):
+//!
+//! 1. **Response / operation units** (all warps): node data whose fetch
+//!    completed flows through the matching operation unit (ray-box for
+//!    internal nodes, ray-triangle for leaves — §II-B) and, after the unit's
+//!    latency, commits: intersected children are sorted nearest-first, the
+//!    nearest is visited next, the rest are pushed; leaf hits shrink
+//!    `t_max`; exhausted rays pop. Pushes and pops go through the
+//!    [`WarpStacks`] stack manager, which emits timed memory micro-ops.
+//! 2. **Warp scheduling** (GTO, §II-B): one warp is scheduled; its threads'
+//!    node fetches are collected and coalesced into line transactions, and
+//!    the head stack micro-op of each stalled thread is issued — shared-
+//!    memory ops batch into one warp-wide banked transaction, global ops
+//!    coalesce by line. Loads block their thread; stores are posted.
+//! 3. Completed warps retire and their [`TraceResult`] returns to the SM.
+
+use crate::microop::{MicroOp, Space};
+use crate::stack::{StackConfig, WarpStacks};
+use crate::trace::{RayQuery, TraceRequest, TraceResult};
+use sms_bvh::traverse::{node_step, NodeStep};
+use sms_bvh::{BvhLayout, DepthRecorder, Hit, NodeId, Primitive, WideBvh, WideNode};
+use sms_gpu::{GtoScheduler, SimStats, WarpId, WARP_SIZE};
+use sms_mem::{coalesce_lines, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1};
+
+/// Static configuration of one RT unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtUnitConfig {
+    /// Traversal-stack architecture.
+    pub stack: StackConfig,
+    /// Warp-buffer capacity (Table I: 4).
+    pub max_warps: usize,
+    /// Ray-box operation-unit latency in cycles.
+    pub box_latency: u64,
+    /// Ray-triangle operation-unit latency in cycles.
+    pub tri_latency: u64,
+    /// Record logical stack depths at every push/pop (Figs. 4/5).
+    pub record_depths: bool,
+}
+
+impl RtUnitConfig {
+    /// Table I defaults with the given stack architecture.
+    pub fn new(stack: StackConfig) -> Self {
+        RtUnitConfig { stack, max_warps: 4, box_latency: 10, tri_latency: 20, record_depths: false }
+    }
+}
+
+/// Records per-thread depth traces for the paper's Fig. 10.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadTraceRecorder {
+    /// Record only warps with id below this bound.
+    pub warp_limit: WarpId,
+    /// `(warp, lane, access index, depth after op)` samples.
+    pub samples: Vec<(WarpId, u8, u32, u16)>,
+}
+
+impl ThreadTraceRecorder {
+    /// Records the first `warp_limit` warps.
+    pub fn new(warp_limit: WarpId) -> Self {
+        ThreadTraceRecorder { warp_limit, samples: Vec::new() }
+    }
+}
+
+/// Per-thread traversal state.
+#[derive(Debug, Clone)]
+enum TState {
+    /// Has a current node; needs its data fetched.
+    NeedFetch,
+    /// Node fetch in flight.
+    WaitFetch {
+        done: Cycle,
+    },
+    /// Operation unit busy; commits `step` at `done`.
+    OpWait {
+        done: Cycle,
+        step: NodeStep,
+    },
+    /// Stack micro-ops pending; head not yet issued.
+    StackIssue,
+    /// Head stack micro-op (a load) in flight.
+    StackWait {
+        done: Cycle,
+    },
+    /// Traversal finished (or lane inactive).
+    Idle,
+}
+
+#[derive(Debug, Clone)]
+struct ThreadCtx {
+    query: Option<RayQuery>,
+    state: TState,
+    current: Option<NodeId>,
+    best: Option<Hit>,
+    occluded: bool,
+    t_max: f32,
+    ops: std::collections::VecDeque<MicroOp>,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct WarpSlot {
+    warp: WarpId,
+    stacks: WarpStacks,
+    threads: Vec<ThreadCtx>,
+    access_counts: [u32; WARP_SIZE],
+    done_count: usize,
+}
+
+/// One ray-tracing acceleration unit (one per SM, Table I).
+#[derive(Debug)]
+pub struct RtUnit {
+    config: RtUnitConfig,
+    slots: Vec<Option<WarpSlot>>,
+    sched: GtoScheduler,
+    shared_stride: u64,
+    /// Stack-depth histogram across all rays (when `record_depths`).
+    pub depth_recorder: DepthRecorder,
+    /// Optional per-thread traces (Fig. 10).
+    pub thread_traces: Option<ThreadTraceRecorder>,
+}
+
+impl RtUnit {
+    /// Creates an idle RT unit.
+    pub fn new(config: RtUnitConfig) -> Self {
+        RtUnit {
+            shared_stride: config.stack.shared_bytes_per_warp(),
+            slots: (0..config.max_warps).map(|_| None).collect(),
+            sched: GtoScheduler::new(),
+            config,
+            depth_recorder: DepthRecorder::new(),
+            thread_traces: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RtUnitConfig {
+        &self.config
+    }
+
+    /// Number of warps currently resident.
+    pub fn busy_warps(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// `true` when a new warp can be admitted.
+    pub fn has_free_slot(&self) -> bool {
+        self.busy_warps() < self.config.max_warps
+    }
+
+    /// Admits a warp trace request into the warp buffer.
+    ///
+    /// Returns the request back when the buffer is full.
+    pub fn try_admit(&mut self, req: TraceRequest, stats: &mut SimStats) -> Result<(), TraceRequest> {
+        let Some(slot_idx) = self.slots.iter().position(Option::is_none) else {
+            return Err(req);
+        };
+        let region_base = slot_idx as u64 * self.shared_stride;
+        let tid_base = req.warp * WARP_SIZE as u32;
+        let stacks = WarpStacks::new(&self.config.stack, region_base, tid_base);
+        let mut threads = Vec::with_capacity(WARP_SIZE);
+        let mut active = 0usize;
+        for lane in 0..WARP_SIZE {
+            let query = req.rays[lane];
+            let ctx = match query {
+                Some(q) => {
+                    active += 1;
+                    if q.any_hit {
+                        stats.shadow_rays += 1;
+                    } else {
+                        stats.rays_traced += 1;
+                    }
+                    ThreadCtx {
+                        query,
+                        state: TState::NeedFetch,
+                        current: Some(0),
+                        best: None,
+                        occluded: false,
+                        t_max: q.t_max,
+                        ops: std::collections::VecDeque::new(),
+                        done: false,
+                    }
+                }
+                None => ThreadCtx {
+                    query: None,
+                    state: TState::Idle,
+                    current: None,
+                    best: None,
+                    occluded: false,
+                    t_max: 0.0,
+                    ops: std::collections::VecDeque::new(),
+                    done: true,
+                },
+            };
+            threads.push(ctx);
+        }
+        // Inactive lanes release their SH stacks to the idle pool at once.
+        let mut slot = WarpSlot {
+            warp: req.warp,
+            stacks,
+            threads,
+            access_counts: [0; WARP_SIZE],
+            done_count: WARP_SIZE - active,
+        };
+        for lane in 0..WARP_SIZE {
+            if slot.threads[lane].done {
+                slot.stacks.mark_done(lane);
+            }
+        }
+        self.slots[slot_idx] = Some(slot);
+        Ok(())
+    }
+
+    /// `true` when some thread could issue work if its warp were scheduled.
+    pub fn has_issuable(&self) -> bool {
+        self.slots.iter().flatten().any(|s| {
+            s.threads
+                .iter()
+                .any(|t| matches!(t.state, TState::NeedFetch | TState::StackIssue))
+        })
+    }
+
+    /// The earliest future cycle at which some waiting thread completes,
+    /// if any thread is waiting.
+    pub fn next_completion(&self) -> Option<Cycle> {
+        self.slots
+            .iter()
+            .flatten()
+            .flat_map(|s| s.threads.iter())
+            .filter_map(|t| match t.state {
+                TState::WaitFetch { done }
+                | TState::OpWait { done, .. }
+                | TState::StackWait { done } => Some(done),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Advances the RT unit by one cycle. Returns trace results of warps
+    /// that completed this cycle.
+    pub fn tick<P: Primitive>(
+        &mut self,
+        now: Cycle,
+        bvh: &WideBvh,
+        prims: &[P],
+        l1: &mut SmL1,
+        shared: &mut SharedMem,
+        global: &mut GlobalMemory,
+        stats: &mut SimStats,
+    ) -> Vec<TraceResult> {
+        // Phase 1: response FIFO + operation units (run for every warp).
+        for slot in self.slots.iter_mut().flatten() {
+            Self::advance_threads(
+                slot,
+                now,
+                bvh,
+                prims,
+                stats,
+                &self.config,
+                &mut self.depth_recorder,
+                &mut self.thread_traces,
+            );
+        }
+
+        // Phase 2: schedule one warp (GTO) and issue its memory work.
+        let ready: Vec<WarpId> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|s| {
+                s.threads
+                    .iter()
+                    .any(|t| matches!(t.state, TState::NeedFetch | TState::StackIssue))
+            })
+            .map(|s| s.warp)
+            .collect();
+        if let Some(warp) = self.sched.pick(ready) {
+            let slot = self
+                .slots
+                .iter_mut()
+                .flatten()
+                .find(|s| s.warp == warp)
+                .expect("scheduled warp resident");
+            Self::issue_warp(slot, now, bvh, l1, shared, global, stats);
+        }
+
+        // Phase 3: retire completed warps.
+        let mut results = Vec::new();
+        for entry in &mut self.slots {
+            let finished = entry
+                .as_ref()
+                .map(|s| s.done_count == WARP_SIZE)
+                .unwrap_or(false);
+            if finished {
+                let slot = entry.take().expect("checked above");
+                self.sched.evict(slot.warp);
+                results.push(TraceResult {
+                    warp: slot.warp,
+                    hits: slot.threads.iter().map(|t| t.best).collect(),
+                    occluded: slot.threads.iter().map(|t| t.occluded).collect(),
+                });
+            }
+        }
+        results
+    }
+
+    /// Phase 1: state transitions that do not need the warp scheduler.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_threads<P: Primitive>(
+        slot: &mut WarpSlot,
+        now: Cycle,
+        bvh: &WideBvh,
+        prims: &[P],
+        stats: &mut SimStats,
+        config: &RtUnitConfig,
+        depths: &mut DepthRecorder,
+        traces: &mut Option<ThreadTraceRecorder>,
+    ) {
+        for lane in 0..WARP_SIZE {
+            loop {
+                let t = &mut slot.threads[lane];
+                match &t.state {
+                    TState::WaitFetch { done } if *done <= now => {
+                        let node = t.current.expect("fetching requires a node");
+                        let q = t.query.expect("active thread has a query");
+                        let step = node_step(bvh, prims, &q.ray, node, q.t_min, t.t_max);
+                        let lat = match &bvh.nodes[node as usize] {
+                            WideNode::Inner { .. } => config.box_latency,
+                            WideNode::Leaf { .. } => config.tri_latency,
+                        };
+                        let done = *done;
+                        t.state = TState::OpWait { done: done + lat, step };
+                    }
+                    TState::OpWait { done, .. } if *done <= now => {
+                        let TState::OpWait { step, .. } =
+                            std::mem::replace(&mut t.state, TState::Idle)
+                        else {
+                            unreachable!()
+                        };
+                        stats.node_visits += 1;
+                        Self::commit_step(slot, lane, step, stats, config, depths, traces);
+                        // commit_step set the next state; keep draining in
+                        // case it is already complete (e.g. empty op list).
+                        break;
+                    }
+                    TState::StackWait { done } if *done <= now => {
+                        let t = &mut slot.threads[lane];
+                        t.ops.pop_front();
+                        t.state = Self::after_ops_state(t);
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    /// The state a thread enters once its current micro-op finished.
+    fn after_ops_state(t: &ThreadCtx) -> TState {
+        if !t.ops.is_empty() {
+            TState::StackIssue
+        } else if t.done {
+            TState::Idle
+        } else {
+            TState::NeedFetch
+        }
+    }
+
+    /// Applies a completed node visit: child ordering, stack pushes/pops,
+    /// leaf hit bookkeeping (§II-B "BVH operation complete" path).
+    fn commit_step(
+        slot: &mut WarpSlot,
+        lane: usize,
+        step: NodeStep,
+        stats: &mut SimStats,
+        config: &RtUnitConfig,
+        depths: &mut DepthRecorder,
+        traces: &mut Option<ThreadTraceRecorder>,
+    ) {
+        let mut new_ops: Vec<MicroOp> = Vec::new();
+        let mut record = |slot: &mut WarpSlot, lane: usize| {
+            let d = slot.stacks.depth(lane);
+            if config.record_depths {
+                use sms_bvh::traverse::StackObserver;
+                depths.on_push(d); // record() is symmetric for push/pop
+            }
+            if let Some(tr) = traces {
+                if slot.warp < tr.warp_limit {
+                    let idx = slot.access_counts[lane];
+                    slot.access_counts[lane] += 1;
+                    tr.samples.push((slot.warp, lane as u8, idx, d.min(u16::MAX as usize) as u16));
+                }
+            }
+        };
+
+        enum Next {
+            Visit(NodeId),
+            PopOrDone,
+        }
+        let next = match step {
+            NodeStep::Inner(hits) => {
+                if hits.is_empty() {
+                    Next::PopOrDone
+                } else {
+                    // Push the non-nearest intersected children far-to-near.
+                    for i in (1..hits.len()).rev() {
+                        slot.stacks.push(lane, hits.get(i).1, stats, &mut new_ops);
+                        record(slot, lane);
+                    }
+                    Next::Visit(hits.get(0).1)
+                }
+            }
+            NodeStep::Leaf(hit) => {
+                let t = &mut slot.threads[lane];
+                if let Some(h) = hit {
+                    let q = t.query.expect("active thread");
+                    if q.any_hit {
+                        // Occlusion query: terminate immediately.
+                        t.occluded = true;
+                        t.done = true;
+                        t.current = None;
+                        slot.stacks.clear_lane(lane);
+                        slot.done_count += 1;
+                        t.state = Self::after_ops_state(t);
+                        return;
+                    }
+                    if h.t < t.t_max {
+                        t.t_max = h.t;
+                        t.best = Some(h);
+                    }
+                }
+                Next::PopOrDone
+            }
+        };
+
+        match next {
+            Next::Visit(node) => {
+                slot.threads[lane].current = Some(node);
+            }
+            Next::PopOrDone => {
+                if slot.stacks.is_empty(lane) {
+                    let t = &mut slot.threads[lane];
+                    t.done = true;
+                    t.current = None;
+                    slot.done_count += 1;
+                    slot.stacks.mark_done(lane);
+                } else {
+                    let v = slot.stacks.pop(lane, stats, &mut new_ops);
+                    record(slot, lane);
+                    slot.threads[lane].current = Some(v);
+                }
+            }
+        }
+        let t = &mut slot.threads[lane];
+        t.ops.extend(new_ops);
+        t.state = Self::after_ops_state(t);
+    }
+
+    /// Phase 2: issue the scheduled warp's node fetches and stack micro-ops.
+    fn issue_warp(
+        slot: &mut WarpSlot,
+        now: Cycle,
+        bvh: &WideBvh,
+        l1: &mut SmL1,
+        shared: &mut SharedMem,
+        global: &mut GlobalMemory,
+        stats: &mut SimStats,
+    ) {
+        // --- Node fetches: collect, coalesce, issue per line. ---
+        let mut fetch_lanes: Vec<(usize, Vec<(u64, u32)>)> = Vec::new();
+        for lane in 0..WARP_SIZE {
+            if matches!(slot.threads[lane].state, TState::NeedFetch) {
+                let node = slot.threads[lane].current.expect("NeedFetch has a node");
+                let mut spans = vec![BvhLayout::node_fetch(node)];
+                if let WideNode::Leaf { first, count } = &bvh.nodes[node as usize] {
+                    if *count > 0 {
+                        spans.push(BvhLayout::leaf_fetch(*first, *count));
+                    }
+                }
+                fetch_lanes.push((lane, spans));
+            }
+        }
+        if !fetch_lanes.is_empty() {
+            let all_lines =
+                coalesce_lines(fetch_lanes.iter().flat_map(|(_, s)| s.iter().copied()));
+            let mut line_done: std::collections::HashMap<u64, Cycle> =
+                std::collections::HashMap::with_capacity(all_lines.len());
+            for line in all_lines {
+                let done = l1.access_line(global, line, AccessKind::Load, now, false);
+                line_done.insert(line, done);
+            }
+            for (lane, spans) in fetch_lanes {
+                let done = coalesce_lines(spans)
+                    .into_iter()
+                    .map(|l| line_done[&l])
+                    .max()
+                    .unwrap_or(now + 1);
+                slot.threads[lane].state = TState::WaitFetch { done };
+            }
+        }
+
+        // --- Stack micro-ops: one per stalled thread, batched by space. ---
+        let mut shared_batch: Vec<(usize, bool)> = Vec::new(); // (lane, blocking)
+        let mut shared_addrs: Vec<(u64, u32)> = Vec::new();
+        let mut global_lanes: Vec<(usize, Vec<(u64, u32)>, bool)> = Vec::new();
+        for lane in 0..WARP_SIZE {
+            if !matches!(slot.threads[lane].state, TState::StackIssue) {
+                continue;
+            }
+            let op = slot.threads[lane].ops.front().expect("StackIssue implies pending op");
+            match op.space {
+                Space::Shared => {
+                    shared_addrs.extend(op.addrs.iter().copied());
+                    shared_batch.push((lane, op.is_blocking()));
+                }
+                Space::Global => {
+                    global_lanes.push((lane, op.addrs.clone(), op.is_blocking()));
+                }
+            }
+        }
+
+        if !shared_batch.is_empty() {
+            stats.mem.shared_accesses += 1;
+            let before = shared.conflict_cycles;
+            let done = shared.access_warp(now, shared_addrs.iter().copied());
+            stats.mem.bank_conflict_cycles += shared.conflict_cycles - before;
+            for (lane, blocking) in shared_batch {
+                let t = &mut slot.threads[lane];
+                if blocking {
+                    t.state = TState::StackWait { done };
+                } else {
+                    t.ops.pop_front();
+                    t.state = Self::after_ops_state(t);
+                }
+            }
+        }
+
+        if !global_lanes.is_empty() {
+            let all_lines =
+                coalesce_lines(global_lanes.iter().flat_map(|(_, a, _)| a.iter().copied()));
+            // Loads and stores share the issue path; kind resolved per lane.
+            let mut line_done: std::collections::HashMap<u64, Cycle> =
+                std::collections::HashMap::with_capacity(all_lines.len());
+            for (lane, addrs, blocking) in global_lanes {
+                let kind = if blocking { AccessKind::Load } else { AccessKind::Store };
+                let mut done = now + 1;
+                for line in coalesce_lines(addrs.iter().copied()) {
+                    let d = *line_done
+                        .entry(line)
+                        .or_insert_with(|| l1.access_line(global, line, kind, now, true));
+                    done = done.max(d);
+                }
+                let t = &mut slot.threads[lane];
+                if blocking {
+                    t.state = TState::StackWait { done };
+                } else {
+                    t.ops.pop_front();
+                    t.state = Self::after_ops_state(t);
+                }
+            }
+        }
+    }
+}

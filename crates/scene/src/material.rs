@@ -1,0 +1,197 @@
+//! Surface materials for the path-tracing workload.
+//!
+//! The paper renders every scene with Lumibench's path-tracing (PT) shader.
+//! What matters for the *architecture* study is the ray mix the shader
+//! produces — incoherent bounce rays and shadow rays — so we implement a
+//! standard small material set: diffuse, metal, glass and emissive.
+
+use sms_geom::{DeterministicRng, Onb, Ray, SplitMix64, Vec3, RAY_EPSILON};
+
+/// Index into [`crate::Scene::materials`].
+pub type MaterialId = u32;
+
+/// A surface material.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Material {
+    /// Ideal diffuse reflector.
+    Lambertian {
+        /// Surface albedo.
+        albedo: Vec3,
+    },
+    /// Metallic reflector with optional roughness.
+    Metal {
+        /// Surface albedo.
+        albedo: Vec3,
+        /// Roughness in `[0, 1]`; 0 is a perfect mirror.
+        fuzz: f32,
+    },
+    /// Transparent dielectric (glass).
+    Dielectric {
+        /// Index of refraction (≈1.5 for glass).
+        ior: f32,
+    },
+    /// Light-emitting surface; paths terminate here.
+    Emissive {
+        /// Emitted radiance.
+        radiance: Vec3,
+    },
+}
+
+/// The outcome of a material scatter event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterResult {
+    /// The continuation (bounce) ray.
+    pub ray: Ray,
+    /// Path throughput multiplier.
+    pub attenuation: Vec3,
+}
+
+impl Material {
+    /// Radiance emitted by the surface (zero for non-emissive materials).
+    pub fn emitted(&self) -> Vec3 {
+        match self {
+            Material::Emissive { radiance } => *radiance,
+            _ => Vec3::ZERO,
+        }
+    }
+
+    /// `true` when shadow rays toward the light are useful for this
+    /// material (diffuse-like surfaces).
+    pub fn casts_shadow_rays(&self) -> bool {
+        match self {
+            Material::Lambertian { .. } => true,
+            Material::Metal { fuzz, .. } => *fuzz > 0.3,
+            Material::Dielectric { .. } | Material::Emissive { .. } => false,
+        }
+    }
+
+    /// Samples a bounce ray at a hit point.
+    ///
+    /// Returns `None` when the path terminates (emissive surfaces, or
+    /// grazing refraction corner cases).
+    pub fn scatter(
+        &self,
+        incoming: &Ray,
+        point: Vec3,
+        normal: Vec3,
+        rng: &mut SplitMix64,
+    ) -> Option<ScatterResult> {
+        // Face the normal against the incoming ray.
+        let outward = if incoming.dir.dot(normal) < 0.0 { normal } else { -normal };
+        match *self {
+            Material::Lambertian { albedo } => {
+                let onb = Onb::from_w(outward);
+                let dir = onb.to_world(rng.cosine_hemisphere());
+                let dir = if dir.length_squared() > 1e-12 { dir } else { outward };
+                Some(ScatterResult {
+                    ray: Ray::new(point + outward * RAY_EPSILON, dir),
+                    attenuation: albedo,
+                })
+            }
+            Material::Metal { albedo, fuzz } => {
+                let reflected = incoming.dir.reflect(outward);
+                let dir = reflected + rng.unit_vector() * fuzz;
+                let dir = if dir.dot(outward) > 0.0 { dir } else { reflected };
+                Some(ScatterResult {
+                    ray: Ray::new(point + outward * RAY_EPSILON, dir),
+                    attenuation: albedo,
+                })
+            }
+            Material::Dielectric { ior } => {
+                let entering = incoming.dir.dot(normal) < 0.0;
+                let eta = if entering { 1.0 / ior } else { ior };
+                let cos_theta = (-incoming.dir.dot(outward)).min(1.0);
+                let sin_theta = (1.0 - cos_theta * cos_theta).max(0.0).sqrt();
+                let reflectance = schlick(cos_theta, eta);
+                let dir = if eta * sin_theta > 1.0 || rng.next_f32() < reflectance {
+                    incoming.dir.reflect(outward)
+                } else {
+                    refract(incoming.dir, outward, eta)
+                };
+                Some(ScatterResult {
+                    // Offset along the new direction side of the surface.
+                    ray: Ray::new(point + dir.normalized() * RAY_EPSILON, dir),
+                    attenuation: Vec3::ONE,
+                })
+            }
+            Material::Emissive { .. } => None,
+        }
+    }
+}
+
+fn schlick(cos_theta: f32, eta: f32) -> f32 {
+    let r0 = (1.0 - eta) / (1.0 + eta);
+    let r0 = r0 * r0;
+    r0 + (1.0 - r0) * (1.0 - cos_theta).powi(5)
+}
+
+fn refract(dir: Vec3, n: Vec3, eta: f32) -> Vec3 {
+    let cos_theta = (-dir.dot(n)).min(1.0);
+    let perp = (dir + n * cos_theta) * eta;
+    let parallel = n * -(1.0 - perp.length_squared()).abs().sqrt();
+    perp + parallel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit_setup() -> (Ray, Vec3, Vec3, SplitMix64) {
+        let ray = Ray::new(Vec3::new(0.0, 1.0, -1.0), Vec3::new(0.0, -1.0, 1.0));
+        (ray, Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0), SplitMix64::new(9))
+    }
+
+    #[test]
+    fn lambertian_scatters_into_upper_hemisphere() {
+        let (ray, p, n, mut rng) = hit_setup();
+        let m = Material::Lambertian { albedo: Vec3::splat(0.5) };
+        for _ in 0..100 {
+            let s = m.scatter(&ray, p, n, &mut rng).unwrap();
+            assert!(s.ray.dir.dot(n) > -1e-6, "bounce below surface");
+            assert_eq!(s.attenuation, Vec3::splat(0.5));
+        }
+    }
+
+    #[test]
+    fn mirror_metal_reflects_exactly() {
+        let (ray, p, n, mut rng) = hit_setup();
+        let m = Material::Metal { albedo: Vec3::ONE, fuzz: 0.0 };
+        let s = m.scatter(&ray, p, n, &mut rng).unwrap();
+        let expected = ray.dir.reflect(n);
+        assert!((s.ray.dir - expected.normalized()).length() < 1e-5);
+    }
+
+    #[test]
+    fn emissive_terminates_path() {
+        let (ray, p, n, mut rng) = hit_setup();
+        let m = Material::Emissive { radiance: Vec3::ONE };
+        assert!(m.scatter(&ray, p, n, &mut rng).is_none());
+        assert_eq!(m.emitted(), Vec3::ONE);
+    }
+
+    #[test]
+    fn dielectric_preserves_energy() {
+        let (ray, p, n, mut rng) = hit_setup();
+        let m = Material::Dielectric { ior: 1.5 };
+        let s = m.scatter(&ray, p, n, &mut rng).unwrap();
+        assert_eq!(s.attenuation, Vec3::ONE);
+        assert!(s.ray.dir.is_finite());
+    }
+
+    #[test]
+    fn dielectric_total_internal_reflection() {
+        // Grazing ray from inside a dense medium must reflect.
+        let ray = Ray::new(Vec3::new(0.0, -0.1, -1.0), Vec3::new(0.05, 1.0, 0.0));
+        let n = Vec3::new(0.0, 1.0, 0.0);
+        let m = Material::Dielectric { ior: 10.0 };
+        let mut rng = SplitMix64::new(1);
+        let s = m.scatter(&ray, Vec3::ZERO, n, &mut rng).unwrap();
+        assert!(s.ray.dir.is_finite());
+    }
+
+    #[test]
+    fn non_emissive_emit_zero() {
+        assert_eq!(Material::Lambertian { albedo: Vec3::ONE }.emitted(), Vec3::ZERO);
+        assert_eq!(Material::Dielectric { ior: 1.5 }.emitted(), Vec3::ZERO);
+    }
+}

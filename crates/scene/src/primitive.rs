@@ -1,0 +1,99 @@
+//! Scene primitives: shapes paired with materials.
+
+use crate::material::MaterialId;
+use sms_bvh::{PrimHit, Primitive};
+use sms_geom::{Aabb, Ray, Sphere, Triangle, Vec3};
+
+/// The geometric shape of a scene primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// A triangle.
+    Tri(Triangle),
+    /// An analytic sphere (used by WKND, CRNVL and REF).
+    Sphere(Sphere),
+}
+
+/// A shape with a material, stored in BVH leaves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenePrimitive {
+    /// Geometry.
+    pub shape: Shape,
+    /// Index into the scene's material table.
+    pub material: MaterialId,
+}
+
+impl ScenePrimitive {
+    /// Creates a triangle primitive.
+    pub fn tri(v0: Vec3, v1: Vec3, v2: Vec3, material: MaterialId) -> Self {
+        ScenePrimitive { shape: Shape::Tri(Triangle::new(v0, v1, v2)), material }
+    }
+
+    /// Creates a sphere primitive.
+    pub fn sphere(center: Vec3, radius: f32, material: MaterialId) -> Self {
+        ScenePrimitive { shape: Shape::Sphere(Sphere::new(center, radius)), material }
+    }
+
+    /// Geometric normal at a surface point `p` (for spheres) or anywhere
+    /// (for flat triangles).
+    pub fn normal_at(&self, p: Vec3) -> Vec3 {
+        match &self.shape {
+            Shape::Tri(t) => t.normal(),
+            Shape::Sphere(s) => s.normal_at(p),
+        }
+    }
+}
+
+impl Primitive for ScenePrimitive {
+    fn aabb(&self) -> Aabb {
+        match &self.shape {
+            Shape::Tri(t) => t.aabb(),
+            Shape::Sphere(s) => s.aabb(),
+        }
+    }
+
+    fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<PrimHit> {
+        match &self.shape {
+            Shape::Tri(t) => {
+                t.intersect(ray, t_min, t_max).map(|h| PrimHit { t: h.t, u: h.u, v: h.v })
+            }
+            Shape::Sphere(s) => {
+                s.intersect(ray, t_min, t_max).map(|t| PrimHit { t, u: 0.0, v: 0.0 })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_primitive_intersects() {
+        let p = ScenePrimitive::tri(
+            Vec3::new(-1.0, -1.0, 2.0),
+            Vec3::new(1.0, -1.0, 2.0),
+            Vec3::new(0.0, 1.0, 2.0),
+            0,
+        );
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+        let h = p.intersect(&r, 0.0, f32::INFINITY).unwrap();
+        assert!((h.t - 2.0).abs() < 1e-5);
+        assert!(p.aabb().contains_point(r.at(h.t)));
+    }
+
+    #[test]
+    fn sphere_primitive_intersects() {
+        let p = ScenePrimitive::sphere(Vec3::new(0.0, 0.0, 5.0), 1.0, 3);
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+        let h = p.intersect(&r, 0.0, f32::INFINITY).unwrap();
+        assert!((h.t - 4.0).abs() < 1e-5);
+        assert_eq!(p.material, 3);
+    }
+
+    #[test]
+    fn sphere_normal_points_outward() {
+        let p = ScenePrimitive::sphere(Vec3::ZERO, 2.0, 0);
+        let n = p.normal_at(Vec3::new(0.0, 2.0, 0.0));
+        assert!((n - Vec3::new(0.0, 1.0, 0.0)).length() < 1e-5);
+    }
+}

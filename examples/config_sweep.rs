@@ -1,0 +1,62 @@
+//! Sweeps RB/SH stack sizes on one scene, printing the full design space —
+//! a combined view of the paper's Figs. 6a, 8 and 15.
+//!
+//! ```text
+//! cargo run --release --example config_sweep [SCENE]
+//! ```
+
+use sms_sim::config::RenderConfig;
+use sms_sim::experiments::run_prepared;
+use sms_sim::gpu::GpuConfig;
+use sms_sim::render::PreparedScene;
+use sms_sim::report::{fmt_improvement, Table};
+use sms_sim::rtunit::{SmsParams, StackConfig};
+use sms_sim::scene::SceneId;
+
+fn main() {
+    let scene: SceneId = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("unknown scene name"))
+        .unwrap_or(SceneId::Party);
+    let render = RenderConfig::from_env();
+    println!("Sweeping stack configurations on {scene}...\n");
+    let prepared = PreparedScene::build(scene, &render);
+    let gpu = GpuConfig::default();
+
+    let mut configs = vec![
+        StackConfig::Baseline { rb_entries: 2 },
+        StackConfig::Baseline { rb_entries: 4 },
+        StackConfig::baseline8(),
+        StackConfig::Baseline { rb_entries: 16 },
+        StackConfig::Baseline { rb_entries: 32 },
+    ];
+    for rb in [2, 4, 8] {
+        for sh in [4, 8, 16] {
+            configs.push(StackConfig::Sms(
+                SmsParams { rb_entries: rb, sh_entries: sh, ..SmsParams::default() }
+                    .with_skewed(true)
+                    .with_realloc(true),
+            ));
+        }
+    }
+    configs.push(StackConfig::FullOnChip);
+
+    let base = run_prepared(&prepared, StackConfig::baseline8(), gpu, &render);
+    let mut table = Table::new(["config", "cycles", "norm. IPC", "off-chip", "spills"]);
+    for stack in configs {
+        let r = if stack == StackConfig::baseline8() {
+            base.clone()
+        } else {
+            run_prepared(&prepared, stack, gpu, &render)
+        };
+        table.row([
+            r.stack.label(),
+            r.stats.cycles.to_string(),
+            fmt_improvement(r.normalized_ipc(&base)),
+            r.stats.mem.offchip_accesses().to_string(),
+            (r.stats.rb_spills + r.stats.sh_spills).to_string(),
+        ]);
+        println!("finished {}", r.stack);
+    }
+    println!("\n{table}");
+}
