@@ -19,14 +19,8 @@ fn main() {
         scenes.retain(|s| matches!(s.name(), "SHIP" | "CHSNT" | "PARTY" | "BUNNY"));
     }
 
-    let mut table = Table::new([
-        "scene",
-        "builder",
-        "node visits",
-        "max depth",
-        "mean depth",
-        "SMS gain",
-    ]);
+    let mut table =
+        Table::new(["scene", "builder", "node visits", "max depth", "mean depth", "SMS gain"]);
     for &id in &scenes {
         for (label, split) in
             [("median", SplitMethod::Median), ("binned-SAH", SplitMethod::BinnedSah)]

@@ -11,22 +11,15 @@ fn main() {
     let (mut scenes, render) = setup("Ablation", "intra-warp reallocation limits");
     // Deep-stack scenes stress reallocation; keep the run affordable.
     if scenes.len() > 4 {
-        scenes.retain(|s| {
-            matches!(
-                s.name(),
-                "SHIP" | "CHSNT" | "PARTY" | "ROBOT"
-            )
-        });
+        scenes.retain(|s| matches!(s.name(), "SHIP" | "CHSNT" | "PARTY" | "ROBOT"));
     }
 
     let cfg = |borrow: usize, flush: u8| {
-        StackConfig::Sms(SmsParams {
-            borrow_limit: borrow,
-            flush_limit: flush,
-            ..SmsParams::default()
-        }
-        .with_skewed(true)
-        .with_realloc(true))
+        StackConfig::Sms(
+            SmsParams { borrow_limit: borrow, flush_limit: flush, ..SmsParams::default() }
+                .with_skewed(true)
+                .with_realloc(true),
+        )
     };
     let configs = [
         cfg(4, 3), // paper default first = the normalization baseline
@@ -38,8 +31,16 @@ fn main() {
         cfg(4, 1),
         cfg(4, 4),
     ];
-    let labels =
-        ["borrow4/flush3*", "borrow0", "borrow1", "borrow2", "borrow8", "flush0", "flush1", "flush4"];
+    let labels = [
+        "borrow4/flush3*",
+        "borrow0",
+        "borrow1",
+        "borrow2",
+        "borrow8",
+        "flush0",
+        "flush1",
+        "flush4",
+    ];
     let results = run_matrix(&scenes, &configs, &render);
 
     let mut headers = vec!["scene".to_owned()];

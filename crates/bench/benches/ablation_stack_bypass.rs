@@ -16,9 +16,8 @@ use sms_sim::rtunit::StackConfig;
 fn main() {
     let (mut scenes, render) = setup("Ablation", "stack spill traffic: off-chip vs L1-cached");
     if scenes.len() > 6 {
-        scenes.retain(|s| {
-            matches!(s.name(), "SHIP" | "CHSNT" | "PARTY" | "BATH" | "FRST" | "SPNZA")
-        });
+        scenes
+            .retain(|s| matches!(s.name(), "SHIP" | "CHSNT" | "PARTY" | "BATH" | "FRST" | "SPNZA"));
     }
 
     let mut table = Table::new([

@@ -51,13 +51,8 @@ fn main() {
         scenes.truncate(8);
     }
 
-    let mut table = Table::new([
-        "scene",
-        "visits (stack)",
-        "visits (restart)",
-        "restarts",
-        "visit inflation",
-    ]);
+    let mut table =
+        Table::new(["scene", "visits (stack)", "visits (restart)", "restarts", "visit inflation"]);
     for &id in &scenes {
         eprint!("  {id} ...");
         let prepared = PreparedScene::build(id, &render);

@@ -11,8 +11,7 @@ use sms_sim::rtunit::{SmsParams, StackConfig};
 fn main() {
     let (scenes, render) = setup("Fig. 8", "IPC of RB_8+SH_M splits vs full stack");
     let sh = |m: usize| StackConfig::Sms(SmsParams { sh_entries: m, ..SmsParams::default() });
-    let configs =
-        [StackConfig::baseline8(), sh(4), sh(8), sh(16), StackConfig::FullOnChip];
+    let configs = [StackConfig::baseline8(), sh(4), sh(8), sh(16), StackConfig::FullOnChip];
     let results = run_matrix(&scenes, &configs, &render);
     let gmeans = print_normalized_ipc(&scenes, &results);
 

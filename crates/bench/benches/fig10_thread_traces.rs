@@ -19,12 +19,10 @@ fn main() {
     let render = RenderConfig::from_env();
     println!("=== Fig. 10: per-thread stack depth traces (PARTY, 2 warps) ===\n");
     let prepared = PreparedScene::build(SceneId::Party, &render);
-    let sim = sms_sim::GpuSim::new(
-        &prepared,
-        SimConfig::with_stack(StackConfig::FullOnChip, render),
-    )
-    .trace_warps(2)
-    .run();
+    let sim =
+        sms_sim::GpuSim::new(&prepared, SimConfig::with_stack(StackConfig::FullOnChip, render))
+            .trace_warps(2)
+            .run();
 
     // Summarize per thread: accesses until done, max depth.
     let mut table = Table::new(["warp", "lane", "stack accesses", "max depth"]);
@@ -58,9 +56,7 @@ fn main() {
         "observation 1 (divergent completion): accesses per thread range {min_acc}..{max_acc}"
     );
     let deep = sim.thread_traces.iter().filter(|(_, _, _, d)| *d > 8).count();
-    println!(
-        "observation 2 (divergent depth): {deep} accesses exceeded the 8-entry RB stack"
-    );
+    println!("observation 2 (divergent depth): {deep} accesses exceeded the 8-entry RB stack");
 
     let path = std::path::Path::new("target/fig10_traces.csv");
     std::fs::create_dir_all("target").expect("create target dir");

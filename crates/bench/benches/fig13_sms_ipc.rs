@@ -12,9 +12,9 @@ fn main() {
     let (scenes, render) = setup("Fig. 13", "IPC improvements of SMS (SH_8 / +SK / +RA)");
     let configs = [
         StackConfig::baseline8(),
-        StackConfig::Sms(SmsParams::default()),                    // +SH_8
-        StackConfig::Sms(SmsParams::default().with_skewed(true)),  // +SK
-        StackConfig::sms_default(),                                // +SK +RA
+        StackConfig::Sms(SmsParams::default()), // +SH_8
+        StackConfig::Sms(SmsParams::default().with_skewed(true)), // +SK
+        StackConfig::sms_default(),             // +SK +RA
         StackConfig::FullOnChip,
     ];
     let results = run_matrix(&scenes, &configs, &render);

@@ -13,9 +13,7 @@ use std::hint::black_box;
 
 fn rays(n: usize, seed: u64) -> Vec<Ray> {
     let mut rng = SplitMix64::new(seed);
-    (0..n)
-        .map(|_| Ray::new(rng.unit_vector() * 30.0, rng.unit_vector()))
-        .collect()
+    (0..n).map(|_| Ray::new(rng.unit_vector() * 30.0, rng.unit_vector())).collect()
 }
 
 fn bench_intersections(c: &mut Criterion) {
@@ -61,8 +59,15 @@ fn bench_bvh(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0;
             for r in &rs {
-                if sms_sim::bvh::intersect_nearest(&bvh, &scene.prims, r, 0.0, f32::INFINITY, &mut ())
-                    .is_some()
+                if sms_sim::bvh::intersect_nearest(
+                    &bvh,
+                    &scene.prims,
+                    r,
+                    0.0,
+                    f32::INFINITY,
+                    &mut (),
+                )
+                .is_some()
                 {
                     hits += 1;
                 }

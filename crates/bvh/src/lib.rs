@@ -57,8 +57,8 @@ pub mod traverse;
 pub mod wide;
 
 pub use builder::{BinaryBvh, BuildParams};
-pub use restart::{intersect_nearest_restart, RestartStats};
 pub use layout::{BvhLayout, NODE_BASE_ADDR, NODE_STRIDE, PRIM_BASE_ADDR, PRIM_STRIDE};
+pub use restart::{intersect_nearest_restart, RestartStats};
 pub use stats::{BvhStats, DepthRecorder};
 pub use traverse::{intersect_any, intersect_nearest, Hit, StackObserver};
 pub use wide::{NodeId, WideBvh, WideChild, WideNode};

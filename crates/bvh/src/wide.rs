@@ -140,8 +140,7 @@ fn collapse(binary: &BinaryBvh, bin_id: u32, width: usize, nodes: &mut Vec<WideN
                 let Some(i) = candidate else { break };
                 // Expanding adds one slot; never exceeds width.
                 let expanded = slots.remove(i);
-                let BinaryNode::Inner { left, right, .. } = &binary.nodes[expanded as usize]
-                else {
+                let BinaryNode::Inner { left, right, .. } = &binary.nodes[expanded as usize] else {
                     unreachable!("candidate filter only selects inner nodes")
                 };
                 slots.push(*left);
@@ -233,11 +232,9 @@ mod tests {
     #[test]
     fn wider_trees_are_shallower() {
         let prims = grid(1024);
-        let d2 = WideBvh::build(
-            &prims,
-            &BuildParams { branching_factor: 2, ..BuildParams::default() },
-        )
-        .depth();
+        let d2 =
+            WideBvh::build(&prims, &BuildParams { branching_factor: 2, ..BuildParams::default() })
+                .depth();
         let d6 = WideBvh::build(&prims, &BuildParams::default()).depth();
         assert!(d6 <= d2, "BVH6 depth {d6} should not exceed BVH2 depth {d2}");
     }

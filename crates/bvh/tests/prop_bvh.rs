@@ -22,9 +22,8 @@ fn v3(lo: f32, hi: f32) -> impl Strategy<Value = Vec3> {
 }
 
 fn tri() -> impl Strategy<Value = Tri> {
-    (v3(-10.0, 10.0), v3(-3.0, 3.0), v3(-3.0, 3.0)).prop_map(|(c, a, b)| {
-        Tri(Triangle::new(c, c + a, c + b))
-    })
+    (v3(-10.0, 10.0), v3(-3.0, 3.0), v3(-3.0, 3.0))
+        .prop_map(|(c, a, b)| Tri(Triangle::new(c, c + a, c + b)))
 }
 
 fn brute(prims: &[Tri], ray: &Ray, t_min: f32, t_max: f32) -> Option<f32> {

@@ -125,12 +125,10 @@ pub fn shade(
                     let dir = to_light / dist;
                     let cos = dir.dot(outward).max(0.0);
                     if cos > 0.0 {
-                        let contrib = path
-                            .throughput
-                            .mul_elem(scatter.attenuation)
-                            .mul_elem(intensity)
-                            * (cos / (dist * dist))
-                            * std::f32::consts::FRAC_1_PI;
+                        let contrib =
+                            path.throughput.mul_elem(scatter.attenuation).mul_elem(intensity)
+                                * (cos / (dist * dist))
+                                * std::f32::consts::FRAC_1_PI;
                         Some((
                             RayQuery::occlusion(Ray::new(origin, dir), 0.0, dist - RAY_EPSILON),
                             contrib,
@@ -145,16 +143,10 @@ pub fn shade(
             Light::Directional { direction, radiance } => {
                 let cos = direction.dot(outward).max(0.0);
                 if cos > 0.0 {
-                    let contrib = path
-                        .throughput
-                        .mul_elem(scatter.attenuation)
-                        .mul_elem(radiance)
+                    let contrib = path.throughput.mul_elem(scatter.attenuation).mul_elem(radiance)
                         * cos
                         * std::f32::consts::FRAC_1_PI;
-                    Some((
-                        RayQuery::occlusion(Ray::new(origin, direction), 0.0, 1.0e6),
-                        contrib,
-                    ))
+                    Some((RayQuery::occlusion(Ray::new(origin, direction), 0.0, 1.0e6), contrib))
                 } else {
                     None
                 }

@@ -80,9 +80,7 @@ pub fn scene_list() -> Vec<SceneId> {
         Ok(s) if !s.trim().is_empty() => s
             .split(',')
             .map(|name| {
-                name.trim()
-                    .parse::<SceneId>()
-                    .unwrap_or_else(|e| panic!("SMS_SCENES: {e}"))
+                name.trim().parse::<SceneId>().unwrap_or_else(|e| panic!("SMS_SCENES: {e}"))
             })
             .collect(),
         _ => SceneId::ALL.to_vec(),
@@ -112,8 +110,7 @@ pub fn run_suite(
 /// (elementwise by scene).
 pub fn gmean_normalized_ipc(runs: &[RunResult], baselines: &[RunResult]) -> f64 {
     assert_eq!(runs.len(), baselines.len());
-    let ratios: Vec<f64> =
-        runs.iter().zip(baselines).map(|(r, b)| r.normalized_ipc(b)).collect();
+    let ratios: Vec<f64> = runs.iter().zip(baselines).map(|(r, b)| r.normalized_ipc(b)).collect();
     geomean(&ratios)
 }
 

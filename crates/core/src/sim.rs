@@ -28,9 +28,7 @@ use crate::render::PreparedScene;
 use sms_bvh::DepthRecorder;
 use sms_geom::{Ray, Vec3};
 use sms_gpu::{SimStats, WarpId, WARP_SIZE};
-use sms_mem::{
-    coalesce_lines, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1, SHADE_BASE_ADDR,
-};
+use sms_mem::{coalesce_lines, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1, SHADE_BASE_ADDR};
 use sms_rtunit::{RayQuery, RtUnit, RtUnitConfig, ThreadTraceRecorder, TraceRequest, TraceResult};
 use std::collections::VecDeque;
 
@@ -235,8 +233,15 @@ impl<'a> GpuSim<'a> {
         loop {
             for sm in &mut sms {
                 // 1. RT unit cycle; process retiring traces.
-                let results =
-                    sm.rt.tick(now, bvh, prims, &mut sm.l1, &mut sm.shared, &mut global, &mut stats);
+                let results = sm.rt.tick(
+                    now,
+                    bvh,
+                    prims,
+                    &mut sm.l1,
+                    &mut sm.shared,
+                    &mut global,
+                    &mut stats,
+                );
                 for res in results {
                     let warp = sm
                         .warps
@@ -453,8 +458,7 @@ impl<'a> GpuSim<'a> {
                     Self::after_shade_mem(warp, scene);
                 } else {
                     let mut done = now + 1;
-                    let loads: Vec<(u64, u32)> =
-                        warp.mat_loads.iter().map(|&a| (a, 64)).collect();
+                    let loads: Vec<(u64, u32)> = warp.mat_loads.iter().map(|&a| (a, 64)).collect();
                     for line in coalesce_lines(loads) {
                         done = done.max(l1.access_line(global, line, AccessKind::Load, now, false));
                     }
@@ -525,11 +529,8 @@ impl<'a> GpuSim<'a> {
     }
 
     fn request_main_trace(warp: &mut WarpCtx) {
-        let rays: Vec<Option<RayQuery>> = warp
-            .rays
-            .iter()
-            .map(|r| r.map(|ray| RayQuery::nearest(ray, 0.0)))
-            .collect();
+        let rays: Vec<Option<RayQuery>> =
+            warp.rays.iter().map(|r| r.map(|ray| RayQuery::nearest(ray, 0.0))).collect();
         warp.active = rays.iter().filter(|r| r.is_some()).count() as u32;
         warp.pending_req = Some(TraceRequest::new(warp.id, rays));
         warp.step = Step::MainTrace;

@@ -83,12 +83,9 @@ fn depth_recording_in_sim_matches_functional() {
     let cfg = RenderConfig::tiny();
     let prepared = PreparedScene::build(SceneId::Bunny, &cfg);
     let functional = render(&prepared, &cfg).depths;
-    let sim = sms_sim::GpuSim::new(
-        &prepared,
-        SimConfig::with_stack(StackConfig::FullOnChip, cfg),
-    )
-    .record_depths(true)
-    .run();
+    let sim = sms_sim::GpuSim::new(&prepared, SimConfig::with_stack(StackConfig::FullOnChip, cfg))
+        .record_depths(true)
+        .run();
     assert_eq!(sim.depths.ops(), functional.ops());
     assert_eq!(sim.depths.max_depth(), functional.max_depth());
     assert_eq!(sim.depths, functional);

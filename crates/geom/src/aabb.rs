@@ -34,10 +34,8 @@ impl Default for Aabb {
 
 impl Aabb {
     /// The empty box (union identity).
-    pub const EMPTY: Aabb = Aabb {
-        min: Vec3::splat(f32::INFINITY),
-        max: Vec3::splat(f32::NEG_INFINITY),
-    };
+    pub const EMPTY: Aabb =
+        Aabb { min: Vec3::splat(f32::INFINITY), max: Vec3::splat(f32::NEG_INFINITY) };
 
     /// Creates a box from its corners.
     ///
@@ -123,8 +121,7 @@ impl Aabb {
     /// `true` when `other` lies fully inside `self`.
     #[inline]
     pub fn contains(&self, other: &Aabb) -> bool {
-        other.is_empty()
-            || (self.contains_point(other.min) && self.contains_point(other.max))
+        other.is_empty() || (self.contains_point(other.min) && self.contains_point(other.max))
     }
 
     /// Ray/box slab test.

@@ -116,11 +116,7 @@ mod tests {
     use super::*;
 
     fn xy_tri() -> Triangle {
-        Triangle::new(
-            Vec3::new(0.0, 0.0, 0.0),
-            Vec3::new(1.0, 0.0, 0.0),
-            Vec3::new(0.0, 1.0, 0.0),
-        )
+        Triangle::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0))
     }
 
     #[test]

@@ -87,7 +87,9 @@ impl GlobalMemory {
         GlobalMemory {
             l2: Cache::new(config.l2),
             l2_ports: (0..config.l2_slices).map(|_| Port::new(config.l2_interval)).collect(),
-            dram_ports: (0..config.dram_channels).map(|_| Port::new(config.dram_interval)).collect(),
+            dram_ports: (0..config.dram_channels)
+                .map(|_| Port::new(config.dram_interval))
+                .collect(),
             mshr: HashMap::new(),
             config,
             stats: MemStats::default(),

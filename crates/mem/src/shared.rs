@@ -28,7 +28,13 @@ pub struct SharedMemConfig {
 
 impl Default for SharedMemConfig {
     fn default() -> Self {
-        SharedMemConfig { banks: 32, bank_width: 4, latency: 20, interval: 1, conflict_replay_cycles: 8 }
+        SharedMemConfig {
+            banks: 32,
+            bank_width: 4,
+            latency: 20,
+            interval: 1,
+            conflict_replay_cycles: 8,
+        }
     }
 }
 

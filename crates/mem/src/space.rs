@@ -85,10 +85,7 @@ mod tests {
     fn consecutive_slots_of_one_thread_never_share_a_line() {
         // The no-burst-locality property: slots are 256B apart.
         for s in 0..20u32 {
-            assert_ne!(
-                line_of(spill_slot_addr(5, s)),
-                line_of(spill_slot_addr(5, s + 1))
-            );
+            assert_ne!(line_of(spill_slot_addr(5, s)), line_of(spill_slot_addr(5, s + 1)));
         }
     }
 

@@ -188,7 +188,15 @@ struct Segment {
 
 impl Segment {
     fn new(cap: u32, base: u32) -> Self {
-        Segment { entries: VecDeque::new(), cap, top_phys: base, bottom_phys: base, flushes: 0, idle: false, base }
+        Segment {
+            entries: VecDeque::new(),
+            cap,
+            top_phys: base,
+            bottom_phys: base,
+            flushes: 0,
+            idle: false,
+            base,
+        }
     }
 
     fn is_full(&self) -> bool {
@@ -393,7 +401,13 @@ impl WarpStacks {
 
     /// Frees one slot in the lane's top SH stack: borrow, flush, or
     /// single-entry spill (§VI-B).
-    fn make_room(&mut self, lane: usize, p: &SmsParams, stats: &mut SimStats, ops: &mut Vec<MicroOp>) {
+    fn make_room(
+        &mut self,
+        lane: usize,
+        p: &SmsParams,
+        stats: &mut SimStats,
+        ops: &mut Vec<MicroOp>,
+    ) {
         if p.realloc {
             // 1. Borrow an idle stack from an early-finished thread.
             if self.chains[lane].len() < 1 + p.borrow_limit {
@@ -410,7 +424,8 @@ impl WarpStacks {
             //    this still happens (forced) — it is the only move that
             //    preserves bottom-up fill order across linked stacks.
             let bottom = self.chains[lane][0];
-            self.segs[bottom as usize].flushes = self.segs[bottom as usize].flushes.saturating_add(1);
+            self.segs[bottom as usize].flushes =
+                self.segs[bottom as usize].flushes.saturating_add(1);
             stats.ra_flushes += 1;
             let mut shared_reads = Vec::new();
             let mut global_writes = Vec::new();
@@ -422,8 +437,16 @@ impl WarpStacks {
                 global_writes.push((self.spill_addr(lane, slot), 8));
                 stats.sh_spills += 1;
             }
-            ops.push(MicroOp { space: crate::Space::Shared, kind: AccessKind::Load, addrs: shared_reads });
-            ops.push(MicroOp { space: crate::Space::Global, kind: AccessKind::Store, addrs: global_writes });
+            ops.push(MicroOp {
+                space: crate::Space::Shared,
+                kind: AccessKind::Load,
+                addrs: shared_reads,
+            });
+            ops.push(MicroOp {
+                space: crate::Space::Global,
+                kind: AccessKind::Store,
+                addrs: global_writes,
+            });
             self.segs[bottom as usize].reset();
             self.chains[lane].rotate_left(1);
         } else {
@@ -602,10 +625,7 @@ mod tests {
             lifo_check(StackConfig::FullOnChip, n);
             lifo_check(StackConfig::Sms(SmsParams::default()), n);
             lifo_check(StackConfig::sms_default(), n);
-            lifo_check(
-                StackConfig::Sms(SmsParams { sh_entries: 4, ..SmsParams::default() }),
-                n,
-            );
+            lifo_check(StackConfig::Sms(SmsParams { sh_entries: 4, ..SmsParams::default() }), n);
         }
     }
 
@@ -694,7 +714,10 @@ mod tests {
         assert_eq!(stats.rb_reloads, 1);
         assert_eq!(s.rb[0].len(), 8, "RB stays full while lower levels hold entries");
         assert_eq!(s.sh_count(0), 3);
-        assert!(matches!(ops[0], MicroOp { space: crate::Space::Shared, kind: AccessKind::Load, .. }));
+        assert!(matches!(
+            ops[0],
+            MicroOp { space: crate::Space::Shared, kind: AccessKind::Load, .. }
+        ));
     }
 
     #[test]
@@ -814,11 +837,8 @@ mod tests {
 
     #[test]
     fn borrow_limit_respected() {
-        let cfg = StackConfig::Sms(SmsParams {
-            realloc: true,
-            borrow_limit: 2,
-            ..SmsParams::default()
-        });
+        let cfg =
+            StackConfig::Sms(SmsParams { realloc: true, borrow_limit: 2, ..SmsParams::default() });
         let mut s = WarpStacks::new(&cfg, 0, 0);
         for lane in 1..8 {
             s.mark_done(lane);

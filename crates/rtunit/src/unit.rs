@@ -68,20 +68,13 @@ enum TState {
     /// Has a current node; needs its data fetched.
     NeedFetch,
     /// Node fetch in flight.
-    WaitFetch {
-        done: Cycle,
-    },
+    WaitFetch { done: Cycle },
     /// Operation unit busy; commits `step` at `done`.
-    OpWait {
-        done: Cycle,
-        step: NodeStep,
-    },
+    OpWait { done: Cycle, step: NodeStep },
     /// Stack micro-ops pending; head not yet issued.
     StackIssue,
     /// Head stack micro-op (a load) in flight.
-    StackWait {
-        done: Cycle,
-    },
+    StackWait { done: Cycle },
     /// Traversal finished (or lane inactive).
     Idle,
 }
@@ -151,7 +144,11 @@ impl RtUnit {
     /// Admits a warp trace request into the warp buffer.
     ///
     /// Returns the request back when the buffer is full.
-    pub fn try_admit(&mut self, req: TraceRequest, stats: &mut SimStats) -> Result<(), TraceRequest> {
+    pub fn try_admit(
+        &mut self,
+        req: TraceRequest,
+        stats: &mut SimStats,
+    ) -> Result<(), TraceRequest> {
         let Some(slot_idx) = self.slots.iter().position(Option::is_none) else {
             return Err(req);
         };
@@ -214,9 +211,7 @@ impl RtUnit {
     /// `true` when some thread could issue work if its warp were scheduled.
     pub fn has_issuable(&self) -> bool {
         self.slots.iter().flatten().any(|s| {
-            s.threads
-                .iter()
-                .any(|t| matches!(t.state, TState::NeedFetch | TState::StackIssue))
+            s.threads.iter().any(|t| matches!(t.state, TState::NeedFetch | TState::StackIssue))
         })
     }
 
@@ -268,9 +263,7 @@ impl RtUnit {
             .iter()
             .flatten()
             .filter(|s| {
-                s.threads
-                    .iter()
-                    .any(|t| matches!(t.state, TState::NeedFetch | TState::StackIssue))
+                s.threads.iter().any(|t| matches!(t.state, TState::NeedFetch | TState::StackIssue))
             })
             .map(|s| s.warp)
             .collect();
@@ -287,10 +280,7 @@ impl RtUnit {
         // Phase 3: retire completed warps.
         let mut results = Vec::new();
         for entry in &mut self.slots {
-            let finished = entry
-                .as_ref()
-                .map(|s| s.done_count == WARP_SIZE)
-                .unwrap_or(false);
+            let finished = entry.as_ref().map(|s| s.done_count == WARP_SIZE).unwrap_or(false);
             if finished {
                 let slot = entry.take().expect("checked above");
                 self.sched.evict(slot.warp);
@@ -481,8 +471,7 @@ impl RtUnit {
             }
         }
         if !fetch_lanes.is_empty() {
-            let all_lines =
-                coalesce_lines(fetch_lanes.iter().flat_map(|(_, s)| s.iter().copied()));
+            let all_lines = coalesce_lines(fetch_lanes.iter().flat_map(|(_, s)| s.iter().copied()));
             let mut line_done: std::collections::HashMap<u64, Cycle> =
                 std::collections::HashMap::with_capacity(all_lines.len());
             for line in all_lines {

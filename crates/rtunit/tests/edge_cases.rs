@@ -46,7 +46,8 @@ fn run_warp(
     unit.try_admit(TraceRequest::new(0, queries), &mut stats).unwrap();
     let mut now = 0;
     loop {
-        let mut results = unit.tick(now, &bvh, prims, &mut l1, &mut shared, &mut global, &mut stats);
+        let mut results =
+            unit.tick(now, &bvh, prims, &mut l1, &mut shared, &mut global, &mut stats);
         if let Some(r) = results.pop() {
             return r;
         }
@@ -89,9 +90,7 @@ fn t_min_beyond_scene_misses() {
     let prims = tiny_scene();
     let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
     let queries: Vec<Option<RayQuery>> = (0..32)
-        .map(|_| {
-            Some(RayQuery { ray, t_min: 100.0, t_max: f32::INFINITY, any_hit: false })
-        })
+        .map(|_| Some(RayQuery { ray, t_min: 100.0, t_max: f32::INFINITY, any_hit: false }))
         .collect();
     let res = run_warp(&prims, queries, StackConfig::baseline8());
     assert!(res.hits.iter().all(Option::is_none));

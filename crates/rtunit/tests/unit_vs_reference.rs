@@ -142,10 +142,15 @@ fn cycle_counts_order_as_the_paper_predicts() {
     let bvh = WideBvh::build(&prims, &BuildParams::default());
     let rays = rays(128);
 
-    let (_, cycles_base2, _) = run_unit(StackConfig::Baseline { rb_entries: 2 }, &bvh, &prims, &rays);
+    let (_, cycles_base2, _) =
+        run_unit(StackConfig::Baseline { rb_entries: 2 }, &bvh, &prims, &rays);
     let (_, cycles_base8, stats8) = run_unit(StackConfig::baseline8(), &bvh, &prims, &rays);
-    let (_, cycles_sms, stats_sms) =
-        run_unit(StackConfig::Sms(SmsParams { rb_entries: 2, ..SmsParams::default() }), &bvh, &prims, &rays);
+    let (_, cycles_sms, stats_sms) = run_unit(
+        StackConfig::Sms(SmsParams { rb_entries: 2, ..SmsParams::default() }),
+        &bvh,
+        &prims,
+        &rays,
+    );
     let (_, cycles_full, stats_full) = run_unit(StackConfig::FullOnChip, &bvh, &prims, &rays);
 
     assert!(stats8.rb_spills > 0, "workload must stress the 8-entry stack");

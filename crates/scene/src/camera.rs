@@ -99,8 +99,7 @@ impl Camera {
     /// Panics in debug builds if the pixel is out of bounds.
     pub fn primary_ray(&self, px: u32, py: u32, sample: u32) -> Ray {
         debug_assert!(px < self.width && py < self.height, "pixel out of range");
-        let mut rng =
-            SplitMix64::from_key(self.seed, px as u64, py as u64, sample as u64);
+        let mut rng = SplitMix64::from_key(self.seed, px as u64, py as u64, sample as u64);
         let jx = rng.next_f32();
         let jy = rng.next_f32();
         let s = (px as f32 + jx) / self.width as f32;

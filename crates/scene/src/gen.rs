@@ -119,11 +119,26 @@ pub fn box_mesh(min: Vec3, max: Vec3) -> Vec<Triangle> {
     };
     let quads = [
         // -z, +z, -x, +x, -y, +y faces as corner quadruples.
-        [p(false, false, false), p(true, false, false), p(true, true, false), p(false, true, false)],
+        [
+            p(false, false, false),
+            p(true, false, false),
+            p(true, true, false),
+            p(false, true, false),
+        ],
         [p(false, false, true), p(false, true, true), p(true, true, true), p(true, false, true)],
-        [p(false, false, false), p(false, true, false), p(false, true, true), p(false, false, true)],
+        [
+            p(false, false, false),
+            p(false, true, false),
+            p(false, true, true),
+            p(false, false, true),
+        ],
         [p(true, false, false), p(true, false, true), p(true, true, true), p(true, true, false)],
-        [p(false, false, false), p(false, false, true), p(true, false, true), p(true, false, false)],
+        [
+            p(false, false, false),
+            p(false, false, true),
+            p(true, false, true),
+            p(true, false, false),
+        ],
         [p(false, true, false), p(true, true, false), p(true, true, true), p(false, true, true)],
     ];
     let mut tris = Vec::with_capacity(12);

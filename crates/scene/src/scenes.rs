@@ -66,7 +66,15 @@ impl Assembler {
         sky_horizon: Vec3,
         sky_zenith: Vec3,
     ) -> Scene {
-        Scene { id, prims: self.prims, materials: self.materials, camera, light, sky_horizon, sky_zenith }
+        Scene {
+            id,
+            prims: self.prims,
+            materials: self.materials,
+            camera,
+            light,
+            sky_horizon,
+            sky_zenith,
+        }
     }
 }
 
@@ -95,11 +103,8 @@ fn wknd() -> Scene {
     for i in -16i32..16 {
         for j in -16i32..16 {
             let choose = rng.next_f32();
-            let center = Vec3::new(
-                i as f32 + 0.9 * rng.next_f32(),
-                0.2,
-                j as f32 + 0.9 * rng.next_f32(),
-            );
+            let center =
+                Vec3::new(i as f32 + 0.9 * rng.next_f32(), 0.2, j as f32 + 0.9 * rng.next_f32());
             if (center - Vec3::new(4.0, 0.2, 0.0)).length() <= 0.9 {
                 continue;
             }
@@ -282,13 +287,14 @@ fn crnvl() -> Scene {
         let w = rng.range_f32(1.0, 2.5);
         let hgt = rng.range_f32(1.5, 3.5);
         let mat = a.material(diffuse(rng.next_f32(), rng.next_f32(), rng.next_f32()));
-        a.tris(
-            gen::box_mesh(Vec3::new(x - w, 0.0, z - w), Vec3::new(x + w, hgt, z + w)),
-            mat,
-        );
+        a.tris(gen::box_mesh(Vec3::new(x - w, 0.0, z - w), Vec3::new(x + w, hgt, z + w)), mat);
     }
     for _ in 0..60 {
-        let c = Vec3::new(rng.range_f32(-16.0, 16.0), rng.range_f32(2.0, 7.0), rng.range_f32(-16.0, 16.0));
+        let c = Vec3::new(
+            rng.range_f32(-16.0, 16.0),
+            rng.range_f32(2.0, 7.0),
+            rng.range_f32(-16.0, 16.0),
+        );
         let mat = a.material(diffuse(rng.next_f32(), rng.next_f32() * 0.5, rng.next_f32()));
         a.sphere(c, rng.range_f32(0.2, 0.5), mat);
     }
@@ -509,7 +515,8 @@ fn party() -> Scene {
         a.tris(gen::box_mesh(Vec3::new(x - w, 0.0, z - w), Vec3::new(x + w, hgt, z + w)), mat);
     }
     for _ in 0..10 {
-        let c = Vec3::new(rng.range_f32(-8.0, 8.0), rng.range_f32(0.5, 2.0), rng.range_f32(-8.0, 8.0));
+        let c =
+            Vec3::new(rng.range_f32(-8.0, 8.0), rng.range_f32(0.5, 2.0), rng.range_f32(-8.0, 8.0));
         let mat = a.material(diffuse(rng.next_f32(), rng.next_f32(), rng.next_f32()));
         a.tris(gen::blob(c, rng.range_f32(0.3, 0.8), 16, 20, 0.2, rng.next_u64()), mat);
     }
@@ -518,7 +525,8 @@ fn party() -> Scene {
     a.tris(gen::canopy(Vec3::new(0.0, 4.4, 0.0), 8.5, 26_000, 0.4, 0x7061), streamer);
     let balloon = a.material(diffuse(0.9, 0.2, 0.2));
     for _ in 0..40 {
-        let c = Vec3::new(rng.range_f32(-9.0, 9.0), rng.range_f32(3.5, 5.6), rng.range_f32(-9.0, 9.0));
+        let c =
+            Vec3::new(rng.range_f32(-9.0, 9.0), rng.range_f32(3.5, 5.6), rng.range_f32(-9.0, 9.0));
         a.sphere(c, rng.range_f32(0.2, 0.45), balloon);
     }
     let cam = Camera::look_at(
@@ -639,7 +647,10 @@ fn ship() -> Scene {
     // Masts and rigging: long thin tubes.
     for mx in [-5.0f32, -2.5, 0.0, 2.5, 5.0] {
         a.tris(gen::tube(Vec3::new(mx, 4.0, 0.0), Vec3::new(mx, 12.0, 0.0), 0.12, 6), hullm);
-        a.tris(gen::tube(Vec3::new(mx - 2.5, 9.0, 0.0), Vec3::new(mx + 2.5, 9.0, 0.0), 0.06, 5), hullm);
+        a.tris(
+            gen::tube(Vec3::new(mx - 2.5, 9.0, 0.0), Vec3::new(mx + 2.5, 9.0, 0.0), 0.06, 5),
+            hullm,
+        );
         // Sail: two large triangles.
         a.tris(
             [

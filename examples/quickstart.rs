@@ -30,8 +30,7 @@ fn main() {
     );
 
     let gpu = sms_sim::gpu::GpuConfig::default();
-    let configs =
-        [StackConfig::baseline8(), StackConfig::sms_default(), StackConfig::FullOnChip];
+    let configs = [StackConfig::baseline8(), StackConfig::sms_default(), StackConfig::FullOnChip];
     let mut results: Vec<RunResult> = Vec::new();
     for stack in configs {
         println!("Simulating {stack}...");
@@ -52,10 +51,7 @@ fn main() {
     println!("\n{table}");
     println!(
         "SMS removed {} of {} baseline off-chip stack transactions.",
-        base.stats
-            .mem
-            .stack_transactions
-            .saturating_sub(results[1].stats.mem.stack_transactions),
+        base.stats.mem.stack_transactions.saturating_sub(results[1].stats.mem.stack_transactions),
         base.stats.mem.stack_transactions,
     );
 }

@@ -15,10 +15,8 @@ use sms_sim::rtunit::StackConfig;
 use sms_sim::scene::SceneId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<SceneId> = std::env::args()
-        .skip(1)
-        .map(|s| s.parse().expect("unknown scene name"))
-        .collect();
+    let args: Vec<SceneId> =
+        std::env::args().skip(1).map(|s| s.parse().expect("unknown scene name")).collect();
     let scenes = if args.is_empty() {
         vec![SceneId::Wknd, SceneId::Ship, SceneId::Ref, SceneId::Bunny]
     } else {
@@ -38,11 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &prepared,
                 &SimConfig::with_stack(StackConfig::sms_default(), cfg),
             );
-            println!(
-                "{id}: simulated {} cycles at IPC {:.2}",
-                sim.stats.cycles,
-                sim.stats.ipc()
-            );
+            println!("{id}: simulated {} cycles at IPC {:.2}", sim.stats.cycles, sim.stats.ipc());
             RenderOutput {
                 image: sim.image,
                 width: sim.width,
