@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI for the sms-sim workspace. Offline-safe: every step resolves
+# from path dependencies only (the proptest/criterion suite lives in the
+# excluded `crates/proptests` workspace and is opt-in, see DESIGN.md).
+#
+#   ./ci.sh          # tier-1 build+test, clippy -D warnings, fmt --check
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "ci.sh: all checks passed"

@@ -14,7 +14,7 @@ use sms_sim::rtunit::StackConfig;
 use sms_sim::scene::Scene;
 
 fn main() {
-    let (mut scenes, render) = setup("Ablation", "median-split vs binned-SAH BVHs");
+    let (_, mut scenes, render) = setup("Ablation", "median-split vs binned-SAH BVHs");
     if scenes.len() > 4 {
         scenes.retain(|s| matches!(s.name(), "SHIP" | "CHSNT" | "PARTY" | "BUNNY"));
     }

@@ -8,7 +8,7 @@ use sms_bench::{run_matrix, setup, Table};
 use sms_sim::rtunit::{SmsParams, StackConfig};
 
 fn main() {
-    let (mut scenes, render) = setup("Ablation", "intra-warp reallocation limits");
+    let (harness, mut scenes, render) = setup("Ablation", "intra-warp reallocation limits");
     // Deep-stack scenes stress reallocation; keep the run affordable.
     if scenes.len() > 4 {
         scenes.retain(|s| matches!(s.name(), "SHIP" | "CHSNT" | "PARTY" | "ROBOT"));
@@ -41,7 +41,7 @@ fn main() {
         "flush1",
         "flush4",
     ];
-    let results = run_matrix(&scenes, &configs, &render);
+    let results = run_matrix(&harness, &scenes, &configs, &render);
 
     let mut headers = vec!["scene".to_owned()];
     headers.extend(labels.iter().map(|s| s.to_string()));

@@ -7,18 +7,40 @@
 //! from the off-chip spill path — and confirming the paper's §III-B claim
 //! that the L1D is a poor substitute for a real secondary stack.
 
-use sms_bench::{fmt_improvement, geomean, setup, Table};
-use sms_sim::experiments::run_prepared;
+use sms_bench::{fmt_improvement, geomean, setup, RunRequest, Table};
 use sms_sim::gpu::GpuConfig;
-use sms_sim::render::PreparedScene;
 use sms_sim::rtunit::StackConfig;
 
 fn main() {
-    let (mut scenes, render) = setup("Ablation", "stack spill traffic: off-chip vs L1-cached");
+    let (harness, mut scenes, render) =
+        setup("Ablation", "stack spill traffic: off-chip vs L1-cached");
     if scenes.len() > 6 {
         scenes
             .retain(|s| matches!(s.name(), "SHIP" | "CHSNT" | "PARTY" | "BATH" | "FRST" | "SPNZA"));
     }
+
+    let gpu_bypass = GpuConfig::default();
+    let mut gpu_cached = GpuConfig::default();
+    gpu_cached.l1.stack_bypasses_l1 = false;
+
+    // Five runs per scene: {base, SMS, FULL} off-chip + {base, SMS} cached.
+    let variants = [
+        (StackConfig::baseline8(), gpu_bypass),
+        (StackConfig::sms_default(), gpu_bypass),
+        (StackConfig::FullOnChip, gpu_bypass),
+        (StackConfig::baseline8(), gpu_cached),
+        (StackConfig::sms_default(), gpu_cached),
+    ];
+    let requests: Vec<RunRequest> = scenes
+        .iter()
+        .flat_map(|&id| {
+            variants
+                .iter()
+                .map(move |&(stack, gpu)| RunRequest::new(id, stack, render).with_gpu(gpu))
+        })
+        .collect();
+    let (results, summary) = harness.run_batch(&requests);
+    eprintln!("  {summary}");
 
     let mut table = Table::new([
         "scene",
@@ -28,29 +50,19 @@ fn main() {
     ]);
     let mut bypass_gains = Vec::new();
     let mut cached_gains = Vec::new();
-    for &id in &scenes {
-        eprint!("  {id} ...");
-        let prepared = PreparedScene::build(id, &render);
-        let gpu_bypass = GpuConfig::default();
-        let mut gpu_cached = GpuConfig::default();
-        gpu_cached.l1.stack_bypasses_l1 = false;
-
-        let base_b = run_prepared(&prepared, StackConfig::baseline8(), gpu_bypass, &render);
-        let sms_b = run_prepared(&prepared, StackConfig::sms_default(), gpu_bypass, &render);
-        let full_b = run_prepared(&prepared, StackConfig::FullOnChip, gpu_bypass, &render);
-        let base_c = run_prepared(&prepared, StackConfig::baseline8(), gpu_cached, &render);
-        let sms_c = run_prepared(&prepared, StackConfig::sms_default(), gpu_cached, &render);
-        eprintln!(" done");
-
-        let gb = sms_b.normalized_ipc(&base_b);
-        let gc = sms_c.normalized_ipc(&base_c);
+    for (i, &id) in scenes.iter().enumerate() {
+        let [base_b, sms_b, full_b, base_c, sms_c] = &results[i * 5..(i + 1) * 5] else {
+            unreachable!("five runs per scene");
+        };
+        let gb = sms_b.normalized_ipc(base_b);
+        let gc = sms_c.normalized_ipc(base_c);
         bypass_gains.push(gb);
         cached_gains.push(gc);
         table.row([
             id.name().to_owned(),
             fmt_improvement(gb),
             fmt_improvement(gc),
-            fmt_improvement(full_b.normalized_ipc(&base_b)),
+            fmt_improvement(full_b.normalized_ipc(base_b)),
         ]);
     }
     println!("{table}");

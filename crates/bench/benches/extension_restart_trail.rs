@@ -46,7 +46,7 @@ fn count_stack_visits(bvh: &WideBvh, prims: &[ScenePrimitive], ray: &sms_sim::ge
 }
 
 fn main() {
-    let (mut scenes, render) = setup("Extension", "restart-trail (stackless) visit overhead");
+    let (_, mut scenes, render) = setup("Extension", "restart-trail (stackless) visit overhead");
     if scenes.len() > 8 {
         scenes.truncate(8);
     }

@@ -8,7 +8,7 @@ use sms_bench::{setup, Table};
 use sms_sim::analyze::measure_all;
 
 fn main() {
-    let (scenes, render) = setup("Fig. 4", "stack depth summary per workload");
+    let (_, scenes, render) = setup("Fig. 4", "stack depth summary per workload");
     let (rows, total) = measure_all(&render, &scenes);
 
     let mut table = Table::new(["scene", "max", "average", "median", "ops"]);

@@ -7,7 +7,7 @@ use sms_bench::{fmt_pct, setup, Table};
 use sms_sim::analyze::measure_all;
 
 fn main() {
-    let (scenes, render) = setup("Fig. 5", "stack depth distribution (all workloads)");
+    let (_, scenes, render) = setup("Fig. 5", "stack depth distribution (all workloads)");
     let (_, total) = measure_all(&render, &scenes);
 
     let mut table = Table::new(["depth bucket", "fraction (ours)", "fraction (paper)"]);

@@ -7,7 +7,8 @@ use sms_bench::{fmt_improvement, print_normalized_ipc, run_matrix, setup};
 use sms_sim::rtunit::StackConfig;
 
 fn main() {
-    let (scenes, render) = setup("Fig. 6a", "IPC vs RB stack size (baseline architecture)");
+    let (harness, scenes, render) =
+        setup("Fig. 6a", "IPC vs RB stack size (baseline architecture)");
     let configs = [
         StackConfig::baseline8(), // baseline column first
         StackConfig::Baseline { rb_entries: 4 },
@@ -16,7 +17,7 @@ fn main() {
         StackConfig::Baseline { rb_entries: 64 },
         StackConfig::FullOnChip,
     ];
-    let results = run_matrix(&scenes, &configs, &render);
+    let results = run_matrix(&harness, &scenes, &configs, &render);
     let gmeans = print_normalized_ipc(&scenes, &results);
 
     println!("paper:  RB_4 -18.4%   RB_16 +19.9%   RB_32 +25.2%   (beyond 32: marginal)");

@@ -4,36 +4,34 @@
 //! notably flatter than the stack-size sweep of Fig. 6a, which motivates
 //! trading a little L1D for SH stacks.
 
-use sms_bench::{fmt_improvement, geomean, run_matrix, setup, Table};
-use sms_sim::config::RenderConfig;
-use sms_sim::experiments::run_prepared;
+use sms_bench::{fmt_improvement, geomean, setup, RunRequest, Table};
 use sms_sim::gpu::GpuConfig;
-use sms_sim::render::PreparedScene;
 use sms_sim::rtunit::StackConfig;
 
 fn main() {
-    let (scenes, render) = setup("Fig. 6b", "IPC vs L1D size (baseline RB_8)");
+    let (harness, scenes, render) = setup("Fig. 6b", "IPC vs L1D size (baseline RB_8)");
     let sizes_kb = [64u64, 16, 32, 128, 256];
     let stack = StackConfig::baseline8();
 
-    // run_matrix sweeps stacks, not GPUs, so roll the sweep by hand.
-    let _ = run_matrix; // (see fig06a for the stack-sweep variant)
-    let _ = RenderConfig::fast();
+    // A GPU sweep rather than a stack sweep: one request per (scene, L1D).
+    let requests: Vec<RunRequest> = scenes
+        .iter()
+        .flat_map(|&id| {
+            sizes_kb.iter().map(move |&kb| {
+                RunRequest::new(id, stack, render)
+                    .with_gpu(GpuConfig::default().with_l1_size(kb * 1024))
+            })
+        })
+        .collect();
+    let (results, summary) = harness.run_batch(&requests);
+    eprintln!("  {summary}");
+
     let mut headers = vec!["scene".to_owned()];
     headers.extend(sizes_kb.iter().map(|kb| format!("{kb}KB")));
     let mut table = Table::new(headers);
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); sizes_kb.len()];
-    for &id in &scenes {
-        eprint!("  {id} ...");
-        let prepared = PreparedScene::build(id, &render);
-        let runs: Vec<_> = sizes_kb
-            .iter()
-            .map(|&kb| {
-                let gpu = GpuConfig::default().with_l1_size(kb * 1024);
-                run_prepared(&prepared, stack, gpu, &render)
-            })
-            .collect();
-        eprintln!(" done");
+    for (i, &id) in scenes.iter().enumerate() {
+        let runs = &results[i * sizes_kb.len()..(i + 1) * sizes_kb.len()];
         let mut row = vec![id.name().to_owned()];
         for (c, r) in runs.iter().enumerate() {
             let ratio = r.normalized_ipc(&runs[0]);

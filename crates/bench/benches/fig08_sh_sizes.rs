@@ -9,10 +9,10 @@ use sms_bench::{fmt_improvement, print_normalized_ipc, run_matrix, setup};
 use sms_sim::rtunit::{SmsParams, StackConfig};
 
 fn main() {
-    let (scenes, render) = setup("Fig. 8", "IPC of RB_8+SH_M splits vs full stack");
+    let (harness, scenes, render) = setup("Fig. 8", "IPC of RB_8+SH_M splits vs full stack");
     let sh = |m: usize| StackConfig::Sms(SmsParams { sh_entries: m, ..SmsParams::default() });
     let configs = [StackConfig::baseline8(), sh(4), sh(8), sh(16), StackConfig::FullOnChip];
-    let results = run_matrix(&scenes, &configs, &render);
+    let results = run_matrix(&harness, &scenes, &configs, &render);
     let gmeans = print_normalized_ipc(&scenes, &results);
 
     println!("paper:  +SH_4 +11.0%   +SH_8 +17.4%   +SH_16 +21.2%   FULL +25.3%");

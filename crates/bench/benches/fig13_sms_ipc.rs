@@ -9,7 +9,7 @@ use sms_bench::{fmt_improvement, print_normalized_ipc, run_matrix, setup};
 use sms_sim::rtunit::{SmsParams, StackConfig};
 
 fn main() {
-    let (scenes, render) = setup("Fig. 13", "IPC improvements of SMS (SH_8 / +SK / +RA)");
+    let (harness, scenes, render) = setup("Fig. 13", "IPC improvements of SMS (SH_8 / +SK / +RA)");
     let configs = [
         StackConfig::baseline8(),
         StackConfig::Sms(SmsParams::default()), // +SH_8
@@ -17,7 +17,7 @@ fn main() {
         StackConfig::sms_default(),             // +SK +RA
         StackConfig::FullOnChip,
     ];
-    let results = run_matrix(&scenes, &configs, &render);
+    let results = run_matrix(&harness, &scenes, &configs, &render);
     let gmeans = print_normalized_ipc(&scenes, &results);
 
     println!("paper:  +SH_8 +15.1%   +SK +19.4%   +RA (full SMS) +23.2%   FULL +25.3%");

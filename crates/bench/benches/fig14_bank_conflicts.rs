@@ -8,12 +8,12 @@ use sms_bench::{geomean, run_matrix, setup, Table};
 use sms_sim::rtunit::{SmsParams, StackConfig};
 
 fn main() {
-    let (scenes, render) = setup("Fig. 14", "bank-conflict delay cycles, SH_8 vs SH_8+SK");
+    let (harness, scenes, render) = setup("Fig. 14", "bank-conflict delay cycles, SH_8 vs SH_8+SK");
     let configs = [
         StackConfig::Sms(SmsParams::default()),
         StackConfig::Sms(SmsParams::default().with_skewed(true)),
     ];
-    let results = run_matrix(&scenes, &configs, &render);
+    let results = run_matrix(&harness, &scenes, &configs, &render);
 
     let mut table = Table::new(["scene", "delay (SH_8)", "delay (SH_8+SK)", "reduction"]);
     let mut keep = Vec::new();

@@ -9,7 +9,7 @@ use sms_bench::{fmt_improvement, print_normalized_ipc, run_matrix, setup};
 use sms_sim::rtunit::{SmsParams, StackConfig};
 
 fn main() {
-    let (scenes, render) = setup("Fig. 15a", "IPC for RB_{2,4,8,16} with and without SMS");
+    let (harness, scenes, render) = setup("Fig. 15a", "IPC for RB_{2,4,8,16} with and without SMS");
     let sms = |rb: usize| {
         StackConfig::Sms(
             SmsParams { rb_entries: rb, ..SmsParams::default() }
@@ -27,7 +27,7 @@ fn main() {
         StackConfig::Baseline { rb_entries: 16 },
         sms(16),
     ];
-    let results = run_matrix(&scenes, &configs, &render);
+    let results = run_matrix(&harness, &scenes, &configs, &render);
     let g = print_normalized_ipc(&scenes, &results);
 
     println!("paper:  RB_2 -28.3% -> RB_2+SMS +11.4%;  RB_16 +SMS gains only +3.5pp");

@@ -8,7 +8,7 @@ use sms_bench::{geomean, run_matrix, setup, Table};
 use sms_sim::rtunit::{SmsParams, StackConfig};
 
 fn main() {
-    let (scenes, render) = setup("Fig. 15b", "off-chip accesses for RB sweeps ± SMS");
+    let (harness, scenes, render) = setup("Fig. 15b", "off-chip accesses for RB sweeps ± SMS");
     let sms = |rb: usize| {
         StackConfig::Sms(
             SmsParams { rb_entries: rb, ..SmsParams::default() }
@@ -26,7 +26,7 @@ fn main() {
         StackConfig::Baseline { rb_entries: 16 },
         sms(16),
     ];
-    let results = run_matrix(&scenes, &configs, &render);
+    let results = run_matrix(&harness, &scenes, &configs, &render);
 
     let mut headers = vec!["scene".to_owned()];
     headers.extend(configs.iter().map(|c| c.label()));

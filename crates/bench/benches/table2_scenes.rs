@@ -4,9 +4,10 @@
 //! 1/100; small scenes less) while preserving the relative ordering; the
 //! "paper" columns print the original Table II values for comparison.
 
-use sms_bench::Table;
-use sms_sim::bvh::{BuildParams, BvhStats, WideBvh};
-use sms_sim::scene::{Scene, SceneId};
+use sms_bench::{Harness, Table};
+use sms_sim::bvh::BvhStats;
+use sms_sim::config::RenderConfig;
+use sms_sim::scene::SceneId;
 
 /// Table II reference values: (triangles, BVH MB).
 fn paper_row(id: SceneId) -> (&'static str, f64) {
@@ -41,14 +42,16 @@ fn main() {
         "nodes",
         "depth",
     ]);
-    for id in SceneId::ALL {
-        let scene = Scene::build(id);
-        let bvh = WideBvh::build(&scene.prims, &BuildParams::default());
-        let stats = BvhStats::measure(&bvh);
+    // Scene + BVH construction fan out across the harness's worker pool
+    // (the camera resolution the render config picks is irrelevant here).
+    let harness = Harness::from_env();
+    let prepared = harness.prepare_scenes(&SceneId::ALL, &RenderConfig::fast());
+    for (id, p) in SceneId::ALL.into_iter().zip(&prepared) {
+        let stats = BvhStats::measure(&p.bvh);
         let (ptris, pmb) = paper_row(id);
         table.row([
             id.name().to_owned(),
-            scene.triangle_count().to_string(),
+            p.scene.triangle_count().to_string(),
             ptris.to_owned(),
             format!("{:.2}", stats.size_mb()),
             format!("{pmb:.1}"),

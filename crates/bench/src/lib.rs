@@ -5,22 +5,33 @@
 //! printed as plain text. Absolute numbers come from our simulator; the
 //! *shape* (who wins, by roughly what factor) is what reproduces the paper.
 //!
+//! Runs execute on the `sms-harness` subsystem: `(scene, config)` matrices
+//! are deduplicated, scheduled on a worker pool, and served from the
+//! on-disk result cache when the same run was simulated before. Result
+//! ordering (and therefore every printed table) is byte-identical to the
+//! old serial loops.
+//!
 //! Environment knobs honoured by all harnesses:
 //!
 //! * `SMS_PAPER=1` — paper-sized workloads (128×128×2spp) instead of the
 //!   default fast ones (32×32×1spp; trends are resolution-stable, §VII-A).
 //! * `SMS_SCENES=SHIP,PARTY` — restrict to a scene subset.
+//! * `SMS_JOBS=N` — worker threads (default: available cores).
+//! * `SMS_NO_CACHE=1` — bypass the result cache.
+//! * `SMS_CACHE_DIR=path` — cache location (default `target/sms-cache`).
+//! * `SMS_JOURNAL=path` — append JSONL run-journal events to `path`.
 
 use sms_sim::config::RenderConfig;
 use sms_sim::experiments::{self, RunResult};
-use sms_sim::render::PreparedScene;
 use sms_sim::rtunit::StackConfig;
 use sms_sim::scene::SceneId;
 
+pub use sms_harness::{Harness, RunRequest};
 pub use sms_sim::report::{fmt_improvement, fmt_pct, geomean, Table};
 
-/// Prints the standard harness banner and returns `(scenes, render)`.
-pub fn setup(figure: &str, description: &str) -> (Vec<SceneId>, RenderConfig) {
+/// Prints the standard harness banner and returns the execution engine
+/// plus `(scenes, render)`.
+pub fn setup(figure: &str, description: &str) -> (Harness, Vec<SceneId>, RenderConfig) {
     let render = RenderConfig::from_env();
     let scenes = experiments::scene_list();
     println!("=== {figure}: {description} ===");
@@ -30,30 +41,21 @@ pub fn setup(figure: &str, description: &str) -> (Vec<SceneId>, RenderConfig) {
         scenes.len(),
         if scenes.len() < 16 { " (SMS_SCENES subset)" } else { "" }
     );
-    (scenes, render)
+    (Harness::from_env(), scenes, render)
 }
 
-/// Runs `configs` on every scene (reusing each scene's BVH); returns
-/// results grouped per scene and prints progress.
+/// Runs `configs` on every scene through the execution engine (parallel,
+/// deduplicated, cached); returns results grouped per scene in input
+/// order and prints the batch summary.
 pub fn run_matrix(
+    harness: &Harness,
     scenes: &[SceneId],
     configs: &[StackConfig],
     render: &RenderConfig,
 ) -> Vec<Vec<RunResult>> {
-    let gpu = sms_sim::gpu::GpuConfig::default();
-    scenes
-        .iter()
-        .map(|&id| {
-            eprint!("  {id} ...");
-            let prepared = PreparedScene::build(id, render);
-            let row: Vec<RunResult> = configs
-                .iter()
-                .map(|&stack| experiments::run_prepared(&prepared, stack, gpu, render))
-                .collect();
-            eprintln!(" done");
-            row
-        })
-        .collect()
+    let (results, summary) = harness.run_suite(scenes, configs, render);
+    eprintln!("  {summary}");
+    results
 }
 
 /// Prints a per-scene normalized-IPC table: first config is the baseline.

@@ -284,7 +284,7 @@ fn find_best_split(
             let cost = left_acc.surface_area() * left_cnt as f32
                 + right_bounds[i + 1].surface_area() * right_counts[i + 1] as f32;
             let plane = lo + (i + 1) as f32 / scale;
-            if best.map_or(true, |(_, _, c)| cost < c) {
+            if best.is_none_or(|(_, _, c)| cost < c) {
                 best = Some((axis, plane, cost));
             }
         }

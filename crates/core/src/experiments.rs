@@ -1,8 +1,13 @@
 //! Reusable experiment entry points for the paper's tables and figures.
 //!
-//! Each bench harness in `crates/bench` composes these primitives into the
-//! exact rows/series the paper reports; see `DESIGN.md` for the experiment
-//! index.
+//! These are the *serial* primitives: one `(scene, config)` run at a time,
+//! in call order. Production sweeps (the `crates/bench` harnesses and
+//! `examples/config_sweep.rs`) go through the `sms-harness` crate instead,
+//! which layers deduplication, a worker pool and an on-disk result cache on
+//! top of [`run_prepared`] — the simulator is deterministic, so both paths
+//! produce identical `SimStats` (asserted by
+//! `crates/harness/tests/parallel_vs_serial.rs`, which uses [`run_suite`]
+//! as its reference). See `DESIGN.md` for the experiment index.
 
 use crate::config::{RenderConfig, SimConfig};
 use crate::render::PreparedScene;
@@ -87,8 +92,12 @@ pub fn scene_list() -> Vec<SceneId> {
     }
 }
 
-/// Runs every `(scene, config)` pair, reusing each scene's BVH.
+/// Runs every `(scene, config)` pair serially, reusing each scene's BVH.
 /// Results are grouped per scene in the order given.
+///
+/// This is the reference implementation the parallel harness is checked
+/// against; sweeps that want caching/parallelism should prefer
+/// `sms_harness::Harness::run_suite`, which returns identical results.
 pub fn run_suite(
     scenes: &[SceneId],
     configs: &[StackConfig],

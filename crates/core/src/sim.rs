@@ -329,10 +329,8 @@ impl<'a> GpuSim<'a> {
                 for warp in &sm.warps {
                     match &warp.phase {
                         Phase::Compute { .. } => issuable = true,
-                        Phase::TraceWait => {
-                            if sm.rt.has_free_slot() {
-                                issuable = true;
-                            }
+                        Phase::TraceWait if sm.rt.has_free_slot() => {
+                            issuable = true;
                         }
                         Phase::WaitMem { done } => {
                             next = Some(next.map_or(*done, |n: Cycle| n.min(*done)));

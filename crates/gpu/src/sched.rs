@@ -39,7 +39,7 @@ impl GtoScheduler {
             if Some(w) == self.last {
                 greedy = true;
             }
-            if oldest.map_or(true, |o| w < o) {
+            if oldest.is_none_or(|o| w < o) {
                 oldest = Some(w);
             }
         }

@@ -1,0 +1,251 @@
+//! Content-addressed on-disk result cache.
+//!
+//! One `(scene, stack, gpu, render)` request is keyed by the FNV-1a hash of
+//! a canonical description string that includes [`SIM_VERSION_SALT`]; the
+//! cached value is the run's [`SimStats`] serialized as JSON. Entries never
+//! expire — bumping the salt when the simulator's timing model changes is
+//! what invalidates stale results (every key, and therefore every entry
+//! path, changes).
+//!
+//! The cache is strictly best-effort: any read problem (missing file,
+//! truncated JSON, schema drift, hash collision) is a miss that falls back
+//! to re-simulation, and write failures are ignored.
+
+use crate::json::{parse, Json};
+use crate::RunRequest;
+use sms_sim::gpu::SimStats;
+use sms_sim::mem::MemStats;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Bump on any change to the cycle model that alters simulation results:
+/// all previously cached entries become unreachable (stale keys).
+pub const SIM_VERSION_SALT: u32 = 1;
+
+/// A request's identity in the cache: the canonical description and its
+/// 64-bit FNV-1a hash (the entry's file name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    /// The full canonical description (stored in the entry and verified on
+    /// load, so a hash collision degrades to a miss instead of corruption).
+    pub canonical: String,
+    /// `fnv1a64(canonical)`.
+    pub hash: u64,
+}
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The on-disk cache at one directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+    salt: u32,
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir` using the current [`SIM_VERSION_SALT`].
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache::with_salt(dir, SIM_VERSION_SALT)
+    }
+
+    /// A cache with an explicit salt — for tests and for migration tooling
+    /// that needs to inspect entries written by an older simulator version.
+    pub fn with_salt(dir: impl Into<PathBuf>, salt: u32) -> Self {
+        ResultCache { dir: dir.into(), salt }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Computes the request's cache key under this cache's salt.
+    pub fn key(&self, req: &RunRequest) -> CacheKey {
+        let canonical = format!(
+            "sms-sim salt={}|scene={}|stack={:?}|gpu={:?}|render={:?}",
+            self.salt,
+            req.scene.name(),
+            req.stack,
+            req.gpu,
+            req.render
+        );
+        let hash = fnv1a64(canonical.as_bytes());
+        CacheKey { canonical, hash }
+    }
+
+    /// The path an entry for `key` lives at.
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", key.hash))
+    }
+
+    /// Loads a cached result; `None` on miss or on any malformed entry.
+    pub fn load(&self, key: &CacheKey) -> Option<SimStats> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        let doc = parse(&text).ok()?;
+        if doc.u64_field("salt")? != self.salt as u64 {
+            return None;
+        }
+        if doc.get("key")?.as_str()? != key.canonical {
+            return None; // hash collision or stale schema
+        }
+        stats_from_json(doc.get("stats")?)
+    }
+
+    /// Stores a result, best-effort (errors are swallowed: a cold cache is
+    /// always correct, just slower).
+    pub fn store(&self, key: &CacheKey, stats: &SimStats) {
+        let doc = Json::Obj(vec![
+            ("salt".to_owned(), Json::U64(self.salt as u64)),
+            ("key".to_owned(), Json::Str(key.canonical.clone())),
+            ("stats".to_owned(), stats_to_json(stats)),
+        ]);
+        if fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        // Write-then-rename so concurrent writers of the same entry (e.g.
+        // two bench harnesses) can never expose a half-written file.
+        let tmp = self.dir.join(format!("{:016x}.tmp{}", key.hash, std::process::id()));
+        if fs::write(&tmp, doc.to_string()).is_ok() {
+            let _ = fs::rename(&tmp, self.entry_path(key));
+        }
+    }
+}
+
+/// Serializes the full counter set. Field-exhaustive on purpose: adding a
+/// counter to `SimStats`/`MemStats` forces an update here, which is the
+/// moment to bump [`SIM_VERSION_SALT`].
+pub fn stats_to_json(s: &SimStats) -> Json {
+    let SimStats {
+        cycles,
+        thread_instructions,
+        node_visits,
+        rays_traced,
+        shadow_rays,
+        rb_spills,
+        rb_reloads,
+        sh_spills,
+        sh_reloads,
+        ra_flushes,
+        ra_borrows,
+        mem,
+    } = *s;
+    let MemStats {
+        l1_hits,
+        l1_misses,
+        l2_hits,
+        l2_misses,
+        stores,
+        stack_transactions,
+        stack_l1_hits,
+        stack_l1_misses,
+        data_transactions,
+        shared_accesses,
+        bank_conflict_cycles,
+    } = mem;
+    let u = |v: u64| Json::U64(v);
+    Json::Obj(vec![
+        ("cycles".to_owned(), u(cycles)),
+        ("thread_instructions".to_owned(), u(thread_instructions)),
+        ("node_visits".to_owned(), u(node_visits)),
+        ("rays_traced".to_owned(), u(rays_traced)),
+        ("shadow_rays".to_owned(), u(shadow_rays)),
+        ("rb_spills".to_owned(), u(rb_spills)),
+        ("rb_reloads".to_owned(), u(rb_reloads)),
+        ("sh_spills".to_owned(), u(sh_spills)),
+        ("sh_reloads".to_owned(), u(sh_reloads)),
+        ("ra_flushes".to_owned(), u(ra_flushes)),
+        ("ra_borrows".to_owned(), u(ra_borrows)),
+        (
+            "mem".to_owned(),
+            Json::Obj(vec![
+                ("l1_hits".to_owned(), u(l1_hits)),
+                ("l1_misses".to_owned(), u(l1_misses)),
+                ("l2_hits".to_owned(), u(l2_hits)),
+                ("l2_misses".to_owned(), u(l2_misses)),
+                ("stores".to_owned(), u(stores)),
+                ("stack_transactions".to_owned(), u(stack_transactions)),
+                ("stack_l1_hits".to_owned(), u(stack_l1_hits)),
+                ("stack_l1_misses".to_owned(), u(stack_l1_misses)),
+                ("data_transactions".to_owned(), u(data_transactions)),
+                ("shared_accesses".to_owned(), u(shared_accesses)),
+                ("bank_conflict_cycles".to_owned(), u(bank_conflict_cycles)),
+            ]),
+        ),
+    ])
+}
+
+/// Deserializes a counter set; `None` if any field is missing or mistyped.
+pub fn stats_from_json(doc: &Json) -> Option<SimStats> {
+    let mem = doc.get("mem")?;
+    Some(SimStats {
+        cycles: doc.u64_field("cycles")?,
+        thread_instructions: doc.u64_field("thread_instructions")?,
+        node_visits: doc.u64_field("node_visits")?,
+        rays_traced: doc.u64_field("rays_traced")?,
+        shadow_rays: doc.u64_field("shadow_rays")?,
+        rb_spills: doc.u64_field("rb_spills")?,
+        rb_reloads: doc.u64_field("rb_reloads")?,
+        sh_spills: doc.u64_field("sh_spills")?,
+        sh_reloads: doc.u64_field("sh_reloads")?,
+        ra_flushes: doc.u64_field("ra_flushes")?,
+        ra_borrows: doc.u64_field("ra_borrows")?,
+        mem: MemStats {
+            l1_hits: mem.u64_field("l1_hits")?,
+            l1_misses: mem.u64_field("l1_misses")?,
+            l2_hits: mem.u64_field("l2_hits")?,
+            l2_misses: mem.u64_field("l2_misses")?,
+            stores: mem.u64_field("stores")?,
+            stack_transactions: mem.u64_field("stack_transactions")?,
+            stack_l1_hits: mem.u64_field("stack_l1_hits")?,
+            stack_l1_misses: mem.u64_field("stack_l1_misses")?,
+            data_transactions: mem.u64_field("data_transactions")?,
+            shared_accesses: mem.u64_field("shared_accesses")?,
+            bank_conflict_cycles: mem.u64_field("bank_conflict_cycles")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> SimStats {
+        SimStats {
+            cycles: 123_456,
+            thread_instructions: 9_007_199_254_740_993, // > 2^53: u64 fidelity
+            node_visits: 42,
+            rb_spills: 7,
+            mem: MemStats { l1_hits: 11, bank_conflict_cycles: 3, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let s = sample_stats();
+        assert_eq!(stats_from_json(&stats_to_json(&s)), Some(s));
+    }
+
+    #[test]
+    fn missing_field_is_rejected() {
+        let Json::Obj(mut pairs) = stats_to_json(&sample_stats()) else { unreachable!() };
+        pairs.retain(|(k, _)| k != "sh_spills");
+        assert_eq!(stats_from_json(&Json::Obj(pairs)), None);
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -1,0 +1,192 @@
+//! Structured run journal: one JSONL event per scheduler transition.
+//!
+//! Events are always collected in memory (so tests and callers can assert
+//! on them); when `SMS_JOURNAL=<path>` is set — or a path is configured
+//! explicitly — each event is also appended to that file as one JSON line,
+//! giving the repo its first machine-readable observability stream:
+//!
+//! ```text
+//! {"event":"batch_start","jobs":80,"unique":80,"workers":8}
+//! {"event":"job_queued","job":0,"scene":"WKND","config":"RB_8","workload":"32x32x1"}
+//! {"event":"job_started","job":0,"worker":2}
+//! {"event":"job_finished","job":0,"worker":2,"cache":"miss","cycles":184223,"duration_us":5120}
+//! {"event":"batch_end","jobs":80,"cache_hits":0,"cache_misses":80,"duration_us":412000}
+//! ```
+
+use crate::json::Json;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// One journal event. `job` ids index the batch's *deduplicated* job list;
+/// `worker` is `None` for work the scheduler thread did itself (cache
+/// probes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A batch was submitted.
+    BatchStart {
+        /// Requests in the batch, before deduplication.
+        jobs: usize,
+        /// Distinct jobs after deduplication.
+        unique: usize,
+        /// Worker threads the pool will use.
+        workers: usize,
+    },
+    /// A deduplicated job entered the queue.
+    JobQueued {
+        /// Job id within the batch.
+        job: usize,
+        /// Scene name (paper spelling, e.g. `CHSNT`).
+        scene: String,
+        /// Stack-configuration label (e.g. `RB_8+SH_8+SK+RA`).
+        config: String,
+        /// Workload as `WxHxSPP`.
+        workload: String,
+    },
+    /// A worker picked the job up.
+    JobStarted {
+        /// Job id within the batch.
+        job: usize,
+        /// Worker index.
+        worker: usize,
+    },
+    /// The job's result is available.
+    JobFinished {
+        /// Job id within the batch.
+        job: usize,
+        /// Worker index; `None` when served from cache by the scheduler.
+        worker: Option<usize>,
+        /// Whether the result came from the on-disk cache.
+        cache_hit: bool,
+        /// Simulated cycles of the result.
+        cycles: u64,
+        /// Wall-clock microseconds spent on this job.
+        duration_us: u64,
+    },
+    /// The batch completed; counters cover the deduplicated jobs.
+    BatchEnd {
+        /// Deduplicated jobs executed or served.
+        jobs: usize,
+        /// Jobs served from the cache.
+        cache_hits: usize,
+        /// Jobs that re-simulated.
+        cache_misses: usize,
+        /// Batch wall-clock microseconds.
+        duration_us: u64,
+    },
+}
+
+impl Event {
+    /// The event as one JSON object (the journal line, sans newline).
+    pub fn to_json(&self) -> Json {
+        let own = |s: &str| s.to_owned();
+        match self {
+            Event::BatchStart { jobs, unique, workers } => Json::Obj(vec![
+                (own("event"), Json::Str(own("batch_start"))),
+                (own("jobs"), Json::U64(*jobs as u64)),
+                (own("unique"), Json::U64(*unique as u64)),
+                (own("workers"), Json::U64(*workers as u64)),
+            ]),
+            Event::JobQueued { job, scene, config, workload } => Json::Obj(vec![
+                (own("event"), Json::Str(own("job_queued"))),
+                (own("job"), Json::U64(*job as u64)),
+                (own("scene"), Json::Str(scene.clone())),
+                (own("config"), Json::Str(config.clone())),
+                (own("workload"), Json::Str(workload.clone())),
+            ]),
+            Event::JobStarted { job, worker } => Json::Obj(vec![
+                (own("event"), Json::Str(own("job_started"))),
+                (own("job"), Json::U64(*job as u64)),
+                (own("worker"), Json::U64(*worker as u64)),
+            ]),
+            Event::JobFinished { job, worker, cache_hit, cycles, duration_us } => Json::Obj(vec![
+                (own("event"), Json::Str(own("job_finished"))),
+                (own("job"), Json::U64(*job as u64)),
+                (own("worker"), worker.map_or(Json::Null, |w| Json::U64(w as u64))),
+                (own("cache"), Json::Str(own(if *cache_hit { "hit" } else { "miss" }))),
+                (own("cycles"), Json::U64(*cycles)),
+                (own("duration_us"), Json::U64(*duration_us)),
+            ]),
+            Event::BatchEnd { jobs, cache_hits, cache_misses, duration_us } => Json::Obj(vec![
+                (own("event"), Json::Str(own("batch_end"))),
+                (own("jobs"), Json::U64(*jobs as u64)),
+                (own("cache_hits"), Json::U64(*cache_hits as u64)),
+                (own("cache_misses"), Json::U64(*cache_misses as u64)),
+                (own("duration_us"), Json::U64(*duration_us)),
+            ]),
+        }
+    }
+}
+
+struct Inner {
+    events: Vec<Event>,
+    sink: Option<File>,
+}
+
+/// Thread-safe event collector; workers record through a shared reference.
+pub struct Journal {
+    inner: Mutex<Inner>,
+}
+
+impl Journal {
+    /// A journal that optionally appends JSONL to `path`. An unopenable
+    /// path disables the file sink (the in-memory journal still works).
+    pub fn new(path: Option<PathBuf>) -> Self {
+        let sink = path.and_then(|p| OpenOptions::new().create(true).append(true).open(p).ok());
+        Journal { inner: Mutex::new(Inner { events: Vec::new(), sink }) }
+    }
+
+    /// Records one event (and writes its JSONL line, if a sink is set).
+    pub fn record(&self, event: Event) {
+        let mut inner = self.inner.lock().expect("journal poisoned");
+        if let Some(f) = inner.sink.as_mut() {
+            let _ = writeln!(f, "{}", event.to_json());
+        }
+        inner.events.push(event);
+    }
+
+    /// Snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().expect("journal poisoned").events.clone()
+    }
+
+    /// Events recorded since (and including) the most recent `BatchStart`.
+    pub fn last_batch(&self) -> Vec<Event> {
+        let events = self.events();
+        let start = events.iter().rposition(|e| matches!(e, Event::BatchStart { .. })).unwrap_or(0);
+        events[start..].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_to_one_object_each() {
+        let e = Event::JobFinished {
+            job: 3,
+            worker: None,
+            cache_hit: true,
+            cycles: 99,
+            duration_us: 12,
+        };
+        let line = e.to_json().to_string();
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(doc.get("event").unwrap().as_str(), Some("job_finished"));
+        assert_eq!(doc.get("worker").unwrap(), &Json::Null);
+        assert_eq!(doc.u64_field("cycles"), Some(99));
+    }
+
+    #[test]
+    fn last_batch_cuts_at_latest_start() {
+        let j = Journal::new(None);
+        j.record(Event::BatchStart { jobs: 1, unique: 1, workers: 1 });
+        j.record(Event::BatchEnd { jobs: 1, cache_hits: 0, cache_misses: 1, duration_us: 5 });
+        j.record(Event::BatchStart { jobs: 2, unique: 2, workers: 1 });
+        let last = j.last_batch();
+        assert_eq!(last.len(), 1);
+        assert!(matches!(last[0], Event::BatchStart { jobs: 2, .. }));
+    }
+}

@@ -1,0 +1,400 @@
+//! `sms-harness`: the experiment-execution subsystem.
+//!
+//! Every paper figure/table is a sweep of `(scene, stack config)` runs of
+//! the deterministic cycle simulator. This crate turns those sweeps from
+//! serial loops into scheduled batches:
+//!
+//! * **Deduplication** — identical requests in one batch run once (the
+//!   `RB_8` baseline appears in nearly every figure's matrix).
+//! * **Parallel execution** — a `std::thread` worker pool sized to the
+//!   available cores (`SMS_JOBS=N` overrides), with each scene's
+//!   [`PreparedScene`] built once and shared across workers via [`Arc`].
+//! * **Result caching** — a content-addressed on-disk cache
+//!   ([`ResultCache`]) makes re-running a figure harness a set of cache
+//!   hits (`SMS_NO_CACHE=1` bypasses it).
+//! * **Observability** — a structured JSONL run [`Journal`] plus an
+//!   end-of-batch [`BatchSummary`].
+//!
+//! Results are merged in *request order* regardless of completion order,
+//! and the simulator is deterministic, so a parallel batch is exactly equal
+//! to the serial loop it replaces (`tests/parallel_vs_serial.rs` asserts
+//! this).
+//!
+//! ```no_run
+//! use sms_harness::{Harness, RunRequest};
+//! use sms_sim::config::RenderConfig;
+//! use sms_sim::rtunit::StackConfig;
+//! use sms_sim::scene::SceneId;
+//!
+//! let harness = Harness::from_env();
+//! let render = RenderConfig::fast();
+//! let reqs = vec![
+//!     RunRequest::new(SceneId::Ship, StackConfig::baseline8(), render),
+//!     RunRequest::new(SceneId::Ship, StackConfig::sms_default(), render),
+//! ];
+//! let (results, summary) = harness.run_batch(&reqs);
+//! eprintln!("{summary}");
+//! assert_eq!(results[0].scene, SceneId::Ship);
+//! ```
+
+pub mod cache;
+pub mod journal;
+pub mod json;
+pub mod pool;
+
+pub use cache::{CacheKey, ResultCache, SIM_VERSION_SALT};
+pub use journal::{Event, Journal};
+
+use sms_sim::config::RenderConfig;
+use sms_sim::experiments::{run_prepared, RunResult};
+use sms_sim::gpu::GpuConfig;
+use sms_sim::render::PreparedScene;
+use sms_sim::rtunit::StackConfig;
+use sms_sim::scene::SceneId;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One `(scene, stack, gpu, render)` simulation job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunRequest {
+    /// The scene to simulate.
+    pub scene: SceneId,
+    /// The traversal-stack architecture under test.
+    pub stack: StackConfig,
+    /// GPU parameters; the stack's shared-memory carveout is applied on
+    /// top, exactly as in `experiments::run_prepared`.
+    pub gpu: GpuConfig,
+    /// Workload sizing.
+    pub render: RenderConfig,
+}
+
+impl RunRequest {
+    /// A request on the Table I GPU.
+    pub fn new(scene: SceneId, stack: StackConfig, render: RenderConfig) -> Self {
+        RunRequest { scene, stack, gpu: GpuConfig::default(), render }
+    }
+
+    /// The same request with an explicit GPU configuration (L1 sweeps etc.).
+    pub fn with_gpu(mut self, gpu: GpuConfig) -> Self {
+        self.gpu = gpu;
+        self
+    }
+
+    fn workload_label(&self) -> String {
+        let (w, h, spp) = self.render.workload(self.scene);
+        format!("{w}x{h}x{spp}")
+    }
+}
+
+/// Construction-time knobs for a [`Harness`].
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Worker threads for the pool. Defaults to the available parallelism.
+    pub workers: usize,
+    /// Result-cache directory; `None` disables caching entirely.
+    pub cache_dir: Option<PathBuf>,
+    /// JSONL journal sink; `None` keeps the journal in memory only.
+    pub journal_path: Option<PathBuf>,
+    /// Simulator version salt for cache keys.
+    pub salt: u32,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            workers: default_workers(),
+            cache_dir: Some(default_cache_dir()),
+            journal_path: None,
+            salt: SIM_VERSION_SALT,
+        }
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The workspace-level `target/sms-cache`, anchored at compile time so
+/// every binary (tests, benches, examples) shares one cache no matter
+/// which package directory cargo runs it from.
+fn default_cache_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/sms-cache"))
+}
+
+impl HarnessConfig {
+    /// Reads the environment knobs:
+    ///
+    /// * `SMS_JOBS=N` — worker-thread count (default: available cores).
+    /// * `SMS_NO_CACHE=1` — disable the result cache.
+    /// * `SMS_CACHE_DIR=path` — cache directory (default `target/sms-cache`).
+    /// * `SMS_JOURNAL=path` — append JSONL events to `path`.
+    pub fn from_env() -> Self {
+        let mut cfg = HarnessConfig::default();
+        if let Ok(jobs) = std::env::var("SMS_JOBS") {
+            cfg.workers = jobs
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("SMS_JOBS: expected a positive integer, got `{jobs}`"));
+            assert!(cfg.workers > 0, "SMS_JOBS must be at least 1");
+        }
+        if std::env::var("SMS_NO_CACHE").is_ok_and(|v| v == "1") {
+            cfg.cache_dir = None;
+        } else if let Ok(dir) = std::env::var("SMS_CACHE_DIR") {
+            cfg.cache_dir = Some(PathBuf::from(dir));
+        }
+        if let Ok(path) = std::env::var("SMS_JOURNAL") {
+            cfg.journal_path = Some(PathBuf::from(path));
+        }
+        cfg
+    }
+}
+
+/// End-of-batch accounting, also emitted as the journal's `batch_end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Requests submitted (before deduplication).
+    pub jobs: usize,
+    /// Distinct jobs after deduplication.
+    pub unique_jobs: usize,
+    /// Jobs served from the result cache.
+    pub cache_hits: usize,
+    /// Jobs that ran the simulator.
+    pub cache_misses: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Batch wall-clock time.
+    pub wall: Duration,
+}
+
+impl fmt::Display for BatchSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs ({} unique) on {} workers: {} cache hits, {} simulated, {:.2}s",
+            self.jobs,
+            self.unique_jobs,
+            self.workers,
+            self.cache_hits,
+            self.cache_misses,
+            self.wall.as_secs_f64()
+        )
+    }
+}
+
+/// The experiment-execution engine. Cheap to construct; hold one per
+/// process and feed it batches.
+pub struct Harness {
+    workers: usize,
+    cache: Option<ResultCache>,
+    journal: Journal,
+}
+
+impl Harness {
+    /// A harness from explicit configuration.
+    pub fn new(config: HarnessConfig) -> Self {
+        Harness {
+            workers: config.workers.max(1),
+            cache: config.cache_dir.map(|dir| ResultCache::with_salt(dir, config.salt)),
+            journal: Journal::new(config.journal_path),
+        }
+    }
+
+    /// A harness honouring `SMS_JOBS`, `SMS_NO_CACHE`, `SMS_CACHE_DIR` and
+    /// `SMS_JOURNAL` (see [`HarnessConfig::from_env`]).
+    pub fn from_env() -> Self {
+        Harness::new(HarnessConfig::from_env())
+    }
+
+    /// The run journal (in-memory event stream).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The result cache, if enabled.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Executes a batch. Identical requests are deduplicated, scenes are
+    /// prepared once each, cache hits skip simulation — and the returned
+    /// results are positionally aligned with `requests`, with stats equal
+    /// to what the serial `experiments` loops produce.
+    pub fn run_batch(&self, requests: &[RunRequest]) -> (Vec<RunResult>, BatchSummary) {
+        let t0 = Instant::now();
+
+        // 1. Dedupe on the canonical cache key (also the identity used for
+        //    the on-disk cache, so "same key" always means "same stats").
+        let keyer = match &self.cache {
+            Some(c) => c.clone(),
+            None => ResultCache::new(PathBuf::new()), // keys only, no I/O
+        };
+        let mut job_of_request = Vec::with_capacity(requests.len());
+        let mut jobs: Vec<(RunRequest, CacheKey)> = Vec::new();
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for req in requests {
+            let key = keyer.key(req);
+            let job = match seen.get(&key.canonical) {
+                Some(&j) => j,
+                None => {
+                    jobs.push((*req, key.clone()));
+                    seen.insert(key.canonical, jobs.len() - 1);
+                    jobs.len() - 1
+                }
+            };
+            job_of_request.push(job);
+        }
+
+        self.journal.record(Event::BatchStart {
+            jobs: requests.len(),
+            unique: jobs.len(),
+            workers: self.workers,
+        });
+        for (j, (req, _)) in jobs.iter().enumerate() {
+            self.journal.record(Event::JobQueued {
+                job: j,
+                scene: req.scene.name().to_owned(),
+                config: req.stack.label(),
+                workload: req.workload_label(),
+            });
+        }
+
+        // 2. Probe the cache on the scheduler thread (tiny JSON reads).
+        let mut slots: Vec<Option<sms_sim::gpu::SimStats>> = vec![None; jobs.len()];
+        let mut hits = 0usize;
+        if let Some(cache) = &self.cache {
+            for (j, (_, key)) in jobs.iter().enumerate() {
+                let probe_start = Instant::now();
+                if let Some(stats) = cache.load(key) {
+                    hits += 1;
+                    self.journal.record(Event::JobFinished {
+                        job: j,
+                        worker: None,
+                        cache_hit: true,
+                        cycles: stats.cycles,
+                        duration_us: probe_start.elapsed().as_micros() as u64,
+                    });
+                    slots[j] = Some(stats);
+                }
+            }
+        }
+        let misses: Vec<usize> = (0..jobs.len()).filter(|&j| slots[j].is_none()).collect();
+
+        // 3. Prepare each distinct (scene, render) once, in parallel.
+        let mut scene_keys: Vec<(SceneId, RenderConfig)> = Vec::new();
+        let mut scene_of_miss = Vec::with_capacity(misses.len());
+        for &j in &misses {
+            let req = &jobs[j].0;
+            let key = (req.scene, req.render);
+            let idx = scene_keys.iter().position(|&k| k == key).unwrap_or_else(|| {
+                scene_keys.push(key);
+                scene_keys.len() - 1
+            });
+            scene_of_miss.push(idx);
+        }
+        let prepared: Vec<Arc<PreparedScene>> =
+            pool::run_indexed(self.workers, scene_keys.len(), |i, _| {
+                let (id, render) = scene_keys[i];
+                Arc::new(PreparedScene::build(id, &render))
+            });
+
+        // 4. Simulate the misses on the pool; slot by job id, so merge
+        //    order is deterministic regardless of completion order.
+        let journal = &self.journal;
+        let cache = &self.cache;
+        let sim_stats = pool::run_indexed(self.workers, misses.len(), |i, worker| {
+            let job = misses[i];
+            let (req, key) = &jobs[job];
+            journal.record(Event::JobStarted { job, worker });
+            let job_start = Instant::now();
+            let result = run_prepared(&prepared[scene_of_miss[i]], req.stack, req.gpu, &req.render);
+            if let Some(cache) = cache {
+                cache.store(key, &result.stats);
+            }
+            journal.record(Event::JobFinished {
+                job,
+                worker: Some(worker),
+                cache_hit: false,
+                cycles: result.stats.cycles,
+                duration_us: job_start.elapsed().as_micros() as u64,
+            });
+            result.stats
+        });
+        for (&j, stats) in misses.iter().zip(sim_stats) {
+            slots[j] = Some(stats);
+        }
+
+        let summary = BatchSummary {
+            jobs: requests.len(),
+            unique_jobs: jobs.len(),
+            cache_hits: hits,
+            cache_misses: misses.len(),
+            workers: self.workers,
+            wall: t0.elapsed(),
+        };
+        self.journal.record(Event::BatchEnd {
+            jobs: jobs.len(),
+            cache_hits: hits,
+            cache_misses: misses.len(),
+            duration_us: summary.wall.as_micros() as u64,
+        });
+
+        let results = requests
+            .iter()
+            .zip(&job_of_request)
+            .map(|(req, &j)| RunResult {
+                scene: req.scene,
+                stack: req.stack,
+                stats: slots[j].expect("every job resolved"),
+            })
+            .collect();
+        (results, summary)
+    }
+
+    /// Runs every `(scene, config)` pair on the Table I GPU; results are
+    /// grouped per scene in the order given — the parallel, cached
+    /// equivalent of `sms_sim::experiments::run_suite`.
+    pub fn run_suite(
+        &self,
+        scenes: &[SceneId],
+        configs: &[StackConfig],
+        render: &RenderConfig,
+    ) -> (Vec<Vec<RunResult>>, BatchSummary) {
+        let requests: Vec<RunRequest> = scenes
+            .iter()
+            .flat_map(|&id| configs.iter().map(move |&stack| RunRequest::new(id, stack, *render)))
+            .collect();
+        let (flat, summary) = self.run_batch(&requests);
+        let grouped = flat.chunks(configs.len().max(1)).map(<[RunResult]>::to_vec).collect();
+        (grouped, summary)
+    }
+
+    /// Builds the scenes (BVH included) on the worker pool, one build per
+    /// distinct scene; duplicates share the same [`Arc`]. Returned in input
+    /// order.
+    pub fn prepare_scenes(
+        &self,
+        scenes: &[SceneId],
+        render: &RenderConfig,
+    ) -> Vec<Arc<PreparedScene>> {
+        let mut distinct: Vec<SceneId> = Vec::new();
+        for &id in scenes {
+            if !distinct.contains(&id) {
+                distinct.push(id);
+            }
+        }
+        let built: Vec<Arc<PreparedScene>> =
+            pool::run_indexed(self.workers, distinct.len(), |i, _| {
+                Arc::new(PreparedScene::build(distinct[i], render))
+            });
+        scenes
+            .iter()
+            .map(|id| {
+                let i = distinct.iter().position(|d| d == id).expect("collected above");
+                Arc::clone(&built[i])
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,145 @@
+//! The result cache must never be able to make a run *wrong*: corrupt
+//! entries fall back to re-simulation, and entries written under an older
+//! simulator version salt are unreachable.
+
+use sms_harness::{Harness, HarnessConfig, ResultCache, RunRequest, SIM_VERSION_SALT};
+use sms_sim::config::RenderConfig;
+use sms_sim::gpu::SimStats;
+use sms_sim::rtunit::StackConfig;
+use sms_sim::scene::SceneId;
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sms-cache-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample_request() -> RunRequest {
+    RunRequest::new(SceneId::Wknd, StackConfig::baseline8(), RenderConfig::tiny())
+}
+
+#[test]
+fn roundtrip_store_load() {
+    let dir = temp_dir("roundtrip");
+    let cache = ResultCache::new(&dir);
+    let key = cache.key(&sample_request());
+    let stats = SimStats { cycles: 77, node_visits: 5, ..Default::default() };
+    cache.store(&key, &stats);
+    assert_eq!(cache.load(&key), Some(stats));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_and_truncated_entries_are_misses() {
+    let dir = temp_dir("corrupt");
+    let cache = ResultCache::new(&dir);
+    let key = cache.key(&sample_request());
+    let stats = SimStats { cycles: 77, ..Default::default() };
+    cache.store(&key, &stats);
+    let path = cache.entry_path(&key);
+
+    // Truncated mid-document.
+    let full = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+    assert_eq!(cache.load(&key), None, "truncated entry must miss, not panic");
+
+    // Arbitrary binary garbage.
+    std::fs::write(&path, [0u8, 159, 146, 150, b'{', b'}']).unwrap();
+    assert_eq!(cache.load(&key), None, "binary garbage must miss, not panic");
+
+    // Valid JSON, wrong schema.
+    std::fs::write(&path, "{\"unexpected\":true}").unwrap();
+    assert_eq!(cache.load(&key), None);
+
+    // Valid envelope, missing stats fields.
+    std::fs::write(
+        &path,
+        format!(
+            "{{\"salt\":{SIM_VERSION_SALT},\"key\":{:?},\"stats\":{{\"cycles\":1}}}}",
+            key.canonical
+        ),
+    )
+    .unwrap();
+    assert_eq!(cache.load(&key), None, "schema drift must miss, not mis-parse");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_entry_falls_back_to_resimulation_end_to_end() {
+    let dir = temp_dir("fallback");
+    let harness = Harness::new(HarnessConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        journal_path: None,
+        salt: SIM_VERSION_SALT,
+    });
+    let req = sample_request();
+    let (first, s1) = harness.run_batch(&[req]);
+    assert_eq!(s1.cache_misses, 1);
+
+    // Corrupt the entry on disk; the batch must silently re-simulate and
+    // produce the same stats.
+    let cache = harness.cache().unwrap();
+    let path = cache.entry_path(&cache.key(&req));
+    std::fs::write(&path, "not json at all").unwrap();
+    let (second, s2) = harness.run_batch(&[req]);
+    assert_eq!(s2.cache_hits, 0, "corrupt entry must not count as a hit");
+    assert_eq!(s2.cache_misses, 1);
+    assert_eq!(first[0].stats, second[0].stats);
+
+    // And the re-simulation healed the entry: third run is a hit.
+    let (third, s3) = harness.run_batch(&[req]);
+    assert_eq!(s3.cache_hits, 1);
+    assert_eq!(first[0].stats, third[0].stats);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_salt_bump_invalidates_stale_entries() {
+    let dir = temp_dir("salt");
+    let req = sample_request();
+    let stale = SimStats { cycles: 999_999, ..Default::default() };
+
+    // An entry written by a (simulated) older simulator version...
+    let old_cache = ResultCache::with_salt(&dir, SIM_VERSION_SALT.wrapping_sub(1));
+    let old_key = old_cache.key(&req);
+    old_cache.store(&old_key, &stale);
+    assert_eq!(old_cache.load(&old_key), Some(stale), "entry is valid under its own salt");
+
+    // ...is a miss under the current salt: the canonical key (and with it
+    // the entry path) changed.
+    let new_cache = ResultCache::with_salt(&dir, SIM_VERSION_SALT);
+    let new_key = new_cache.key(&req);
+    assert_ne!(old_key.canonical, new_key.canonical);
+    assert_ne!(old_key.hash, new_key.hash);
+    assert_eq!(new_cache.load(&new_key), None, "salt bump must invalidate stale entries");
+
+    // Even a forged stale entry *at the new path* is rejected by the salt
+    // field check.
+    std::fs::copy(old_cache.entry_path(&old_key), new_cache.entry_path(&new_key)).unwrap();
+    assert_eq!(new_cache.load(&new_key), None, "salt mismatch inside the entry must miss");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn distinct_requests_have_distinct_keys() {
+    let cache = ResultCache::new("unused");
+    let render = RenderConfig::tiny();
+    let a = cache.key(&RunRequest::new(SceneId::Ship, StackConfig::baseline8(), render));
+    let b = cache.key(&RunRequest::new(SceneId::Bunny, StackConfig::baseline8(), render));
+    let c = cache.key(&RunRequest::new(SceneId::Ship, StackConfig::sms_default(), render));
+    let d =
+        cache.key(&RunRequest::new(SceneId::Ship, StackConfig::baseline8(), RenderConfig::fast()));
+    let e = cache.key(
+        &RunRequest::new(SceneId::Ship, StackConfig::baseline8(), render)
+            .with_gpu(sms_sim::gpu::GpuConfig::default().with_l1_size(128 * 1024)),
+    );
+    let keys = [&a.canonical, &b.canonical, &c.canonical, &d.canonical, &e.canonical];
+    for (i, x) in keys.iter().enumerate() {
+        for y in &keys[i + 1..] {
+            assert_ne!(x, y, "scene/stack/render/gpu must all be part of the key");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The harness's core guarantee: a parallel, deduplicated, cached batch is
+//! *exactly* the serial loop's result — same `SimStats`, bit for bit — and
+//! a warm cache serves the whole batch without simulating.
+
+use sms_harness::{Event, Harness, HarnessConfig, RunRequest, SIM_VERSION_SALT};
+use sms_sim::config::RenderConfig;
+use sms_sim::experiments;
+use sms_sim::rtunit::{SmsParams, StackConfig};
+use sms_sim::scene::SceneId;
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sms-harness-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn test_harness(cache: &str) -> Harness {
+    Harness::new(HarnessConfig {
+        workers: 4,
+        cache_dir: Some(temp_dir(cache)),
+        journal_path: None,
+        salt: SIM_VERSION_SALT,
+    })
+}
+
+/// The Fig. 13 configuration matrix.
+fn fig13_configs() -> Vec<StackConfig> {
+    vec![
+        StackConfig::baseline8(),
+        StackConfig::Sms(SmsParams::default()),
+        StackConfig::Sms(SmsParams::default().with_skewed(true)),
+        StackConfig::sms_default(),
+        StackConfig::FullOnChip,
+    ]
+}
+
+#[test]
+fn parallel_equals_serial_and_second_run_is_all_hits() {
+    let scenes = [SceneId::Ship, SceneId::Bunny, SceneId::Ref, SceneId::Chsnt];
+    let configs = fig13_configs();
+    let render = RenderConfig::tiny();
+
+    let serial = experiments::run_suite(&scenes, &configs, &render);
+
+    let harness = test_harness("fig13");
+    let (parallel, first) = harness.run_suite(&scenes, &configs, &render);
+
+    assert_eq!(parallel.len(), serial.len());
+    for (scene_idx, (p_row, s_row)) in parallel.iter().zip(&serial).enumerate() {
+        for (p, s) in p_row.iter().zip(s_row) {
+            assert_eq!(p.scene, s.scene);
+            assert_eq!(p.stack, s.stack);
+            assert_eq!(
+                p.stats, s.stats,
+                "parallel vs serial stats diverged for {} / {}",
+                scenes[scene_idx], p.stack
+            );
+        }
+    }
+    let total = scenes.len() * configs.len();
+    assert_eq!(first.jobs, total);
+    assert_eq!(first.unique_jobs, total);
+    assert_eq!(first.cache_hits, 0, "cold cache must simulate everything");
+    assert_eq!(first.cache_misses, total);
+    assert_eq!(first.workers, 4);
+
+    // Second invocation of the same batch: 100% cache hits, and faster
+    // than actually simulating was.
+    let (again, second) = harness.run_suite(&scenes, &configs, &render);
+    for (p_row, a_row) in parallel.iter().zip(&again) {
+        for (p, a) in p_row.iter().zip(a_row) {
+            assert_eq!(p.stats, a.stats, "cached stats must equal simulated stats");
+        }
+    }
+    assert_eq!(second.cache_hits, total, "warm cache must serve the whole batch");
+    assert_eq!(second.cache_misses, 0);
+    assert!(
+        second.wall < first.wall,
+        "cache hits ({:?}) must beat simulation ({:?})",
+        second.wall,
+        first.wall
+    );
+
+    // The journal agrees: the last batch finished every job from cache.
+    let last = harness.journal().last_batch();
+    let finishes: Vec<&Event> =
+        last.iter().filter(|e| matches!(e, Event::JobFinished { .. })).collect();
+    assert_eq!(finishes.len(), total);
+    assert!(finishes
+        .iter()
+        .all(|e| matches!(e, Event::JobFinished { cache_hit: true, worker: None, .. })));
+
+    if let Some(cache) = harness.cache() {
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}
+
+#[test]
+fn duplicate_requests_run_once() {
+    let render = RenderConfig::tiny();
+    let base = RunRequest::new(SceneId::Ship, StackConfig::baseline8(), render);
+    let sms = RunRequest::new(SceneId::Ship, StackConfig::sms_default(), render);
+    // RB_8 requested three times (as every figure's normalization column).
+    let batch = [base, sms, base, base];
+
+    let harness = test_harness("dedupe");
+    let (results, summary) = harness.run_batch(&batch);
+
+    assert_eq!(summary.jobs, 4);
+    assert_eq!(summary.unique_jobs, 2, "three RB_8 requests dedupe to one job");
+    assert_eq!(summary.cache_misses, 2);
+    assert_eq!(results.len(), 4, "results stay positionally aligned with requests");
+    assert_eq!(results[0].stats, results[2].stats);
+    assert_eq!(results[0].stats, results[3].stats);
+    assert_ne!(results[0].stats.cycles, results[1].stats.cycles);
+
+    if let Some(cache) = harness.cache() {
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}
+
+#[test]
+fn journal_records_the_full_job_lifecycle() {
+    let render = RenderConfig::tiny();
+    let harness = test_harness("journal");
+    let (_, _) =
+        harness.run_batch(&[RunRequest::new(SceneId::Wknd, StackConfig::baseline8(), render)]);
+
+    let events = harness.journal().events();
+    assert!(matches!(events[0], Event::BatchStart { jobs: 1, unique: 1, workers: 4 }));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        Event::JobQueued { job: 0, scene, config, workload }
+            if scene == "WKND" && config == "RB_8" && workload == "16x16x1"
+    )));
+    assert!(events.iter().any(|e| matches!(e, Event::JobStarted { job: 0, .. })));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        Event::JobFinished { job: 0, cache_hit: false, cycles, .. } if *cycles > 0
+    )));
+    assert!(matches!(
+        events.last(),
+        Some(Event::BatchEnd { jobs: 1, cache_hits: 0, cache_misses: 1, .. })
+    ));
+
+    if let Some(cache) = harness.cache() {
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}
+
+#[test]
+fn journal_file_sink_writes_parseable_jsonl() {
+    let dir = temp_dir("jsonl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    let harness = Harness::new(HarnessConfig {
+        workers: 2,
+        cache_dir: None,
+        journal_path: Some(path.clone()),
+        salt: SIM_VERSION_SALT,
+    });
+    let render = RenderConfig::tiny();
+    harness.run_batch(&[RunRequest::new(SceneId::Wknd, StackConfig::baseline8(), render)]);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), harness.journal().events().len());
+    for line in lines {
+        let doc = sms_harness::json::parse(line).expect("every journal line is valid JSON");
+        assert!(doc.get("event").is_some());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

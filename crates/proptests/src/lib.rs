@@ -1,0 +1,6 @@
+//! Opt-in, registry-dependent test host.
+//!
+//! This crate intentionally has no library code: it exists to host the
+//! `proptest` suites under `tests/` and the criterion micro-benches under
+//! `benches/`, which need crates.io access and therefore live outside the
+//! hermetic root workspace (see the root `Cargo.toml`).

@@ -233,6 +233,7 @@ impl RtUnit {
 
     /// Advances the RT unit by one cycle. Returns trace results of warps
     /// that completed this cycle.
+    #[allow(clippy::too_many_arguments)] // mirrors the hardware port list
     pub fn tick<P: Primitive>(
         &mut self,
         now: Cycle,
@@ -491,6 +492,7 @@ impl RtUnit {
         // --- Stack micro-ops: one per stalled thread, batched by space. ---
         let mut shared_batch: Vec<(usize, bool)> = Vec::new(); // (lane, blocking)
         let mut shared_addrs: Vec<(u64, u32)> = Vec::new();
+        #[allow(clippy::type_complexity)] // (lane, [(addr, bytes)], blocking)
         let mut global_lanes: Vec<(usize, Vec<(u64, u32)>, bool)> = Vec::new();
         for lane in 0..WARP_SIZE {
             if !matches!(slot.threads[lane].state, TState::StackIssue) {

@@ -1,14 +1,17 @@
 //! Sweeps RB/SH stack sizes on one scene, printing the full design space —
 //! a combined view of the paper's Figs. 6a, 8 and 15.
 //!
+//! The sweep runs as one deduplicated `sms-harness` batch: configs fan out
+//! across the worker pool and a re-run of the same sweep is served entirely
+//! from the on-disk result cache (`SMS_JOBS`, `SMS_NO_CACHE`, `SMS_JOURNAL`
+//! apply, see DESIGN.md).
+//!
 //! ```text
 //! cargo run --release --example config_sweep [SCENE]
 //! ```
 
+use sms_harness::{Harness, RunRequest};
 use sms_sim::config::RenderConfig;
-use sms_sim::experiments::run_prepared;
-use sms_sim::gpu::GpuConfig;
-use sms_sim::render::PreparedScene;
 use sms_sim::report::{fmt_improvement, Table};
 use sms_sim::rtunit::{SmsParams, StackConfig};
 use sms_sim::scene::SceneId;
@@ -20,8 +23,6 @@ fn main() {
         .unwrap_or(SceneId::Party);
     let render = RenderConfig::from_env();
     println!("Sweeping stack configurations on {scene}...\n");
-    let prepared = PreparedScene::build(scene, &render);
-    let gpu = GpuConfig::default();
 
     let mut configs = vec![
         StackConfig::Baseline { rb_entries: 2 },
@@ -41,22 +42,25 @@ fn main() {
     }
     configs.push(StackConfig::FullOnChip);
 
-    let base = run_prepared(&prepared, StackConfig::baseline8(), gpu, &render);
+    let harness = Harness::from_env();
+    let requests: Vec<RunRequest> =
+        configs.iter().map(|&stack| RunRequest::new(scene, stack, render)).collect();
+    let (results, summary) = harness.run_batch(&requests);
+    eprintln!("{summary}");
+
+    let base = results
+        .iter()
+        .find(|r| r.stack == StackConfig::baseline8())
+        .expect("sweep includes the baseline");
     let mut table = Table::new(["config", "cycles", "norm. IPC", "off-chip", "spills"]);
-    for stack in configs {
-        let r = if stack == StackConfig::baseline8() {
-            base.clone()
-        } else {
-            run_prepared(&prepared, stack, gpu, &render)
-        };
+    for r in &results {
         table.row([
             r.stack.label(),
             r.stats.cycles.to_string(),
-            fmt_improvement(r.normalized_ipc(&base)),
+            fmt_improvement(r.normalized_ipc(base)),
             r.stats.mem.offchip_accesses().to_string(),
             (r.stats.rb_spills + r.stats.sh_spills).to_string(),
         ]);
-        println!("finished {}", r.stack);
     }
     println!("\n{table}");
 }
