@@ -13,10 +13,14 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf"
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf
 
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
+
+echo "==> perf_baseline smoke (throughput is informational, no threshold)"
+time SMS_SCENES=WKND,SHIP SMS_BENCH_OUT=target/BENCH_core.json \
+  cargo run --release -q -p sms-bench --bin perf_baseline
 
 echo "ci.sh: all checks passed"

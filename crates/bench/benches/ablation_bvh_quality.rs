@@ -29,7 +29,8 @@ fn main() {
             let scene = render.apply(Scene::build(id));
             let params = BuildParams { split, ..BuildParams::default() };
             let bvh = WideBvh::build(&scene.prims, &params);
-            let prepared = PreparedScene { scene, bvh };
+            let flat = sms_sim::bvh::FlatBvh::from_wide(&bvh);
+            let prepared = PreparedScene { scene, bvh, flat };
 
             // Depth statistics from the functional renderer.
             let out = sms_sim::render::render(&prepared, &render);

@@ -1,0 +1,82 @@
+//! Host-performance baseline: times a cold, single-worker sweep of the
+//! Table 2 scene set and emits machine-readable throughput numbers.
+//!
+//! This does not reproduce a paper figure — it benchmarks the *simulator
+//! host* (wall-clock per run, runs/s, simulated cycles/s) so host-side
+//! regressions are visible in CI. The cache is always bypassed (a cached
+//! batch measures disk reads, not the simulator) and the worker count
+//! defaults to 1 for stable numbers; `SMS_JOBS`/`SMS_SCENES` still apply.
+//!
+//! Writes `BENCH_core.json` to the current directory (override the path
+//! with `SMS_BENCH_OUT`).
+
+use sms_harness::json::Json;
+use sms_harness::{Event, Harness, HarnessConfig};
+use sms_sim::config::RenderConfig;
+use sms_sim::experiments;
+use sms_sim::rtunit::StackConfig;
+
+fn main() {
+    let render = RenderConfig::from_env();
+    let scenes = experiments::scene_list();
+    let configs = [StackConfig::baseline8(), StackConfig::sms_default()];
+
+    let mut cfg = HarnessConfig::from_env();
+    cfg.cache_dir = None;
+    if std::env::var("SMS_JOBS").is_err() {
+        cfg.workers = 1;
+    }
+    let harness = Harness::new(cfg);
+
+    println!("=== perf_baseline: host throughput on the Table 2 scene set ===");
+    println!(
+        "workload: {:?} mode, {} scenes x {} configs, {} worker(s), cache off\n",
+        render.mode,
+        scenes.len(),
+        configs.len(),
+        if std::env::var("SMS_JOBS").is_ok() { "SMS_JOBS".to_owned() } else { "1".to_owned() }
+    );
+
+    let (_, summary) = harness.run_suite(&scenes, &configs, &render);
+    println!("{summary}");
+
+    // Per-run wall clock from the journal's job_finished events.
+    let own = |s: &str| s.to_owned();
+    let mut runs = Vec::new();
+    let mut queued: Vec<(usize, String, String)> = Vec::new();
+    for ev in harness.journal().last_batch() {
+        match ev {
+            Event::JobQueued { job, scene, config, .. } => queued.push((job, scene, config)),
+            Event::JobFinished { job, cycles, duration_us, .. } => {
+                let (scene, config) = queued
+                    .iter()
+                    .find(|(j, _, _)| *j == job)
+                    .map(|(_, s, c)| (s.clone(), c.clone()))
+                    .unwrap_or_default();
+                runs.push(Json::Obj(vec![
+                    (own("scene"), Json::Str(scene)),
+                    (own("config"), Json::Str(config)),
+                    (own("cycles"), Json::U64(cycles)),
+                    (own("duration_us"), Json::U64(duration_us)),
+                ]));
+            }
+            _ => {}
+        }
+    }
+
+    let doc = Json::Obj(vec![
+        (own("bench"), Json::Str(own("perf_baseline"))),
+        (own("mode"), Json::Str(format!("{:?}", render.mode))),
+        (own("scenes"), Json::U64(scenes.len() as u64)),
+        (own("unique_jobs"), Json::U64(summary.unique_jobs as u64)),
+        (own("workers"), Json::U64(summary.workers as u64)),
+        (own("wall_us"), Json::U64(summary.wall.as_micros() as u64)),
+        (own("sim_cycles"), Json::U64(summary.sim_cycles)),
+        (own("runs_per_sec"), Json::F64(summary.runs_per_sec())),
+        (own("sim_cycles_per_sec"), Json::F64(summary.sim_cycles_per_sec())),
+        (own("runs"), Json::Arr(runs)),
+    ]);
+    let out = std::env::var("SMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_core.json".to_owned());
+    std::fs::write(&out, format!("{doc}\n")).expect("write benchmark output");
+    println!("\nwrote {out}");
+}

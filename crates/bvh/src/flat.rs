@@ -1,0 +1,323 @@
+//! Flattened, cache-friendly BVH layout for the host hot path.
+//!
+//! [`WideBvh`] is the *semantic* structure: an enum-per-node pool where each
+//! internal node owns a `Vec<WideChild>`. That representation is convenient
+//! to build and inspect, but traversing it chases two pointers per visit
+//! (node → children vec → child AABB) and scatters nodes across the heap.
+//! [`FlatBvh`] is the same tree flattened into contiguous arrays:
+//!
+//! * one fixed 32-byte [`FlatNode`] record per node, indexed by the *same*
+//!   [`NodeId`] numbering as the source [`WideBvh`] (DFS pre-order — the
+//!   first child of an internal node is `parent + 1`), so the simulated
+//!   address mapping in [`crate::layout::BvhLayout`] and every `(t, node)`
+//!   traversal tie-break are untouched;
+//! * a child-record pool in which the children of each internal node are
+//!   adjacent, with the child AABBs stored as six structure-of-arrays plane
+//!   vectors (`min_x .. max_z`) — one node visit reads one contiguous run;
+//! * the leaf primitive permutation, copied verbatim from the source.
+//!
+//! The ray-box test reconstructs each child [`Aabb`] from the plane arrays
+//! and calls the *same* [`Aabb::intersect`] on the *same* `f32` values the
+//! wide traversal reads, so traversal order — and therefore every simulator
+//! statistic — is bit-identical between the two layouts (asserted by
+//! `crates/core/tests/flat_golden.rs`).
+
+use crate::traverse::{ChildHits, NodeStep, TraverseBvh};
+use crate::wide::{NodeId, WideBvh, WideNode};
+use crate::{PrimHit, Primitive};
+use sms_geom::{Aabb, Vec3};
+
+/// Leaf flag in [`FlatNode::count_kind`]; low bits hold the count.
+const LEAF_BIT: u32 = 1 << 31;
+
+/// One node of a [`FlatBvh`]: 32 bytes, cache-line friendly.
+///
+/// `min`/`max` are the node's own bounds (from the parent's child record;
+/// the root uses the scene bounds). For internal nodes `first` indexes the
+/// child-record pool and the low bits of `count_kind` give the child count;
+/// for leaves (`count_kind & LEAF_BIT != 0`) `first` indexes
+/// [`FlatBvh::prim_order`] and the low bits give the primitive count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
+pub struct FlatNode {
+    /// Node bounds, minimum corner.
+    pub min: [f32; 3],
+    /// Child-record index (inner) or first primitive slot (leaf).
+    pub first: u32,
+    /// Node bounds, maximum corner.
+    pub max: [f32; 3],
+    /// Leaf flag (high bit) and child/primitive count (low 31 bits).
+    pub count_kind: u32,
+}
+
+const _: () = assert!(std::mem::size_of::<FlatNode>() == 32, "FlatNode must stay 32 bytes");
+
+impl FlatNode {
+    /// `true` when this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.count_kind & LEAF_BIT != 0
+    }
+
+    /// Child count (inner) or primitive count (leaf).
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.count_kind & !LEAF_BIT
+    }
+}
+
+/// The flattened BVH: same tree, same node numbering, contiguous storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatBvh {
+    /// Node pool indexed by [`NodeId`] — identical numbering to the source
+    /// [`WideBvh::nodes`] (DFS pre-order).
+    pub nodes: Vec<FlatNode>,
+    /// Child node ids; the children of one internal node are adjacent.
+    pub child_node: Vec<NodeId>,
+    /// Child AABB planes (SoA), parallel to [`FlatBvh::child_node`].
+    pub child_min_x: Vec<f32>,
+    /// See [`FlatBvh::child_min_x`].
+    pub child_min_y: Vec<f32>,
+    /// See [`FlatBvh::child_min_x`].
+    pub child_min_z: Vec<f32>,
+    /// See [`FlatBvh::child_min_x`].
+    pub child_max_x: Vec<f32>,
+    /// See [`FlatBvh::child_min_x`].
+    pub child_max_y: Vec<f32>,
+    /// See [`FlatBvh::child_min_x`].
+    pub child_max_z: Vec<f32>,
+    /// Leaf primitive permutation, copied from the source BVH.
+    pub prim_order: Vec<u32>,
+    /// Bounds of the whole scene.
+    pub root_aabb: Aabb,
+}
+
+impl FlatBvh {
+    /// Flattens a [`WideBvh`], preserving its [`NodeId`] numbering.
+    pub fn from_wide(wide: &WideBvh) -> Self {
+        let n = wide.nodes.len();
+        let child_total: usize = wide
+            .nodes
+            .iter()
+            .map(|node| match node {
+                WideNode::Inner { children } => children.len(),
+                WideNode::Leaf { .. } => 0,
+            })
+            .sum();
+        let mut flat = FlatBvh {
+            nodes: Vec::with_capacity(n),
+            child_node: Vec::with_capacity(child_total),
+            child_min_x: Vec::with_capacity(child_total),
+            child_min_y: Vec::with_capacity(child_total),
+            child_min_z: Vec::with_capacity(child_total),
+            child_max_x: Vec::with_capacity(child_total),
+            child_max_y: Vec::with_capacity(child_total),
+            child_max_z: Vec::with_capacity(child_total),
+            prim_order: wide.prim_order.clone(),
+            root_aabb: wide.root_aabb,
+        };
+
+        // Each node's own bounds come from its parent's child record; the
+        // root's come from the scene bounds.
+        let mut bounds = vec![wide.root_aabb; n];
+        for node in &wide.nodes {
+            if let WideNode::Inner { children } = node {
+                for c in children {
+                    bounds[c.node as usize] = c.aabb;
+                }
+            }
+        }
+
+        for (id, node) in wide.nodes.iter().enumerate() {
+            let b = bounds[id];
+            let rec = match node {
+                WideNode::Inner { children } => {
+                    let first = flat.child_node.len() as u32;
+                    for c in children {
+                        flat.child_node.push(c.node);
+                        flat.child_min_x.push(c.aabb.min.x);
+                        flat.child_min_y.push(c.aabb.min.y);
+                        flat.child_min_z.push(c.aabb.min.z);
+                        flat.child_max_x.push(c.aabb.max.x);
+                        flat.child_max_y.push(c.aabb.max.y);
+                        flat.child_max_z.push(c.aabb.max.z);
+                    }
+                    FlatNode {
+                        min: [b.min.x, b.min.y, b.min.z],
+                        first,
+                        max: [b.max.x, b.max.y, b.max.z],
+                        count_kind: children.len() as u32,
+                    }
+                }
+                WideNode::Leaf { first, count } => FlatNode {
+                    min: [b.min.x, b.min.y, b.min.z],
+                    first: *first,
+                    max: [b.max.x, b.max.y, b.max.z],
+                    count_kind: *count | LEAF_BIT,
+                },
+            };
+            flat.nodes.push(rec);
+        }
+        flat
+    }
+
+    /// Total size of the flat arrays in host bytes (node pool + child pool).
+    pub fn host_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<FlatNode>()
+            + self.child_node.len() * (std::mem::size_of::<NodeId>() + 6 * 4)
+            + self.prim_order.len() * 4
+    }
+}
+
+impl TraverseBvh for FlatBvh {
+    fn node_step<P: Primitive>(
+        &self,
+        prims: &[P],
+        ray: &sms_geom::Ray,
+        node: NodeId,
+        t_min: f32,
+        t_max: f32,
+    ) -> NodeStep {
+        let n = &self.nodes[node as usize];
+        if n.is_leaf() {
+            let mut best: Option<crate::Hit> = None;
+            let mut limit = t_max;
+            for slot in n.first..n.first + n.count() {
+                let prim_id = self.prim_order[slot as usize];
+                if let Some(PrimHit { t, u, v }) =
+                    prims[prim_id as usize].intersect(ray, t_min, limit)
+                {
+                    limit = t;
+                    best = Some(crate::Hit { t, prim: prim_id, u, v });
+                }
+            }
+            NodeStep::Leaf(best)
+        } else {
+            let mut hits = ChildHits::empty();
+            for i in n.first as usize..(n.first + n.count()) as usize {
+                // Reconstruct the child box from the SoA planes; these are
+                // the exact f32 values the wide layout stores, so
+                // `Aabb::intersect` returns bit-identical results.
+                let aabb = Aabb::new(
+                    Vec3::new(self.child_min_x[i], self.child_min_y[i], self.child_min_z[i]),
+                    Vec3::new(self.child_max_x[i], self.child_max_y[i], self.child_max_z[i]),
+                );
+                if let Some(t) = aabb.intersect(ray, t_min, t_max) {
+                    hits.insert(t, self.child_node[i]);
+                }
+            }
+            NodeStep::Inner(hits)
+        }
+    }
+
+    #[inline]
+    fn is_leaf(&self, node: NodeId) -> bool {
+        self.nodes[node as usize].is_leaf()
+    }
+
+    #[inline]
+    fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
+        let n = &self.nodes[node as usize];
+        n.is_leaf().then_some((n.first, n.count()))
+    }
+
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BuildParams;
+    use crate::traverse::{intersect_any_with, intersect_nearest_with, TraversalScratch};
+    use sms_geom::{Ray, Triangle};
+
+    struct Tri(Triangle);
+    impl Primitive for Tri {
+        fn aabb(&self) -> Aabb {
+            self.0.aabb()
+        }
+        fn intersect(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<PrimHit> {
+            self.0.intersect(ray, t_min, t_max).map(|h| PrimHit { t: h.t, u: h.u, v: h.v })
+        }
+    }
+
+    fn grid(n: usize) -> Vec<Tri> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 16) as f32 * 2.0;
+                let z = (i / 16) as f32 * 2.0;
+                Tri(Triangle::new(
+                    Vec3::new(x, 0.0, z),
+                    Vec3::new(x + 1.0, 0.0, z),
+                    Vec3::new(x, 1.0, z),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn preserves_node_numbering_and_kinds() {
+        let prims = grid(300);
+        let wide = WideBvh::build(&prims, &BuildParams::default());
+        let flat = FlatBvh::from_wide(&wide);
+        assert_eq!(flat.nodes.len(), wide.nodes.len());
+        for (id, node) in wide.nodes.iter().enumerate() {
+            match node {
+                WideNode::Inner { children } => {
+                    let f = &flat.nodes[id];
+                    assert!(!f.is_leaf());
+                    assert_eq!(f.count() as usize, children.len());
+                    for (k, c) in children.iter().enumerate() {
+                        let slot = f.first as usize + k;
+                        assert_eq!(flat.child_node[slot], c.node);
+                        assert_eq!(flat.child_min_x[slot], c.aabb.min.x);
+                        assert_eq!(flat.child_max_z[slot], c.aabb.max.z);
+                    }
+                }
+                WideNode::Leaf { first, count } => {
+                    assert_eq!(flat.leaf_range(id as NodeId), Some((*first, *count)));
+                }
+            }
+        }
+        assert_eq!(flat.prim_order, wide.prim_order);
+    }
+
+    #[test]
+    fn flat_traversal_matches_wide_exactly() {
+        let prims = grid(500);
+        let wide = WideBvh::build(&prims, &BuildParams::default());
+        let flat = FlatBvh::from_wide(&wide);
+        let mut scratch = TraversalScratch::new();
+        for i in 0..64 {
+            let x = (i % 8) as f32 * 4.0 + 0.3;
+            let z = (i / 8) as f32 * 4.0 + 0.1;
+            let ray = Ray::new(Vec3::new(x, 5.0, z), Vec3::new(0.01, -1.0, 0.02));
+            let w = crate::intersect_nearest(&wide, &prims, &ray, 0.0, f32::INFINITY, &mut ());
+            let f = intersect_nearest_with(
+                &flat,
+                &prims,
+                &ray,
+                0.0,
+                f32::INFINITY,
+                &mut (),
+                &mut scratch,
+            );
+            assert_eq!(w, f, "ray {i}: flat nearest-hit must be bit-identical");
+            let wo = crate::intersect_any(&wide, &prims, &ray, 0.0, 10.0, &mut ());
+            let fo = intersect_any_with(&flat, &prims, &ray, 0.0, 10.0, &mut (), &mut scratch);
+            assert_eq!(wo, fo, "ray {i}: flat occlusion must match");
+        }
+    }
+
+    #[test]
+    fn node_record_is_32_bytes() {
+        assert_eq!(std::mem::size_of::<FlatNode>(), 32);
+        let prims = grid(64);
+        let wide = WideBvh::build(&prims, &BuildParams::default());
+        let flat = FlatBvh::from_wide(&wide);
+        assert!(flat.host_bytes() >= flat.nodes.len() * 32);
+    }
+}

@@ -6,6 +6,9 @@
 //! * [`builder`] — a binned-SAH *binary* BVH builder.
 //! * [`wide`] — collapse of the binary BVH into a *wide* BVH ("BVHk", the
 //!   paper traverses BVH6: up to six children per internal node).
+//! * [`flat`] — the same tree flattened into contiguous 32-byte node
+//!   records with SoA child AABB planes; hot host paths traverse this
+//!   layout (same node numbering, bit-identical visit order).
 //! * [`layout`] — the flattened memory image of the BVH: every node and
 //!   primitive record gets a byte address in the simulated global address
 //!   space, which is what the cycle-level RT unit fetches through the cache
@@ -50,6 +53,7 @@
 //! ```
 
 pub mod builder;
+pub mod flat;
 pub mod layout;
 pub mod restart;
 pub mod stats;
@@ -57,10 +61,14 @@ pub mod traverse;
 pub mod wide;
 
 pub use builder::{BinaryBvh, BuildParams};
+pub use flat::{FlatBvh, FlatNode};
 pub use layout::{BvhLayout, NODE_BASE_ADDR, NODE_STRIDE, PRIM_BASE_ADDR, PRIM_STRIDE};
 pub use restart::{intersect_nearest_restart, RestartStats};
 pub use stats::{BvhStats, DepthRecorder};
-pub use traverse::{intersect_any, intersect_nearest, Hit, StackObserver};
+pub use traverse::{
+    intersect_any, intersect_any_with, intersect_nearest, intersect_nearest_with, Hit,
+    StackObserver, TraversalScratch, TraverseBvh,
+};
 pub use wide::{NodeId, WideBvh, WideChild, WideNode};
 
 use sms_geom::{Aabb, Ray};

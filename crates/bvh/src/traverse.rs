@@ -1,14 +1,21 @@
 //! Logical BVH traversal: depth-first, nearest-first, stack-based.
 //!
 //! The traversal *algorithm* is deliberately factored out of the timing
-//! model: [`node_step`] performs the work of one node visit (the ray-box
-//! tests of an internal node, or the ray-primitive tests of a leaf), and the
-//! drivers — [`intersect_nearest`], [`intersect_any`] here, and the RT-unit
-//! state machine in the `sms-rtunit` crate — layer stack management on top.
-//! Because traversal order depends only on the ray and the BVH, *every stack
-//! configuration performs identical traversal work*; configurations differ
-//! only in where stack entries physically live and what memory traffic they
-//! cost. This mirrors the paper's normalized-IPC methodology.
+//! model: [`TraverseBvh::node_step`] performs the work of one node visit
+//! (the ray-box tests of an internal node, or the ray-primitive tests of a
+//! leaf), and the drivers — [`intersect_nearest`], [`intersect_any`] here,
+//! and the RT-unit state machine in the `sms-rtunit` crate — layer stack
+//! management on top. Because traversal order depends only on the ray and
+//! the BVH, *every stack configuration performs identical traversal work*;
+//! configurations differ only in where stack entries physically live and
+//! what memory traffic they cost. This mirrors the paper's normalized-IPC
+//! methodology.
+//!
+//! Both BVH layouts implement [`TraverseBvh`] — the semantic [`WideBvh`]
+//! and the cache-friendly [`crate::flat::FlatBvh`] — and both produce
+//! bit-identical visit sequences: child ordering goes through the single
+//! [`ChildHits::insert`] implementation with its deterministic `(t, node)`
+//! tie-break, on the same `f32` box planes.
 
 use crate::wide::{NodeId, WideBvh, WideNode};
 use crate::{PrimHit, Primitive};
@@ -91,25 +98,28 @@ impl ChildHits {
         self.entries[..self.len].iter().copied()
     }
 
+    /// Inserts a child in sorted position by `(t, node)`.
+    ///
+    /// This is the *only* child-ordering implementation: every traversal
+    /// path (wide, flat, RT unit) routes through it, so the deterministic
+    /// tie-break — ascending `t`, then ascending node id — lives in exactly
+    /// one place. Since node ids are unique the order is a strict total
+    /// order: the result is independent of insertion order.
     #[inline]
-    fn push(&mut self, t: f32, node: NodeId) {
+    pub fn insert(&mut self, t: f32, node: NodeId) {
         debug_assert!(self.len < MAX_WIDTH);
-        self.entries[self.len] = (t, node);
-        self.len += 1;
-    }
-
-    /// Insertion sort by `(t, node)` — deterministic tie-breaking.
-    fn sort(&mut self) {
-        let s = &mut self.entries[..self.len];
-        for i in 1..s.len() {
-            let key = s[i];
-            let mut j = i;
-            while j > 0 && (s[j - 1].0 > key.0 || (s[j - 1].0 == key.0 && s[j - 1].1 > key.1)) {
-                s[j] = s[j - 1];
+        let mut j = self.len;
+        while j > 0 {
+            let prev = self.entries[j - 1];
+            if prev.0 > t || (prev.0 == t && prev.1 > node) {
+                self.entries[j] = prev;
                 j -= 1;
+            } else {
+                break;
             }
-            s[j] = key;
         }
+        self.entries[j] = (t, node);
+        self.len += 1;
     }
 }
 
@@ -124,44 +134,124 @@ pub enum NodeStep {
     Leaf(Option<Hit>),
 }
 
-/// Performs the intersection work of a single node visit.
+/// A BVH layout that supports the paper's traversal kernel.
 ///
-/// For internal nodes this is `k` ray-box tests; for leaves it is
-/// `count` ray-primitive tests. This is exactly the work one RT-unit
-/// operation-unit dispatch performs per fetched node.
-pub fn node_step<P: Primitive>(
-    bvh: &WideBvh,
+/// Implemented by [`WideBvh`] (the semantic build output) and
+/// [`crate::flat::FlatBvh`] (the flattened hot-path layout). Both are views
+/// of the same tree with the same [`NodeId`] numbering, so a driver is
+/// layout-agnostic: visit order, hit results and stack activity are
+/// identical whichever implementation it runs on.
+pub trait TraverseBvh {
+    /// Performs the intersection work of a single node visit.
+    ///
+    /// For internal nodes this is `k` ray-box tests; for leaves it is
+    /// `count` ray-primitive tests. This is exactly the work one RT-unit
+    /// operation-unit dispatch performs per fetched node.
+    fn node_step<P: Primitive>(
+        &self,
+        prims: &[P],
+        ray: &sms_geom::Ray,
+        node: NodeId,
+        t_min: f32,
+        t_max: f32,
+    ) -> NodeStep;
+
+    /// `true` when `node` is a leaf (selects the operation-unit latency).
+    fn is_leaf(&self, node: NodeId) -> bool;
+
+    /// `(first, count)` into the primitive permutation when `node` is a
+    /// leaf, `None` for internal nodes (sizes the simulated leaf fetch).
+    fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)>;
+
+    /// Number of nodes in the tree.
+    fn node_count(&self) -> usize;
+}
+
+impl TraverseBvh for WideBvh {
+    fn node_step<P: Primitive>(
+        &self,
+        prims: &[P],
+        ray: &sms_geom::Ray,
+        node: NodeId,
+        t_min: f32,
+        t_max: f32,
+    ) -> NodeStep {
+        match &self.nodes[node as usize] {
+            WideNode::Inner { children } => {
+                let mut hits = ChildHits::empty();
+                for c in children {
+                    if let Some(t) = c.aabb.intersect(ray, t_min, t_max) {
+                        hits.insert(t, c.node);
+                    }
+                }
+                NodeStep::Inner(hits)
+            }
+            WideNode::Leaf { first, count } => {
+                let mut best: Option<Hit> = None;
+                let mut limit = t_max;
+                for slot in *first..*first + *count {
+                    let prim_id = self.prim_order[slot as usize];
+                    if let Some(PrimHit { t, u, v }) =
+                        prims[prim_id as usize].intersect(ray, t_min, limit)
+                    {
+                        limit = t;
+                        best = Some(Hit { t, prim: prim_id, u, v });
+                    }
+                }
+                NodeStep::Leaf(best)
+            }
+        }
+    }
+
+    #[inline]
+    fn is_leaf(&self, node: NodeId) -> bool {
+        matches!(self.nodes[node as usize], WideNode::Leaf { .. })
+    }
+
+    #[inline]
+    fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
+        match self.nodes[node as usize] {
+            WideNode::Leaf { first, count } => Some((first, count)),
+            WideNode::Inner { .. } => None,
+        }
+    }
+
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Performs the intersection work of a single node visit (free-function
+/// form of [`TraverseBvh::node_step`], kept for existing call sites).
+pub fn node_step<B: TraverseBvh, P: Primitive>(
+    bvh: &B,
     prims: &[P],
     ray: &sms_geom::Ray,
     node: NodeId,
     t_min: f32,
     t_max: f32,
 ) -> NodeStep {
-    match &bvh.nodes[node as usize] {
-        WideNode::Inner { children } => {
-            let mut hits = ChildHits::empty();
-            for c in children {
-                if let Some(t) = c.aabb.intersect(ray, t_min, t_max) {
-                    hits.push(t, c.node);
-                }
-            }
-            hits.sort();
-            NodeStep::Inner(hits)
-        }
-        WideNode::Leaf { first, count } => {
-            let mut best: Option<Hit> = None;
-            let mut limit = t_max;
-            for slot in *first..*first + *count {
-                let prim_id = bvh.prim_order[slot as usize];
-                if let Some(PrimHit { t, u, v }) =
-                    prims[prim_id as usize].intersect(ray, t_min, limit)
-                {
-                    limit = t;
-                    best = Some(Hit { t, prim: prim_id, u, v });
-                }
-            }
-            NodeStep::Leaf(best)
-        }
+    bvh.node_step(prims, ray, node, t_min, t_max)
+}
+
+/// Reusable traversal working memory.
+///
+/// The drivers below need one node stack per *in-flight* ray, not per ray
+/// traced: callers on hot paths (the functional renderer, reference-trace
+/// loops) hold one `TraversalScratch` and thread it through every call,
+/// reducing per-ray heap allocation to zero. The one-shot wrappers
+/// [`intersect_nearest`] / [`intersect_any`] allocate a fresh scratch for
+/// convenience.
+#[derive(Debug, Default)]
+pub struct TraversalScratch {
+    stack: Vec<NodeId>,
+}
+
+impl TraversalScratch {
+    /// A scratch with a stack sized for typical BVH6 depths.
+    pub fn new() -> Self {
+        TraversalScratch { stack: Vec::with_capacity(64) }
     }
 }
 
@@ -169,25 +259,40 @@ pub fn node_step<P: Primitive>(
 ///
 /// This is the functional reference: the RT-unit timing model performs the
 /// same visits in the same order and must produce identical results (asserted
-/// by integration tests).
-pub fn intersect_nearest<P: Primitive, O: StackObserver>(
-    bvh: &WideBvh,
+/// by integration tests). Allocates a fresh [`TraversalScratch`] per call;
+/// loops over many rays should use [`intersect_nearest_with`].
+pub fn intersect_nearest<B: TraverseBvh, P: Primitive, O: StackObserver>(
+    bvh: &B,
     prims: &[P],
     ray: &sms_geom::Ray,
     t_min: f32,
     t_max: f32,
     observer: &mut O,
 ) -> Option<Hit> {
-    let mut stack: Vec<NodeId> = Vec::with_capacity(64);
+    intersect_nearest_with(bvh, prims, ray, t_min, t_max, observer, &mut TraversalScratch::new())
+}
+
+/// [`intersect_nearest`] with caller-provided scratch (zero allocation).
+pub fn intersect_nearest_with<B: TraverseBvh, P: Primitive, O: StackObserver>(
+    bvh: &B,
+    prims: &[P],
+    ray: &sms_geom::Ray,
+    t_min: f32,
+    t_max: f32,
+    observer: &mut O,
+    scratch: &mut TraversalScratch,
+) -> Option<Hit> {
+    let stack = &mut scratch.stack;
+    stack.clear();
     let mut current: Option<NodeId> = Some(0);
     let mut best: Option<Hit> = None;
     let mut limit = t_max;
 
     while let Some(node) = current {
-        match node_step(bvh, prims, ray, node, t_min, limit) {
+        match bvh.node_step(prims, ray, node, t_min, limit) {
             NodeStep::Inner(hits) => {
                 if hits.is_empty() {
-                    current = pop(&mut stack, observer);
+                    current = pop(stack, observer);
                 } else {
                     // Visit nearest child next; push the rest far-to-near so
                     // the nearest pending child is popped first (paper §II-A).
@@ -205,7 +310,7 @@ pub fn intersect_nearest<P: Primitive, O: StackObserver>(
                         best = Some(h);
                     }
                 }
-                current = pop(&mut stack, observer);
+                current = pop(stack, observer);
             }
         }
     }
@@ -213,23 +318,38 @@ pub fn intersect_nearest<P: Primitive, O: StackObserver>(
 }
 
 /// Any-hit (occlusion) traversal: returns `true` as soon as any primitive is
-/// hit in `[t_min, t_max]`. Used for shadow rays.
-pub fn intersect_any<P: Primitive, O: StackObserver>(
-    bvh: &WideBvh,
+/// hit in `[t_min, t_max]`. Used for shadow rays. Allocates a fresh
+/// [`TraversalScratch`] per call; loops should use [`intersect_any_with`].
+pub fn intersect_any<B: TraverseBvh, P: Primitive, O: StackObserver>(
+    bvh: &B,
     prims: &[P],
     ray: &sms_geom::Ray,
     t_min: f32,
     t_max: f32,
     observer: &mut O,
 ) -> bool {
-    let mut stack: Vec<NodeId> = Vec::with_capacity(64);
+    intersect_any_with(bvh, prims, ray, t_min, t_max, observer, &mut TraversalScratch::new())
+}
+
+/// [`intersect_any`] with caller-provided scratch (zero allocation).
+pub fn intersect_any_with<B: TraverseBvh, P: Primitive, O: StackObserver>(
+    bvh: &B,
+    prims: &[P],
+    ray: &sms_geom::Ray,
+    t_min: f32,
+    t_max: f32,
+    observer: &mut O,
+    scratch: &mut TraversalScratch,
+) -> bool {
+    let stack = &mut scratch.stack;
+    stack.clear();
     let mut current: Option<NodeId> = Some(0);
 
     while let Some(node) = current {
-        match node_step(bvh, prims, ray, node, t_min, t_max) {
+        match bvh.node_step(prims, ray, node, t_min, t_max) {
             NodeStep::Inner(hits) => {
                 if hits.is_empty() {
-                    current = pop(&mut stack, observer);
+                    current = pop(stack, observer);
                 } else {
                     for i in (1..hits.len()).rev() {
                         stack.push(hits.get(i).1);
@@ -242,7 +362,7 @@ pub fn intersect_any<P: Primitive, O: StackObserver>(
                 if hit.is_some() {
                     return true;
                 }
-                current = pop(&mut stack, observer);
+                current = pop(stack, observer);
             }
         }
     }
@@ -335,13 +455,32 @@ mod tests {
     #[test]
     fn child_hits_sorted_nearest_first() {
         let mut h = ChildHits::empty();
-        h.push(3.0, 1);
-        h.push(1.0, 2);
-        h.push(2.0, 3);
-        h.push(1.0, 0);
-        h.sort();
+        h.insert(3.0, 1);
+        h.insert(1.0, 2);
+        h.insert(2.0, 3);
+        h.insert(1.0, 0);
         let order: Vec<_> = h.iter().collect();
         assert_eq!(order, vec![(1.0, 0), (1.0, 2), (2.0, 3), (3.0, 1)]);
+    }
+
+    #[test]
+    fn child_hits_order_is_insertion_order_independent() {
+        // The (t, node) order is strict and total, so any insertion order
+        // yields the same sequence — the determinism the simulator needs.
+        let inputs = [(2.0, 7), (2.0, 3), (0.5, 9), (4.0, 1), (0.5, 2)];
+        let mut forward = ChildHits::empty();
+        for (t, n) in inputs {
+            forward.insert(t, n);
+        }
+        let mut backward = ChildHits::empty();
+        for (t, n) in inputs.iter().rev() {
+            backward.insert(*t, *n);
+        }
+        assert_eq!(forward.iter().collect::<Vec<_>>(), backward.iter().collect::<Vec<_>>());
+        assert_eq!(
+            forward.iter().collect::<Vec<_>>(),
+            vec![(0.5, 2), (0.5, 9), (2.0, 3), (2.0, 7), (4.0, 1)]
+        );
     }
 
     #[test]
@@ -381,5 +520,27 @@ mod tests {
         assert!(hit.is_none());
         let hit = intersect_nearest(&bvh, &prims, &ray, 1.5, f32::INFINITY, &mut ());
         assert_eq!(hit.unwrap().prim, 1, "t_min skips the first wall");
+    }
+
+    #[test]
+    fn scratch_reuse_is_transparent() {
+        let prims = walls(50);
+        let bvh = crate::WideBvh::build(&prims, &BuildParams::default());
+        let mut scratch = TraversalScratch::new();
+        for i in 0..20 {
+            let x = (i as f32) * 0.05 - 0.5;
+            let ray = Ray::new(Vec3::new(x, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
+            let fresh = intersect_nearest(&bvh, &prims, &ray, 0.0, f32::INFINITY, &mut ());
+            let reused = intersect_nearest_with(
+                &bvh,
+                &prims,
+                &ray,
+                0.0,
+                f32::INFINITY,
+                &mut (),
+                &mut scratch,
+            );
+            assert_eq!(fresh, reused);
+        }
     }
 }

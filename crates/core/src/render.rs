@@ -6,7 +6,7 @@
 
 use crate::config::RenderConfig;
 use crate::driver::{self, PathState};
-use sms_bvh::{BuildParams, DepthRecorder, Hit, WideBvh};
+use sms_bvh::{BuildParams, DepthRecorder, FlatBvh, Hit, TraversalScratch, WideBvh};
 use sms_geom::{Ray, Vec3};
 use sms_scene::{Scene, SceneId, ScenePrimitive};
 use std::io::Write;
@@ -18,6 +18,9 @@ pub struct PreparedScene {
     pub scene: Scene,
     /// The BVH6 over the scene's primitives.
     pub bvh: WideBvh,
+    /// The same tree flattened to the cache-friendly layout hot host
+    /// paths traverse (identical node numbering and visit order).
+    pub flat: FlatBvh,
 }
 
 impl PreparedScene {
@@ -25,7 +28,8 @@ impl PreparedScene {
     pub fn build(id: SceneId, render: &RenderConfig) -> Self {
         let scene = render.apply(Scene::build(id));
         let bvh = WideBvh::build(&scene.prims, &BuildParams::default());
-        PreparedScene { scene, bvh }
+        let flat = FlatBvh::from_wide(&bvh);
+        PreparedScene { scene, bvh, flat }
     }
 
     /// The scene's primitives.
@@ -35,12 +39,12 @@ impl PreparedScene {
 
     /// Reference nearest-hit trace.
     pub fn trace(&self, ray: &Ray) -> Option<Hit> {
-        sms_bvh::intersect_nearest(&self.bvh, self.prims(), ray, 0.0, f32::INFINITY, &mut ())
+        sms_bvh::intersect_nearest(&self.flat, self.prims(), ray, 0.0, f32::INFINITY, &mut ())
     }
 
     /// Reference occlusion trace.
     pub fn occluded(&self, ray: &Ray, t_min: f32, t_max: f32) -> bool {
-        sms_bvh::intersect_any(&self.bvh, self.prims(), ray, t_min, t_max, &mut ())
+        sms_bvh::intersect_any(&self.flat, self.prims(), ray, t_min, t_max, &mut ())
     }
 }
 
@@ -74,6 +78,7 @@ pub fn render(prepared: &PreparedScene, config: &RenderConfig) -> RenderOutput {
     let mut depths = DepthRecorder::new();
     let mut rays = 0u64;
     let mut shadow_rays = 0u64;
+    let mut scratch = TraversalScratch::new();
 
     for py in 0..h {
         for px in 0..w {
@@ -83,13 +88,14 @@ pub fn render(prepared: &PreparedScene, config: &RenderConfig) -> RenderOutput {
                 let mut ray = path.primary_ray(scene);
                 while path.alive {
                     rays += 1;
-                    let hit = sms_bvh::intersect_nearest(
-                        &prepared.bvh,
+                    let hit = sms_bvh::intersect_nearest_with(
+                        &prepared.flat,
                         prepared.prims(),
                         &ray,
                         0.0,
                         f32::INFINITY,
                         &mut depths,
+                        &mut scratch,
                     );
                     let out = driver::shade(
                         scene,
@@ -101,13 +107,14 @@ pub fn render(prepared: &PreparedScene, config: &RenderConfig) -> RenderOutput {
                     );
                     if let Some((query, contrib)) = out.shadow {
                         shadow_rays += 1;
-                        let occ = sms_bvh::intersect_any(
-                            &prepared.bvh,
+                        let occ = sms_bvh::intersect_any_with(
+                            &prepared.flat,
                             prepared.prims(),
                             &query.ray,
                             query.t_min,
                             query.t_max,
                             &mut depths,
+                            &mut scratch,
                         );
                         driver::apply_shadow(&mut path, contrib, occ);
                     }

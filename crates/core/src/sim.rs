@@ -25,12 +25,13 @@
 use crate::config::SimConfig;
 use crate::driver::{self, PathState, ACCUM_COST, RAYGEN_COST, SHADE_COST};
 use crate::render::PreparedScene;
-use sms_bvh::DepthRecorder;
+use sms_bvh::{DepthRecorder, TraverseBvh};
 use sms_geom::{Ray, Vec3};
 use sms_gpu::{SimStats, WarpId, WARP_SIZE};
 use sms_mem::{coalesce_lines, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1, SHADE_BASE_ADDR};
 use sms_rtunit::{RayQuery, RtUnit, RtUnitConfig, ThreadTraceRecorder, TraceRequest, TraceResult};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Base address of the framebuffer (radiance accumulation) region.
 const FRAMEBUFFER_BASE: u64 = 0xE000_0000;
@@ -68,15 +69,15 @@ struct WarpCtx {
     id: WarpId,
     paths: Vec<PathState>,
     /// Current radiance ray per lane.
-    rays: Vec<Option<Ray>>,
+    rays: [Option<Ray>; WARP_SIZE],
     /// Pending shadow query and its gated contribution per lane.
-    shadow: Vec<Option<(RayQuery, Vec3)>>,
+    shadow: [Option<(RayQuery, Vec3)>; WARP_SIZE],
     /// Next bounce ray per lane.
-    bounce: Vec<Option<Ray>>,
+    bounce: [Option<Ray>; WARP_SIZE],
     /// Material record addresses to load during `ShadeMem`.
     mat_loads: Vec<u64>,
     /// Which lanes are real threads (the last warp may be partial).
-    real: Vec<bool>,
+    real: [bool; WARP_SIZE],
     step: Step,
     phase: Phase,
     /// Lanes participating in the current phase (instruction accounting).
@@ -92,6 +93,12 @@ struct Sm {
     pending: VecDeque<WarpCtx>,
     done_warps: u64,
     total_warps: u64,
+    /// Completion events of warps in `Phase::WaitMem` (min-heap on
+    /// `(cycle, warp)`): warps leave that phase only at their recorded
+    /// cycle, so the per-cycle wait scan reduces to a heap peek.
+    mem_events: BinaryHeap<Reverse<(Cycle, WarpId)>>,
+    /// `warps` needs re-sorting by id (perturbed by retire/refill).
+    warps_dirty: bool,
 }
 
 /// Result of one cycle-level run.
@@ -117,12 +124,13 @@ pub struct GpuSim<'a> {
     config: SimConfig,
     record_depths: bool,
     trace_warp_limit: u32,
+    use_flat: bool,
 }
 
 impl<'a> GpuSim<'a> {
     /// Creates a simulator for a prepared scene.
     pub fn new(prepared: &'a PreparedScene, config: SimConfig) -> Self {
-        GpuSim { prepared, config, record_depths: false, trace_warp_limit: 0 }
+        GpuSim { prepared, config, record_depths: false, trace_warp_limit: 0, use_flat: true }
     }
 
     /// Records stack depths at every push/pop (Figs. 4/5, slight overhead).
@@ -137,12 +145,30 @@ impl<'a> GpuSim<'a> {
         self
     }
 
+    /// Selects the host-side BVH layout: the flattened layout (default) or
+    /// the original wide representation. Both traverse the same tree with
+    /// identical node numbering, so every statistic and image is
+    /// bit-identical — the knob exists for regression tests and timing
+    /// comparisons.
+    pub fn use_flat(mut self, on: bool) -> Self {
+        self.use_flat = on;
+        self
+    }
+
     /// Runs the workload to completion.
     ///
     /// # Panics
     ///
     /// Panics if the model deadlocks (a bug) or exceeds a hard cycle cap.
     pub fn run(self) -> SimRun {
+        if self.use_flat {
+            self.run_on(&self.prepared.flat)
+        } else {
+            self.run_on(&self.prepared.bvh)
+        }
+    }
+
+    fn run_on<B: TraverseBvh>(&self, bvh: &B) -> SimRun {
         let scene = &self.prepared.scene;
         let (w, h, spp) = self.config.render.workload(scene.id);
         let total_threads = (w * h * spp) as usize;
@@ -169,6 +195,8 @@ impl<'a> GpuSim<'a> {
                     pending: VecDeque::new(),
                     done_warps: 0,
                     total_warps: 0,
+                    mem_events: BinaryHeap::new(),
+                    warps_dirty: false,
                 }
             })
             .collect();
@@ -192,15 +220,15 @@ impl<'a> GpuSim<'a> {
                     paths.push(dead);
                 }
             }
-            let real: Vec<bool> = paths.iter().map(|p| p.alive).collect();
+            let real: [bool; WARP_SIZE] = std::array::from_fn(|l| paths[l].alive);
             let active = real.iter().filter(|&&r| r).count() as u32;
             let ctx = WarpCtx {
                 id: wid as WarpId,
                 paths,
                 real,
-                rays: vec![None; WARP_SIZE],
-                shadow: vec![None; WARP_SIZE],
-                bounce: vec![None; WARP_SIZE],
+                rays: [None; WARP_SIZE],
+                shadow: [None; WARP_SIZE],
+                bounce: [None; WARP_SIZE],
                 mat_loads: Vec::new(),
                 step: Step::GenCompute,
                 phase: Phase::Compute { remaining: RAYGEN_COST },
@@ -223,7 +251,6 @@ impl<'a> GpuSim<'a> {
         let mut stats = SimStats::default();
         let mut image = vec![Vec3::ZERO; (w * h) as usize];
         let mut now: Cycle = 0;
-        let bvh = &self.prepared.bvh;
         let prims = self.prepared.prims();
         let max_depth = self.config.render.max_depth;
         let shadow_on = self.config.render.shadow_rays;
@@ -252,17 +279,21 @@ impl<'a> GpuSim<'a> {
                     Self::advance_after_trace(warp, scene);
                 }
 
-                // 2. Memory-wait completions.
-                for warp in &mut sm.warps {
-                    if let Phase::WaitMem { done } = warp.phase {
-                        if done <= now {
-                            Self::after_shade_mem(warp, scene);
-                        }
-                    }
+                // 2. Memory-wait completions (event-driven: a warp leaves
+                //    `WaitMem` only at its recorded completion cycle).
+                while sm.mem_events.peek().is_some_and(|&Reverse((c, _))| c <= now) {
+                    let Reverse((_, wid)) = sm.mem_events.pop().expect("peeked above");
+                    let warp =
+                        sm.warps.iter_mut().find(|wc| wc.id == wid).expect("waiting warp resident");
+                    debug_assert!(matches!(warp.phase, Phase::WaitMem { done } if done <= now));
+                    Self::after_shade_mem(warp, scene);
                 }
 
                 // 3. Trace admission (oldest first).
-                sm.warps.sort_by_key(|wc| wc.id);
+                if sm.warps_dirty {
+                    sm.warps.sort_by_key(|wc| wc.id);
+                    sm.warps_dirty = false;
+                }
                 for warp in &mut sm.warps {
                     if matches!(warp.phase, Phase::TraceWait) && sm.rt.has_free_slot() {
                         let req = warp.pending_req.take().expect("TraceWait has a request");
@@ -289,6 +320,7 @@ impl<'a> GpuSim<'a> {
                                 &mut sm.l1,
                                 &mut global,
                                 &mut image,
+                                &mut sm.mem_events,
                             );
                         }
                     }
@@ -300,13 +332,17 @@ impl<'a> GpuSim<'a> {
                     if matches!(sm.warps[i].phase, Phase::Done) {
                         let _ = sm.warps.swap_remove(i);
                         sm.done_warps += 1;
+                        sm.warps_dirty = true;
                     } else {
                         i += 1;
                     }
                 }
                 while sm.warps.len() < resident_cap {
                     match sm.pending.pop_front() {
-                        Some(wc) => sm.warps.push(wc),
+                        Some(wc) => {
+                            sm.warps.push(wc);
+                            sm.warps_dirty = true;
+                        }
                         None => break,
                     }
                 }
@@ -316,24 +352,35 @@ impl<'a> GpuSim<'a> {
             }
 
             // Advance time: step by one while anything is issuable, else
-            // jump to the next completion event.
+            // jump to the next completion event. Completion cycles come
+            // from the RT units' and SMs' event heaps; only the (small)
+            // resident-warp lists are scanned for issuable compute phases,
+            // and only until the first hit.
             let mut issuable = false;
             let mut next: Option<Cycle> = None;
             for sm in &sms {
-                if sm.rt.has_issuable() {
-                    issuable = true;
-                }
                 if let Some(c) = sm.rt.next_completion() {
                     next = Some(next.map_or(c, |n: Cycle| n.min(c)));
                 }
+                if let Some(&Reverse((c, _))) = sm.mem_events.peek() {
+                    next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+                }
+                if issuable {
+                    continue;
+                }
+                if sm.rt.has_issuable() {
+                    issuable = true;
+                    continue;
+                }
                 for warp in &sm.warps {
                     match &warp.phase {
-                        Phase::Compute { .. } => issuable = true,
+                        Phase::Compute { .. } => {
+                            issuable = true;
+                            break;
+                        }
                         Phase::TraceWait if sm.rt.has_free_slot() => {
                             issuable = true;
-                        }
-                        Phase::WaitMem { done } => {
-                            next = Some(next.map_or(*done, |n: Cycle| n.min(*done)));
+                            break;
                         }
                         _ => {}
                     }
@@ -432,6 +479,7 @@ impl<'a> GpuSim<'a> {
     }
 
     /// A compute phase finished: issue follow-up memory or traces.
+    #[allow(clippy::too_many_arguments)]
     fn on_compute_done(
         warp: &mut WarpCtx,
         scene: &sms_scene::Scene,
@@ -439,6 +487,7 @@ impl<'a> GpuSim<'a> {
         l1: &mut SmL1,
         global: &mut GlobalMemory,
         image: &mut [Vec3],
+        mem_events: &mut BinaryHeap<Reverse<(Cycle, WarpId)>>,
     ) {
         match warp.step {
             Step::GenCompute => {
@@ -456,12 +505,12 @@ impl<'a> GpuSim<'a> {
                     Self::after_shade_mem(warp, scene);
                 } else {
                     let mut done = now + 1;
-                    let loads: Vec<(u64, u32)> = warp.mat_loads.iter().map(|&a| (a, 64)).collect();
-                    for line in coalesce_lines(loads) {
+                    for line in coalesce_lines(warp.mat_loads.iter().map(|&a| (a, 64))) {
                         done = done.max(l1.access_line(global, line, AccessKind::Load, now, false));
                     }
                     warp.step = Step::ShadeMem;
                     warp.phase = Phase::WaitMem { done };
+                    mem_events.push(Reverse((done, warp.id)));
                 }
             }
             Step::AccumCompute => {
@@ -475,8 +524,8 @@ impl<'a> GpuSim<'a> {
     fn after_shade_mem(warp: &mut WarpCtx, _scene: &sms_scene::Scene) {
         let any_shadow = warp.shadow.iter().any(Option::is_some);
         if any_shadow {
-            let rays: Vec<Option<RayQuery>> =
-                warp.shadow.iter().map(|s| s.as_ref().map(|(q, _)| *q)).collect();
+            let rays: [Option<RayQuery>; WARP_SIZE] =
+                std::array::from_fn(|l| warp.shadow[l].map(|(q, _)| q));
             warp.active = rays.iter().filter(|r| r.is_some()).count() as u32;
             warp.pending_req = Some(TraceRequest::new(warp.id, rays));
             warp.step = Step::ShadowTrace;
@@ -506,13 +555,12 @@ impl<'a> GpuSim<'a> {
         } else {
             // Write radiance to the framebuffer (posted stores) and retire.
             let w = scene.camera.width;
-            let stores: Vec<(u64, u32)> = warp
+            let stores = warp
                 .paths
                 .iter()
                 .zip(&warp.real)
                 .filter(|(_, &real)| real)
-                .map(|(p, _)| (FRAMEBUFFER_BASE + (p.py * w + p.px) as u64 * 16, 16u32))
-                .collect();
+                .map(|(p, _)| (FRAMEBUFFER_BASE + (p.py * w + p.px) as u64 * 16, 16u32));
             for line in coalesce_lines(stores) {
                 let _ = l1.access_line(global, line, AccessKind::Store, now, false);
             }
@@ -527,8 +575,8 @@ impl<'a> GpuSim<'a> {
     }
 
     fn request_main_trace(warp: &mut WarpCtx) {
-        let rays: Vec<Option<RayQuery>> =
-            warp.rays.iter().map(|r| r.map(|ray| RayQuery::nearest(ray, 0.0))).collect();
+        let rays: [Option<RayQuery>; WARP_SIZE] =
+            std::array::from_fn(|l| warp.rays[l].map(|ray| RayQuery::nearest(ray, 0.0)));
         warp.active = rays.iter().filter(|r| r.is_some()).count() as u32;
         warp.pending_req = Some(TraceRequest::new(warp.id, rays));
         warp.step = Step::MainTrace;

@@ -74,6 +74,8 @@ pub enum Event {
         cache_misses: usize,
         /// Batch wall-clock microseconds.
         duration_us: u64,
+        /// Total simulated cycles across the deduplicated jobs.
+        sim_cycles: u64,
     },
 }
 
@@ -108,13 +110,22 @@ impl Event {
                 (own("cycles"), Json::U64(*cycles)),
                 (own("duration_us"), Json::U64(*duration_us)),
             ]),
-            Event::BatchEnd { jobs, cache_hits, cache_misses, duration_us } => Json::Obj(vec![
-                (own("event"), Json::Str(own("batch_end"))),
-                (own("jobs"), Json::U64(*jobs as u64)),
-                (own("cache_hits"), Json::U64(*cache_hits as u64)),
-                (own("cache_misses"), Json::U64(*cache_misses as u64)),
-                (own("duration_us"), Json::U64(*duration_us)),
-            ]),
+            Event::BatchEnd { jobs, cache_hits, cache_misses, duration_us, sim_cycles } => {
+                // Aggregate throughput is derived at serialization time so
+                // the event itself stays integral (and `Eq`).
+                let secs = *duration_us as f64 / 1e6;
+                let rate = |n: u64| if secs > 0.0 { n as f64 / secs } else { 0.0 };
+                Json::Obj(vec![
+                    (own("event"), Json::Str(own("batch_end"))),
+                    (own("jobs"), Json::U64(*jobs as u64)),
+                    (own("cache_hits"), Json::U64(*cache_hits as u64)),
+                    (own("cache_misses"), Json::U64(*cache_misses as u64)),
+                    (own("duration_us"), Json::U64(*duration_us)),
+                    (own("sim_cycles"), Json::U64(*sim_cycles)),
+                    (own("runs_per_sec"), Json::F64(rate(*jobs as u64))),
+                    (own("sim_cycles_per_sec"), Json::F64(rate(*sim_cycles))),
+                ])
+            }
         }
     }
 }
@@ -183,7 +194,13 @@ mod tests {
     fn last_batch_cuts_at_latest_start() {
         let j = Journal::new(None);
         j.record(Event::BatchStart { jobs: 1, unique: 1, workers: 1 });
-        j.record(Event::BatchEnd { jobs: 1, cache_hits: 0, cache_misses: 1, duration_us: 5 });
+        j.record(Event::BatchEnd {
+            jobs: 1,
+            cache_hits: 0,
+            cache_misses: 1,
+            duration_us: 5,
+            sim_cycles: 42,
+        });
         j.record(Event::BatchStart { jobs: 2, unique: 2, workers: 1 });
         let last = j.last_batch();
         assert_eq!(last.len(), 1);

@@ -167,19 +167,46 @@ pub struct BatchSummary {
     pub workers: usize,
     /// Batch wall-clock time.
     pub wall: Duration,
+    /// Total simulated cycles across the deduplicated jobs.
+    pub sim_cycles: u64,
+}
+
+impl BatchSummary {
+    /// Aggregate throughput in deduplicated runs per wall-clock second.
+    pub fn runs_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.unique_jobs as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate throughput in simulated cycles per wall-clock second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.sim_cycles as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 impl fmt::Display for BatchSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} jobs ({} unique) on {} workers: {} cache hits, {} simulated, {:.2}s",
+            "{} jobs ({} unique) on {} workers: {} cache hits, {} simulated, {:.2}s \
+             ({:.1} runs/s, {:.2e} sim-cycles/s)",
             self.jobs,
             self.unique_jobs,
             self.workers,
             self.cache_hits,
             self.cache_misses,
-            self.wall.as_secs_f64()
+            self.wall.as_secs_f64(),
+            self.runs_per_sec(),
+            self.sim_cycles_per_sec()
         )
     }
 }
@@ -326,6 +353,7 @@ impl Harness {
             slots[j] = Some(stats);
         }
 
+        let sim_cycles: u64 = slots.iter().flatten().map(|s| s.cycles).sum();
         let summary = BatchSummary {
             jobs: requests.len(),
             unique_jobs: jobs.len(),
@@ -333,12 +361,14 @@ impl Harness {
             cache_misses: misses.len(),
             workers: self.workers,
             wall: t0.elapsed(),
+            sim_cycles,
         };
         self.journal.record(Event::BatchEnd {
             jobs: jobs.len(),
             cache_hits: hits,
             cache_misses: misses.len(),
             duration_us: summary.wall.as_micros() as u64,
+            sim_cycles,
         });
 
         let results = requests

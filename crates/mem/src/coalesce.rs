@@ -18,7 +18,19 @@ use crate::space::{line_of, Addr, LINE_SIZE};
 /// assert_eq!(lines, vec![0]);
 /// ```
 pub fn coalesce_lines(accesses: impl IntoIterator<Item = (Addr, u32)>) -> Vec<Addr> {
-    let mut lines: Vec<Addr> = Vec::new();
+    let mut lines = Vec::new();
+    coalesce_lines_into(&mut lines, accesses);
+    lines
+}
+
+/// [`coalesce_lines`] into a caller-owned buffer (cleared first).
+///
+/// Hot per-cycle paths — the RT unit issues one coalescing pass per
+/// scheduled warp — reuse one buffer across calls instead of allocating a
+/// fresh `Vec` each time. The resulting `lines` are identical to what
+/// [`coalesce_lines`] returns.
+pub fn coalesce_lines_into(lines: &mut Vec<Addr>, accesses: impl IntoIterator<Item = (Addr, u32)>) {
+    lines.clear();
     for (addr, size) in accesses {
         if size == 0 {
             continue;
@@ -33,7 +45,6 @@ pub fn coalesce_lines(accesses: impl IntoIterator<Item = (Addr, u32)>) -> Vec<Ad
     }
     lines.sort_unstable();
     lines.dedup();
-    lines
 }
 
 #[cfg(test)]
@@ -73,5 +84,14 @@ mod tests {
     fn empty_and_zero_size() {
         assert!(coalesce_lines(std::iter::empty()).is_empty());
         assert!(coalesce_lines([(64u64, 0u32)]).is_empty());
+    }
+
+    #[test]
+    fn into_variant_clears_and_matches() {
+        let mut buf = vec![0xdead_beef];
+        coalesce_lines_into(&mut buf, [(120u64, 16u32)]);
+        assert_eq!(buf, coalesce_lines([(120u64, 16u32)]));
+        coalesce_lines_into(&mut buf, std::iter::empty());
+        assert!(buf.is_empty());
     }
 }

@@ -28,7 +28,7 @@ pub mod space;
 pub mod stats;
 
 pub use cache::{Cache, CacheConfig};
-pub use coalesce::coalesce_lines;
+pub use coalesce::{coalesce_lines, coalesce_lines_into};
 pub use global::{GlobalMemory, GlobalMemoryConfig};
 pub use l1::{L1Config, SmL1};
 pub use shared::{SharedMem, SharedMemConfig};

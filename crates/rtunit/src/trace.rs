@@ -33,23 +33,20 @@ impl RayQuery {
 /// A warp-level trace instruction entering the RT unit's warp buffer.
 ///
 /// `rays[lane] == None` marks an inactive lane (SIMT divergence: that
-/// thread's path already terminated).
+/// thread's path already terminated). The lane count is fixed at
+/// [`WARP_SIZE`] by the type — a warp always has exactly 32 lanes — which
+/// also keeps the request a single flat allocation-free value.
 #[derive(Debug, Clone)]
 pub struct TraceRequest {
     /// The issuing warp.
     pub warp: WarpId,
     /// One optional query per lane.
-    pub rays: Vec<Option<RayQuery>>,
+    pub rays: [Option<RayQuery>; WARP_SIZE],
 }
 
 impl TraceRequest {
-    /// Creates a request, validating the lane count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rays.len() != 32`.
-    pub fn new(warp: WarpId, rays: Vec<Option<RayQuery>>) -> Self {
-        assert_eq!(rays.len(), WARP_SIZE, "a warp has exactly {WARP_SIZE} lanes");
+    /// Creates a request; the fixed-size array enforces the lane count.
+    pub fn new(warp: WarpId, rays: [Option<RayQuery>; WARP_SIZE]) -> Self {
         TraceRequest { warp, rays }
     }
 
@@ -65,9 +62,9 @@ pub struct TraceResult {
     /// The warp that issued the trace.
     pub warp: WarpId,
     /// Nearest hit per lane (`None` = miss or inactive lane).
-    pub hits: Vec<Option<Hit>>,
+    pub hits: [Option<Hit>; WARP_SIZE],
     /// Occlusion answer per lane (only meaningful for any-hit queries).
-    pub occluded: Vec<bool>,
+    pub occluded: [bool; WARP_SIZE],
 }
 
 #[cfg(test)]
@@ -78,7 +75,7 @@ mod tests {
     #[test]
     fn active_lane_count() {
         let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
-        let mut rays: Vec<Option<RayQuery>> = vec![None; 32];
+        let mut rays: [Option<RayQuery>; WARP_SIZE] = [None; WARP_SIZE];
         rays[3] = Some(RayQuery::nearest(ray, 0.0));
         rays[17] = Some(RayQuery::occlusion(ray, 0.0, 5.0));
         let req = TraceRequest::new(7, rays);
@@ -87,9 +84,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "32 lanes")]
-    fn wrong_lane_count_rejected() {
-        let _ = TraceRequest::new(0, vec![None; 8]);
+    fn lane_count_is_type_enforced() {
+        // The per-lane array is `[_; WARP_SIZE]`: a request with the wrong
+        // lane count is unrepresentable.
+        let req = TraceRequest::new(0, [None; WARP_SIZE]);
+        assert_eq!(req.rays.len(), WARP_SIZE);
+        assert_eq!(req.active_lanes(), 0);
     }
 
     #[test]

@@ -15,14 +15,25 @@
 //!    memory ops batch into one warp-wide banked transaction, global ops
 //!    coalesce by line. Loads block their thread; stores are posted.
 //! 3. Completed warps retire and their [`TraceResult`] returns to the SM.
+//!
+//! Host-side scheduling is event-driven: every wait state ([`TState`])
+//! transitions only at its recorded completion cycle, so each warp slot
+//! keeps a min-heap of those cycles plus a counter of issuable lanes.
+//! Phase 1 skips a slot entirely unless an event is due, and the SM-facing
+//! queries [`RtUnit::has_issuable`] / [`RtUnit::next_completion`] read the
+//! counter and the heap minimum instead of rescanning all 128 thread
+//! contexts — the transitions themselves are unchanged, so timing is
+//! cycle-identical to the scanning implementation.
 
 use crate::microop::{MicroOp, Space};
 use crate::stack::{StackConfig, WarpStacks};
 use crate::trace::{RayQuery, TraceRequest, TraceResult};
-use sms_bvh::traverse::{node_step, NodeStep};
-use sms_bvh::{BvhLayout, DepthRecorder, Hit, NodeId, Primitive, WideBvh, WideNode};
+use sms_bvh::traverse::{NodeStep, TraverseBvh};
+use sms_bvh::{BvhLayout, DepthRecorder, Hit, NodeId, Primitive};
 use sms_gpu::{GtoScheduler, SimStats, WarpId, WARP_SIZE};
-use sms_mem::{coalesce_lines, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1};
+use sms_mem::{coalesce_lines_into, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Static configuration of one RT unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +109,59 @@ struct WarpSlot {
     threads: Vec<ThreadCtx>,
     access_counts: [u32; WARP_SIZE],
     done_count: usize,
+    /// Completion cycles of in-flight waits (min-heap). Entries at or
+    /// before the current cycle are consumed by the phase-1 advance.
+    events: BinaryHeap<Reverse<Cycle>>,
+    /// Lanes in an issuable state (`NeedFetch` or `StackIssue`).
+    issuable: u32,
+}
+
+impl WarpSlot {
+    /// Routes every post-admission thread state change, keeping the
+    /// issuable-lane counter and the completion-event heap in sync.
+    fn transition(&mut self, lane: usize, state: TState) {
+        let becomes_issuable = matches!(state, TState::NeedFetch | TState::StackIssue);
+        if let TState::WaitFetch { done }
+        | TState::OpWait { done, .. }
+        | TState::StackWait { done } = &state
+        {
+            self.events.push(Reverse(*done));
+        }
+        let t = &mut self.threads[lane];
+        let was_issuable = matches!(t.state, TState::NeedFetch | TState::StackIssue);
+        t.state = state;
+        self.issuable -= was_issuable as u32;
+        self.issuable += becomes_issuable as u32;
+    }
+}
+
+/// One lane's pending node fetch: at most two `(addr, bytes)` spans (the
+/// node record, plus the primitive records for leaves).
+#[derive(Debug, Clone, Copy)]
+struct FetchSpans {
+    lane: usize,
+    spans: [(u64, u32); 2],
+    len: usize,
+}
+
+/// Reusable per-issue working buffers: one warp issue per cycle needs a
+/// handful of scratch lists, reused across cycles instead of reallocated.
+#[derive(Debug, Default)]
+struct IssueScratch {
+    /// Pending node fetches of lanes in `NeedFetch`.
+    fetch_lanes: Vec<FetchSpans>,
+    /// Distinct lines touched by the whole warp's fetches.
+    all_lines: Vec<u64>,
+    /// Distinct lines of one lane's accesses.
+    lane_lines: Vec<u64>,
+    /// `line -> completion` map for this issue (small; linear scan).
+    line_done: Vec<(u64, Cycle)>,
+    /// `(lane, blocking)` for shared-space stack ops.
+    shared_batch: Vec<(usize, bool)>,
+    /// Gathered shared-space addresses for the warp-wide banked access.
+    shared_addrs: Vec<(u64, u32)>,
+    /// Lanes with global-space stack ops, in lane order.
+    global_lanes: Vec<usize>,
 }
 
 /// One ray-tracing acceleration unit (one per SM, Table I).
@@ -107,6 +171,8 @@ pub struct RtUnit {
     slots: Vec<Option<WarpSlot>>,
     sched: GtoScheduler,
     shared_stride: u64,
+    scratch: IssueScratch,
+    op_buf: Vec<MicroOp>,
     /// Stack-depth histogram across all rays (when `record_depths`).
     pub depth_recorder: DepthRecorder,
     /// Optional per-thread traces (Fig. 10).
@@ -121,6 +187,8 @@ impl RtUnit {
             slots: (0..config.max_warps).map(|_| None).collect(),
             sched: GtoScheduler::new(),
             config,
+            scratch: IssueScratch::default(),
+            op_buf: Vec::new(),
             depth_recorder: DepthRecorder::new(),
             thread_traces: None,
         }
@@ -144,6 +212,9 @@ impl RtUnit {
     /// Admits a warp trace request into the warp buffer.
     ///
     /// Returns the request back when the buffer is full.
+    // The Err variant hands the (large, by-value) request back for a
+    // retry; callers gate on `has_free_slot`, so that path is cold.
+    #[allow(clippy::result_large_err)]
     pub fn try_admit(
         &mut self,
         req: TraceRequest,
@@ -198,6 +269,8 @@ impl RtUnit {
             threads,
             access_counts: [0; WARP_SIZE],
             done_count: WARP_SIZE - active,
+            events: BinaryHeap::new(),
+            issuable: active as u32,
         };
         for lane in 0..WARP_SIZE {
             if slot.threads[lane].done {
@@ -210,72 +283,66 @@ impl RtUnit {
 
     /// `true` when some thread could issue work if its warp were scheduled.
     pub fn has_issuable(&self) -> bool {
-        self.slots.iter().flatten().any(|s| {
-            s.threads.iter().any(|t| matches!(t.state, TState::NeedFetch | TState::StackIssue))
-        })
+        self.slots.iter().flatten().any(|s| s.issuable > 0)
     }
 
     /// The earliest future cycle at which some waiting thread completes,
     /// if any thread is waiting.
     pub fn next_completion(&self) -> Option<Cycle> {
-        self.slots
-            .iter()
-            .flatten()
-            .flat_map(|s| s.threads.iter())
-            .filter_map(|t| match t.state {
-                TState::WaitFetch { done }
-                | TState::OpWait { done, .. }
-                | TState::StackWait { done } => Some(done),
-                _ => None,
-            })
-            .min()
+        self.slots.iter().flatten().filter_map(|s| s.events.peek().map(|&Reverse(c)| c)).min()
     }
 
     /// Advances the RT unit by one cycle. Returns trace results of warps
     /// that completed this cycle.
     #[allow(clippy::too_many_arguments)] // mirrors the hardware port list
-    pub fn tick<P: Primitive>(
+    pub fn tick<B: TraverseBvh, P: Primitive>(
         &mut self,
         now: Cycle,
-        bvh: &WideBvh,
+        bvh: &B,
         prims: &[P],
         l1: &mut SmL1,
         shared: &mut SharedMem,
         global: &mut GlobalMemory,
         stats: &mut SimStats,
     ) -> Vec<TraceResult> {
-        // Phase 1: response FIFO + operation units (run for every warp).
+        // Phase 1: response FIFO + operation units. Wait states only
+        // transition at their recorded completion cycle, so a slot whose
+        // earliest event is still in the future has nothing to do.
+        let mut op_buf = std::mem::take(&mut self.op_buf);
         for slot in self.slots.iter_mut().flatten() {
-            Self::advance_threads(
-                slot,
-                now,
-                bvh,
-                prims,
-                stats,
-                &self.config,
-                &mut self.depth_recorder,
-                &mut self.thread_traces,
-            );
+            if slot.events.peek().is_some_and(|&Reverse(c)| c <= now) {
+                Self::advance_threads(
+                    slot,
+                    now,
+                    bvh,
+                    prims,
+                    stats,
+                    &self.config,
+                    &mut self.depth_recorder,
+                    &mut self.thread_traces,
+                    &mut op_buf,
+                );
+                // Every event at or before `now` has been consumed by the
+                // scan above (chained transitions included) — drop them.
+                while slot.events.peek().is_some_and(|&Reverse(c)| c <= now) {
+                    slot.events.pop();
+                }
+            }
         }
+        self.op_buf = op_buf;
 
         // Phase 2: schedule one warp (GTO) and issue its memory work.
-        let ready: Vec<WarpId> = self
-            .slots
-            .iter()
-            .flatten()
-            .filter(|s| {
-                s.threads.iter().any(|t| matches!(t.state, TState::NeedFetch | TState::StackIssue))
-            })
-            .map(|s| s.warp)
-            .collect();
+        let ready = self.slots.iter().flatten().filter(|s| s.issuable > 0).map(|s| s.warp);
         if let Some(warp) = self.sched.pick(ready) {
+            let mut scratch = std::mem::take(&mut self.scratch);
             let slot = self
                 .slots
                 .iter_mut()
                 .flatten()
                 .find(|s| s.warp == warp)
                 .expect("scheduled warp resident");
-            Self::issue_warp(slot, now, bvh, l1, shared, global, stats);
+            Self::issue_warp(slot, now, bvh, l1, shared, global, stats, &mut scratch);
+            self.scratch = scratch;
         }
 
         // Phase 3: retire completed warps.
@@ -287,8 +354,8 @@ impl RtUnit {
                 self.sched.evict(slot.warp);
                 results.push(TraceResult {
                     warp: slot.warp,
-                    hits: slot.threads.iter().map(|t| t.best).collect(),
-                    occluded: slot.threads.iter().map(|t| t.occluded).collect(),
+                    hits: std::array::from_fn(|l| slot.threads[l].best),
+                    occluded: std::array::from_fn(|l| slot.threads[l].occluded),
                 });
             }
         }
@@ -297,47 +364,50 @@ impl RtUnit {
 
     /// Phase 1: state transitions that do not need the warp scheduler.
     #[allow(clippy::too_many_arguments)]
-    fn advance_threads<P: Primitive>(
+    fn advance_threads<B: TraverseBvh, P: Primitive>(
         slot: &mut WarpSlot,
         now: Cycle,
-        bvh: &WideBvh,
+        bvh: &B,
         prims: &[P],
         stats: &mut SimStats,
         config: &RtUnitConfig,
         depths: &mut DepthRecorder,
         traces: &mut Option<ThreadTraceRecorder>,
+        op_buf: &mut Vec<MicroOp>,
     ) {
         for lane in 0..WARP_SIZE {
             loop {
-                let t = &mut slot.threads[lane];
-                match &t.state {
+                match &slot.threads[lane].state {
                     TState::WaitFetch { done } if *done <= now => {
+                        let done = *done;
+                        let t = &slot.threads[lane];
                         let node = t.current.expect("fetching requires a node");
                         let q = t.query.expect("active thread has a query");
-                        let step = node_step(bvh, prims, &q.ray, node, q.t_min, t.t_max);
-                        let lat = match &bvh.nodes[node as usize] {
-                            WideNode::Inner { .. } => config.box_latency,
-                            WideNode::Leaf { .. } => config.tri_latency,
-                        };
-                        let done = *done;
-                        t.state = TState::OpWait { done: done + lat, step };
+                        let step = bvh.node_step(prims, &q.ray, node, q.t_min, t.t_max);
+                        let lat =
+                            if bvh.is_leaf(node) { config.tri_latency } else { config.box_latency };
+                        slot.transition(lane, TState::OpWait { done: done + lat, step });
                     }
                     TState::OpWait { done, .. } if *done <= now => {
+                        // Idle and OpWait are both non-issuable and the
+                        // OpWait event is consumed right here, so this
+                        // direct swap keeps the slot counters untouched;
+                        // commit_step sets the real next state.
                         let TState::OpWait { step, .. } =
-                            std::mem::replace(&mut t.state, TState::Idle)
+                            std::mem::replace(&mut slot.threads[lane].state, TState::Idle)
                         else {
                             unreachable!()
                         };
                         stats.node_visits += 1;
-                        Self::commit_step(slot, lane, step, stats, config, depths, traces);
+                        Self::commit_step(slot, lane, step, stats, config, depths, traces, op_buf);
                         // commit_step set the next state; keep draining in
                         // case it is already complete (e.g. empty op list).
                         break;
                     }
                     TState::StackWait { done } if *done <= now => {
-                        let t = &mut slot.threads[lane];
-                        t.ops.pop_front();
-                        t.state = Self::after_ops_state(t);
+                        slot.threads[lane].ops.pop_front();
+                        let next = Self::after_ops_state(&slot.threads[lane]);
+                        slot.transition(lane, next);
                         break;
                     }
                     _ => break,
@@ -359,6 +429,7 @@ impl RtUnit {
 
     /// Applies a completed node visit: child ordering, stack pushes/pops,
     /// leaf hit bookkeeping (§II-B "BVH operation complete" path).
+    #[allow(clippy::too_many_arguments)]
     fn commit_step(
         slot: &mut WarpSlot,
         lane: usize,
@@ -367,8 +438,9 @@ impl RtUnit {
         config: &RtUnitConfig,
         depths: &mut DepthRecorder,
         traces: &mut Option<ThreadTraceRecorder>,
+        new_ops: &mut Vec<MicroOp>,
     ) {
-        let mut new_ops: Vec<MicroOp> = Vec::new();
+        new_ops.clear();
         let mut record = |slot: &mut WarpSlot, lane: usize| {
             let d = slot.stacks.depth(lane);
             if config.record_depths {
@@ -395,7 +467,7 @@ impl RtUnit {
                 } else {
                     // Push the non-nearest intersected children far-to-near.
                     for i in (1..hits.len()).rev() {
-                        slot.stacks.push(lane, hits.get(i).1, stats, &mut new_ops);
+                        slot.stacks.push(lane, hits.get(i).1, stats, new_ops);
                         record(slot, lane);
                     }
                     Next::Visit(hits.get(0).1)
@@ -412,7 +484,8 @@ impl RtUnit {
                         t.current = None;
                         slot.stacks.clear_lane(lane);
                         slot.done_count += 1;
-                        t.state = Self::after_ops_state(t);
+                        let next = Self::after_ops_state(&slot.threads[lane]);
+                        slot.transition(lane, next);
                         return;
                     }
                     if h.t < t.t_max {
@@ -436,64 +509,79 @@ impl RtUnit {
                     slot.done_count += 1;
                     slot.stacks.mark_done(lane);
                 } else {
-                    let v = slot.stacks.pop(lane, stats, &mut new_ops);
+                    let v = slot.stacks.pop(lane, stats, new_ops);
                     record(slot, lane);
                     slot.threads[lane].current = Some(v);
                 }
             }
         }
-        let t = &mut slot.threads[lane];
-        t.ops.extend(new_ops);
-        t.state = Self::after_ops_state(t);
+        slot.threads[lane].ops.extend(new_ops.drain(..));
+        let next = Self::after_ops_state(&slot.threads[lane]);
+        slot.transition(lane, next);
     }
 
     /// Phase 2: issue the scheduled warp's node fetches and stack micro-ops.
-    fn issue_warp(
+    #[allow(clippy::too_many_arguments)]
+    fn issue_warp<B: TraverseBvh>(
         slot: &mut WarpSlot,
         now: Cycle,
-        bvh: &WideBvh,
+        bvh: &B,
         l1: &mut SmL1,
         shared: &mut SharedMem,
         global: &mut GlobalMemory,
         stats: &mut SimStats,
+        sc: &mut IssueScratch,
     ) {
         // --- Node fetches: collect, coalesce, issue per line. ---
-        let mut fetch_lanes: Vec<(usize, Vec<(u64, u32)>)> = Vec::new();
+        sc.fetch_lanes.clear();
         for lane in 0..WARP_SIZE {
             if matches!(slot.threads[lane].state, TState::NeedFetch) {
                 let node = slot.threads[lane].current.expect("NeedFetch has a node");
-                let mut spans = vec![BvhLayout::node_fetch(node)];
-                if let WideNode::Leaf { first, count } = &bvh.nodes[node as usize] {
-                    if *count > 0 {
-                        spans.push(BvhLayout::leaf_fetch(*first, *count));
+                let mut spans = [BvhLayout::node_fetch(node); 2];
+                let mut len = 1;
+                if let Some((first, count)) = bvh.leaf_range(node) {
+                    if count > 0 {
+                        spans[1] = BvhLayout::leaf_fetch(first, count);
+                        len = 2;
                     }
                 }
-                fetch_lanes.push((lane, spans));
+                sc.fetch_lanes.push(FetchSpans { lane, spans, len });
             }
         }
-        if !fetch_lanes.is_empty() {
-            let all_lines = coalesce_lines(fetch_lanes.iter().flat_map(|(_, s)| s.iter().copied()));
-            let mut line_done: std::collections::HashMap<u64, Cycle> =
-                std::collections::HashMap::with_capacity(all_lines.len());
-            for line in all_lines {
+        if !sc.fetch_lanes.is_empty() {
+            coalesce_lines_into(
+                &mut sc.all_lines,
+                sc.fetch_lanes.iter().flat_map(|f| f.spans[..f.len].iter().copied()),
+            );
+            sc.line_done.clear();
+            for i in 0..sc.all_lines.len() {
+                let line = sc.all_lines[i];
                 let done = l1.access_line(global, line, AccessKind::Load, now, false);
-                line_done.insert(line, done);
+                sc.line_done.push((line, done));
             }
-            for (lane, spans) in fetch_lanes {
-                let done = coalesce_lines(spans)
-                    .into_iter()
-                    .map(|l| line_done[&l])
+            for i in 0..sc.fetch_lanes.len() {
+                let FetchSpans { lane, spans, len } = sc.fetch_lanes[i];
+                coalesce_lines_into(&mut sc.lane_lines, spans[..len].iter().copied());
+                let done = sc
+                    .lane_lines
+                    .iter()
+                    .map(|l| {
+                        sc.line_done
+                            .iter()
+                            .find(|(dl, _)| dl == l)
+                            .expect("lane lines subset of warp lines")
+                            .1
+                    })
                     .max()
                     .unwrap_or(now + 1);
-                slot.threads[lane].state = TState::WaitFetch { done };
+                slot.transition(lane, TState::WaitFetch { done });
             }
         }
 
         // --- Stack micro-ops: one per stalled thread, batched by space. ---
-        let mut shared_batch: Vec<(usize, bool)> = Vec::new(); // (lane, blocking)
-        let mut shared_addrs: Vec<(u64, u32)> = Vec::new();
-        #[allow(clippy::type_complexity)] // (lane, [(addr, bytes)], blocking)
-        let mut global_lanes: Vec<(usize, Vec<(u64, u32)>, bool)> = Vec::new();
+        sc.shared_batch.clear();
+        sc.shared_addrs.clear();
+        sc.global_lanes.clear();
         for lane in 0..WARP_SIZE {
             if !matches!(slot.threads[lane].state, TState::StackIssue) {
                 continue;
@@ -501,52 +589,61 @@ impl RtUnit {
             let op = slot.threads[lane].ops.front().expect("StackIssue implies pending op");
             match op.space {
                 Space::Shared => {
-                    shared_addrs.extend(op.addrs.iter().copied());
-                    shared_batch.push((lane, op.is_blocking()));
+                    sc.shared_addrs.extend(op.addrs.iter().copied());
+                    sc.shared_batch.push((lane, op.is_blocking()));
                 }
                 Space::Global => {
-                    global_lanes.push((lane, op.addrs.clone(), op.is_blocking()));
+                    sc.global_lanes.push(lane);
                 }
             }
         }
 
-        if !shared_batch.is_empty() {
+        if !sc.shared_batch.is_empty() {
             stats.mem.shared_accesses += 1;
             let before = shared.conflict_cycles;
-            let done = shared.access_warp(now, shared_addrs.iter().copied());
+            let done = shared.access_warp(now, sc.shared_addrs.iter().copied());
             stats.mem.bank_conflict_cycles += shared.conflict_cycles - before;
-            for (lane, blocking) in shared_batch {
-                let t = &mut slot.threads[lane];
+            for i in 0..sc.shared_batch.len() {
+                let (lane, blocking) = sc.shared_batch[i];
                 if blocking {
-                    t.state = TState::StackWait { done };
+                    slot.transition(lane, TState::StackWait { done });
                 } else {
-                    t.ops.pop_front();
-                    t.state = Self::after_ops_state(t);
+                    slot.threads[lane].ops.pop_front();
+                    let next = Self::after_ops_state(&slot.threads[lane]);
+                    slot.transition(lane, next);
                 }
             }
         }
 
-        if !global_lanes.is_empty() {
-            let all_lines =
-                coalesce_lines(global_lanes.iter().flat_map(|(_, a, _)| a.iter().copied()));
-            // Loads and stores share the issue path; kind resolved per lane.
-            let mut line_done: std::collections::HashMap<u64, Cycle> =
-                std::collections::HashMap::with_capacity(all_lines.len());
-            for (lane, addrs, blocking) in global_lanes {
+        if !sc.global_lanes.is_empty() {
+            // Loads and stores share the issue path; kind resolved per lane,
+            // with one `line -> completion` map across the whole warp.
+            sc.line_done.clear();
+            for i in 0..sc.global_lanes.len() {
+                let lane = sc.global_lanes[i];
+                let op = slot.threads[lane].ops.front().expect("global lane has pending op");
+                let blocking = op.is_blocking();
                 let kind = if blocking { AccessKind::Load } else { AccessKind::Store };
+                coalesce_lines_into(&mut sc.lane_lines, op.addrs.iter().copied());
                 let mut done = now + 1;
-                for line in coalesce_lines(addrs.iter().copied()) {
-                    let d = *line_done
-                        .entry(line)
-                        .or_insert_with(|| l1.access_line(global, line, kind, now, true));
+                for j in 0..sc.lane_lines.len() {
+                    let line = sc.lane_lines[j];
+                    let d = match sc.line_done.iter().find(|(dl, _)| *dl == line) {
+                        Some(&(_, d)) => d,
+                        None => {
+                            let d = l1.access_line(global, line, kind, now, true);
+                            sc.line_done.push((line, d));
+                            d
+                        }
+                    };
                     done = done.max(d);
                 }
-                let t = &mut slot.threads[lane];
                 if blocking {
-                    t.state = TState::StackWait { done };
+                    slot.transition(lane, TState::StackWait { done });
                 } else {
-                    t.ops.pop_front();
-                    t.state = Self::after_ops_state(t);
+                    slot.threads[lane].ops.pop_front();
+                    let next = Self::after_ops_state(&slot.threads[lane]);
+                    slot.transition(lane, next);
                 }
             }
         }

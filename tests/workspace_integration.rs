@@ -118,7 +118,8 @@ fn sah_builder_traverses_fewer_nodes() {
     let median = WideBvh::build(&scene.prims, &BuildParams::default());
     let sah = WideBvh::build(&scene.prims, &BuildParams::sah());
     let visits = |bvh: &WideBvh| {
-        let prepared = PreparedScene { scene: scene.clone(), bvh: bvh.clone() };
+        let flat = sms_sim::bvh::FlatBvh::from_wide(bvh);
+        let prepared = PreparedScene { scene: scene.clone(), bvh: bvh.clone(), flat };
         render(&prepared, &cfg).depths.ops()
     };
     let vm = visits(&median);
