@@ -13,8 +13,22 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fault-injection suite"
+cargo test -q -p sms-harness --test fault_injection
+
+echo "==> validator-on sweep smoke (SMS_VALIDATE=1, cache bypassed)"
+SMS_VALIDATE=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP \
+  SMS_BENCH_OUT=target/BENCH_validate.json \
+  cargo run --release -q -p sms-bench --bin perf_baseline > /dev/null
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf"
 cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf
+
+# unwrap_used/expect_used are denied at the crate level in sms-harness
+# (see crates/harness/src/lib.rs + clippy.toml), so the workspace clippy
+# above already enforces them; this names the check in CI output.
+echo "==> clippy: no unwrap/expect in sms-harness library code"
+cargo clippy -p sms-harness --lib -- -D warnings
 
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check

@@ -37,8 +37,17 @@ fn main() {
         if std::env::var("SMS_JOBS").is_ok() { "SMS_JOBS".to_owned() } else { "1".to_owned() }
     );
 
-    let (_, summary) = harness.run_suite(&scenes, &configs, &render);
+    let (results, summary) = harness.try_run_suite(&scenes, &configs, &render);
     println!("{summary}");
+    let failures: Vec<String> =
+        results.iter().flatten().filter_map(|r| r.as_ref().err()).map(|e| e.to_string()).collect();
+    for f in &failures {
+        eprintln!("FAILED: {f}");
+    }
+    if !failures.is_empty() {
+        eprintln!("{} run(s) failed; baseline numbers would be partial", failures.len());
+        std::process::exit(2);
+    }
 
     // Per-run wall clock from the journal's job_finished events.
     let own = |s: &str| s.to_owned();

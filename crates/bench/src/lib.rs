@@ -20,6 +20,16 @@
 //! * `SMS_NO_CACHE=1` — bypass the result cache.
 //! * `SMS_CACHE_DIR=path` — cache location (default `target/sms-cache`).
 //! * `SMS_JOURNAL=path` — append JSONL run-journal events to `path`.
+//! * `SMS_MAX_CYCLES=N` / `SMS_STALL_CYCLES=N` — per-run watchdog.
+//! * `SMS_VALIDATE=1` — run the stack invariant validator.
+//! * `SMS_RETRIES=N` — transient cache-I/O retries.
+//! * `SMS_RESUME=journal.jsonl` — resume a killed sweep from its journal.
+//!
+//! Batches run on the fault-tolerant path: a panicking, livelocked or
+//! invariant-violating run is reported per cell (and journalled as
+//! `run_failed`/`run_timeout`) while the rest of the matrix completes; the
+//! harness then exits with status 2 since the figure cannot be fully
+//! reproduced.
 
 use sms_sim::config::RenderConfig;
 use sms_sim::experiments::{self, RunResult};
@@ -47,15 +57,39 @@ pub fn setup(figure: &str, description: &str) -> (Harness, Vec<SceneId>, RenderC
 /// Runs `configs` on every scene through the execution engine (parallel,
 /// deduplicated, cached); returns results grouped per scene in input
 /// order and prints the batch summary.
+///
+/// Failed runs do not abort the batch: every failure is reported on stderr
+/// with its diagnostic once all other cells completed, then the process
+/// exits with status 2 — a figure with holes in its matrix is not a
+/// reproduction.
 pub fn run_matrix(
     harness: &Harness,
     scenes: &[SceneId],
     configs: &[StackConfig],
     render: &RenderConfig,
 ) -> Vec<Vec<RunResult>> {
-    let (results, summary) = harness.run_suite(scenes, configs, render);
+    let (results, summary) = harness.try_run_suite(scenes, configs, render);
     eprintln!("  {summary}");
-    results
+    let mut rows = Vec::with_capacity(results.len());
+    let mut failed = 0usize;
+    for (s, row) in results.into_iter().enumerate() {
+        let mut ok_row = Vec::with_capacity(row.len());
+        for (c, cell) in row.into_iter().enumerate() {
+            match cell {
+                Ok(r) => ok_row.push(r),
+                Err(e) => {
+                    failed += 1;
+                    eprintln!("  FAILED {} / {}: {e}", scenes[s], configs[c].label());
+                }
+            }
+        }
+        rows.push(ok_row);
+    }
+    if failed > 0 {
+        eprintln!("  {failed} run(s) failed; figure cannot be reproduced");
+        std::process::exit(2);
+    }
+    rows
 }
 
 /// Prints a per-scene normalized-IPC table: first config is the baseline.

@@ -12,7 +12,7 @@
 use crate::config::{RenderConfig, SimConfig};
 use crate::render::PreparedScene;
 use crate::report::geomean;
-use crate::sim::GpuSim;
+use crate::sim::{GpuSim, RunLimits, SimFault};
 use sms_gpu::{GpuConfig, SimStats};
 use sms_rtunit::StackConfig;
 use sms_scene::SceneId;
@@ -73,9 +73,24 @@ pub fn run_prepared(
     gpu: GpuConfig,
     render: &RenderConfig,
 ) -> RunResult {
+    try_run_prepared(prepared, stack, gpu, render, &RunLimits::none())
+        .unwrap_or_else(|fault| panic!("{fault}"))
+}
+
+/// Fault-aware variant of [`run_prepared`]: runs with the given watchdog
+/// limits and surfaces aborts as structured [`SimFault`]s instead of
+/// panicking. With `RunLimits::none()` the statistics are bit-identical to
+/// [`run_prepared`] — the watchdog only observes.
+pub fn try_run_prepared(
+    prepared: &PreparedScene,
+    stack: StackConfig,
+    gpu: GpuConfig,
+    render: &RenderConfig,
+    limits: &RunLimits,
+) -> Result<RunResult, SimFault> {
     let config = SimConfig::new(gpu, stack, *render);
-    let run = GpuSim::new(prepared, config).run();
-    RunResult { scene: prepared.scene.id, stack, stats: run.stats }
+    let run = GpuSim::new(prepared, config).with_limits(*limits).try_run()?;
+    Ok(RunResult { scene: prepared.scene.id, stack, stats: run.stats })
 }
 
 /// The scene list a harness should evaluate: all 16 by default, or the

@@ -41,7 +41,7 @@ pub mod sim;
 
 pub use config::{RenderConfig, SimConfig};
 pub use experiments::RunResult;
-pub use sim::GpuSim;
+pub use sim::{GpuSim, RunLimits, SimFault};
 
 // Re-export the component crates so downstream users need one dependency.
 pub use sms_bvh as bvh;

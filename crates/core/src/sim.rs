@@ -29,12 +29,160 @@ use sms_bvh::{DepthRecorder, TraverseBvh};
 use sms_geom::{Ray, Vec3};
 use sms_gpu::{SimStats, WarpId, WARP_SIZE};
 use sms_mem::{coalesce_lines, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1, SHADE_BASE_ADDR};
-use sms_rtunit::{RayQuery, RtUnit, RtUnitConfig, ThreadTraceRecorder, TraceRequest, TraceResult};
+use sms_rtunit::{
+    RayQuery, RtUnit, RtUnitConfig, StackViolation, ThreadTraceRecorder, TraceRequest, TraceResult,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
 
 /// Base address of the framebuffer (radiance accumulation) region.
 const FRAMEBUFFER_BASE: u64 = 0xE000_0000;
+
+/// Hard ceiling on simulated cycles — a runaway-model backstop far above
+/// any real workload, applied even when no explicit budget is configured.
+const HARD_CYCLE_CAP: Cycle = 1 << 40;
+
+/// Why a simulation run was aborted. Every variant carries enough context
+/// to diagnose the run post-mortem without re-running it; the harness
+/// journals these as structured `run_failed` / `run_timeout` events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimFault {
+    /// The run exceeded its configured (or the hard) cycle budget.
+    CycleBudget {
+        /// The budget in effect.
+        limit: Cycle,
+        /// Cycle at which the breach was detected.
+        at_cycle: Cycle,
+        /// Warp/stack state dump taken at abort time.
+        snapshot: String,
+    },
+    /// No warp retired any work for the configured number of cycles.
+    Stalled {
+        /// The forward-progress window in effect.
+        stall_cycles: Cycle,
+        /// Cycle at which the detector fired.
+        at_cycle: Cycle,
+        /// Warp/stack state dump taken at abort time.
+        snapshot: String,
+    },
+    /// Nothing is issuable and no completion event is pending (a model bug).
+    Deadlock {
+        /// Cycle at which the simulator wedged.
+        at_cycle: Cycle,
+        /// Warp/stack state dump taken at abort time.
+        snapshot: String,
+    },
+    /// The stack validator latched an invariant violation.
+    Invariant {
+        /// The first violation observed.
+        violation: StackViolation,
+    },
+}
+
+impl SimFault {
+    /// Stable snake_case tag (used in journal events).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimFault::CycleBudget { .. } => "cycle_budget",
+            SimFault::Stalled { .. } => "stalled",
+            SimFault::Deadlock { .. } => "deadlock",
+            SimFault::Invariant { .. } => "invariant",
+        }
+    }
+
+    /// `true` for the watchdog faults (budget/stall) that a resume should
+    /// not blindly retry with the same limits.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, SimFault::CycleBudget { .. } | SimFault::Stalled { .. })
+    }
+}
+
+impl fmt::Display for SimFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimFault::CycleBudget { limit, at_cycle, snapshot } => {
+                write!(f, "cycle budget of {limit} exceeded at cycle {at_cycle}\n{snapshot}")
+            }
+            SimFault::Stalled { stall_cycles, at_cycle, snapshot } => {
+                write!(
+                    f,
+                    "no warp retired work for {stall_cycles} cycles (detected at cycle \
+                     {at_cycle})\n{snapshot}"
+                )
+            }
+            SimFault::Deadlock { at_cycle, snapshot } => {
+                write!(f, "simulator deadlock at cycle {at_cycle}\n{snapshot}")
+            }
+            SimFault::Invariant { violation } => write!(f, "{violation}"),
+        }
+    }
+}
+
+/// Per-run watchdog limits and validation switch.
+///
+/// All fields default to off; the simulation behaves exactly as before and
+/// produces bit-identical [`SimStats`] whether or not limits are armed
+/// (the watchdog only observes, it never changes scheduling).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Abort when the simulated cycle count exceeds this budget.
+    pub max_cycles: Option<Cycle>,
+    /// Abort when no warp retires a trace (and no warp finishes) for this
+    /// many consecutive cycles. Set it well above the worst memory latency:
+    /// idle-stretch skipping can legitimately jump hundreds of cycles.
+    pub stall_cycles: Option<Cycle>,
+    /// Attach a `StackValidator` to every warp's stacks and abort with
+    /// [`SimFault::Invariant`] on the first violation.
+    pub validate: bool,
+}
+
+impl RunLimits {
+    /// No limits, no validation (the default).
+    pub fn none() -> Self {
+        RunLimits::default()
+    }
+
+    /// Reads `SMS_MAX_CYCLES`, `SMS_STALL_CYCLES` and `SMS_VALIDATE` from
+    /// the environment. Unparseable values are reported on stderr (naming
+    /// the variable and the offending value) and treated as unset.
+    pub fn from_env() -> Self {
+        RunLimits {
+            max_cycles: env_cycles("SMS_MAX_CYCLES"),
+            stall_cycles: env_cycles("SMS_STALL_CYCLES"),
+            validate: env_flag("SMS_VALIDATE"),
+        }
+    }
+
+    /// Per-field fallback: `self` where set, else `fallback`.
+    pub fn or(self, fallback: RunLimits) -> Self {
+        RunLimits {
+            max_cycles: self.max_cycles.or(fallback.max_cycles),
+            stall_cycles: self.stall_cycles.or(fallback.stall_cycles),
+            validate: self.validate || fallback.validate,
+        }
+    }
+}
+
+/// Parses a positive cycle count from an env var; warns and ignores junk.
+fn env_cycles(var: &str) -> Option<Cycle> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<Cycle>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!("warning: {var}: expected a positive integer, got `{raw}` — ignoring");
+            None
+        }
+    }
+}
+
+/// A boolean env flag: set and not `0`/`false`/empty means on.
+fn env_flag(var: &str) -> bool {
+    std::env::var(var).is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+    })
+}
 
 /// Where a warp is in the PT kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,12 +273,26 @@ pub struct GpuSim<'a> {
     record_depths: bool,
     trace_warp_limit: u32,
     use_flat: bool,
+    limits: RunLimits,
 }
 
 impl<'a> GpuSim<'a> {
     /// Creates a simulator for a prepared scene.
     pub fn new(prepared: &'a PreparedScene, config: SimConfig) -> Self {
-        GpuSim { prepared, config, record_depths: false, trace_warp_limit: 0, use_flat: true }
+        GpuSim {
+            prepared,
+            config,
+            record_depths: false,
+            trace_warp_limit: 0,
+            use_flat: true,
+            limits: RunLimits::none(),
+        }
+    }
+
+    /// Arms the per-run watchdog and/or the stack validator.
+    pub fn with_limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
+        self
     }
 
     /// Records stack depths at every push/pop (Figs. 4/5, slight overhead).
@@ -159,8 +321,16 @@ impl<'a> GpuSim<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the model deadlocks (a bug) or exceeds a hard cycle cap.
+    /// Panics if the model deadlocks (a bug), exceeds a cycle budget, or —
+    /// when validation is armed — violates a stack invariant. Fault-aware
+    /// callers should use [`GpuSim::try_run`] instead.
     pub fn run(self) -> SimRun {
+        self.try_run().unwrap_or_else(|fault| panic!("{fault}"))
+    }
+
+    /// Runs the workload to completion, returning a structured
+    /// [`SimFault`] instead of panicking when the run must be aborted.
+    pub fn try_run(self) -> Result<SimRun, SimFault> {
         if self.use_flat {
             self.run_on(&self.prepared.flat)
         } else {
@@ -168,7 +338,7 @@ impl<'a> GpuSim<'a> {
         }
     }
 
-    fn run_on<B: TraverseBvh>(&self, bvh: &B) -> SimRun {
+    fn run_on<B: TraverseBvh>(&self, bvh: &B) -> Result<SimRun, SimFault> {
         let scene = &self.prepared.scene;
         let (w, h, spp) = self.config.render.workload(scene.id);
         let total_threads = (w * h * spp) as usize;
@@ -183,6 +353,7 @@ impl<'a> GpuSim<'a> {
                 rt_cfg.box_latency = gpu.box_latency;
                 rt_cfg.tri_latency = gpu.tri_latency;
                 rt_cfg.record_depths = self.record_depths;
+                rt_cfg.validate = self.limits.validate;
                 let mut rt = RtUnit::new(rt_cfg);
                 if self.trace_warp_limit > 0 {
                     rt.thread_traces = Some(ThreadTraceRecorder::new(self.trace_warp_limit));
@@ -257,6 +428,13 @@ impl<'a> GpuSim<'a> {
         let resident_cap = gpu.resident_warps_per_sm;
         let issue_width = gpu.issue_width;
 
+        // Watchdog state: the effective cycle budget and a forward-progress
+        // counter (traces retired by RT units + warps fully finished).
+        let budget = self.limits.max_cycles.map_or(HARD_CYCLE_CAP, |m| m.min(HARD_CYCLE_CAP));
+        let mut retired_traces: u64 = 0;
+        let mut last_progress: u64 = 0;
+        let mut last_progress_cycle: Cycle = 0;
+
         loop {
             for sm in &mut sms {
                 // 1. RT unit cycle; process retiring traces.
@@ -269,6 +447,7 @@ impl<'a> GpuSim<'a> {
                     &mut global,
                     &mut stats,
                 );
+                retired_traces += results.len() as u64;
                 for res in results {
                     let warp = sm
                         .warps
@@ -277,6 +456,11 @@ impl<'a> GpuSim<'a> {
                         .expect("retired warp resident");
                     Self::on_trace_result(warp, &res, scene, max_depth, shadow_on);
                     Self::advance_after_trace(warp, scene);
+                }
+                if self.limits.validate {
+                    if let Some(violation) = sm.rt.take_violation() {
+                        return Err(SimFault::Invariant { violation });
+                    }
                 }
 
                 // 2. Memory-wait completions (event-driven: a warp leaves
@@ -351,6 +535,22 @@ impl<'a> GpuSim<'a> {
                 break;
             }
 
+            // Forward-progress watchdog: nothing retired since the last
+            // productive cycle, for longer than the configured window.
+            let progress = retired_traces + sms.iter().map(|sm| sm.done_warps).sum::<u64>();
+            if progress != last_progress {
+                last_progress = progress;
+                last_progress_cycle = now;
+            } else if let Some(stall) = self.limits.stall_cycles {
+                if now - last_progress_cycle >= stall {
+                    return Err(SimFault::Stalled {
+                        stall_cycles: stall,
+                        at_cycle: now,
+                        snapshot: snapshot(&sms, now),
+                    });
+                }
+            }
+
             // Advance time: step by one while anything is issuable, else
             // jump to the next completion event. Completion cycles come
             // from the RT units' and SMs' event heaps; only the (small)
@@ -392,24 +592,20 @@ impl<'a> GpuSim<'a> {
                 match next {
                     Some(c) => c.max(now + 1),
                     None => {
-                        for (i, sm) in sms.iter().enumerate() {
-                            eprintln!(
-                                "SM{i}: done {}/{} rt_busy={} rt_issuable={} rt_next={:?}",
-                                sm.done_warps,
-                                sm.total_warps,
-                                sm.rt.busy_warps(),
-                                sm.rt.has_issuable(),
-                                sm.rt.next_completion()
-                            );
-                            for w in &sm.warps {
-                                eprintln!("  warp {} step {:?} phase {:?}", w.id, w.step, w.phase);
-                            }
-                        }
-                        panic!("simulator deadlock at cycle {now}")
+                        return Err(SimFault::Deadlock {
+                            at_cycle: now,
+                            snapshot: snapshot(&sms, now),
+                        })
                     }
                 }
             };
-            assert!(now < 1 << 40, "cycle cap exceeded — runaway simulation");
+            if now >= budget {
+                return Err(SimFault::CycleBudget {
+                    limit: budget,
+                    at_cycle: now,
+                    snapshot: snapshot(&sms, now),
+                });
+            }
         }
 
         stats.cycles = now;
@@ -423,7 +619,7 @@ impl<'a> GpuSim<'a> {
             }
         }
         stats.mem.merge(&global.stats);
-        SimRun { stats, image, width: w, height: h, depths, thread_traces }
+        Ok(SimRun { stats, image, width: w, height: h, depths, thread_traces })
     }
 
     /// Consumes a trace result: shading (main) or shadow application.
@@ -582,6 +778,32 @@ impl<'a> GpuSim<'a> {
         warp.step = Step::MainTrace;
         warp.phase = Phase::TraceWait;
     }
+}
+
+/// Formats the per-SM warp/RT-unit state dump attached to watchdog and
+/// deadlock faults, so an aborted run can be diagnosed from its journal
+/// entry alone.
+fn snapshot(sms: &[Sm], now: Cycle) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("  state at cycle {now}:\n");
+    for (i, sm) in sms.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  SM{i}: done {}/{}, pending {}, rt busy {}, rt issuable {}, rt next {:?}",
+            sm.done_warps,
+            sm.total_warps,
+            sm.pending.len(),
+            sm.rt.busy_warps(),
+            sm.rt.has_issuable(),
+            sm.rt.next_completion()
+        );
+        for warp in &sm.warps {
+            let _ =
+                writeln!(out, "    warp {} step {:?} phase {:?}", warp.id, warp.step, warp.phase);
+        }
+        out.push_str(&sm.rt.slot_summary());
+    }
+    out
 }
 
 /// Runs the workload and divides the framebuffer by the sample count,

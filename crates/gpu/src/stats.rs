@@ -9,7 +9,7 @@ use sms_mem::MemStats;
 /// across stack configurations by construction, so normalized IPC between
 /// two configurations reduces to their inverse cycle ratio — the paper's
 /// methodology for Figs. 6, 8, 13 and 15.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total cycles simulated.
     pub cycles: u64,

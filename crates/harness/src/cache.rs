@@ -10,13 +10,26 @@
 //! The cache is strictly best-effort: any read problem (missing file,
 //! truncated JSON, schema drift, hash collision) is a miss that falls back
 //! to re-simulation, and write failures are ignored.
+//!
+//! Concurrent harness instances may share one cache directory. Entries are
+//! written to a per-process-and-thread temp name and renamed into place, so
+//! racing writers of the same key both succeed (POSIX rename replaces
+//! atomically — and since the same key always holds the same bytes, "last
+//! writer wins" and "first writer wins" are indistinguishable). Transient
+//! I/O errors are retried with exponential backoff (`SMS_RETRIES`, default
+//! 2); a persistently unwritable directory (read-only mount, full disk)
+//! degrades the cache to a no-op with a single warning instead of a crash.
 
 use crate::json::{parse, Json};
 use crate::RunRequest;
 use sms_sim::gpu::SimStats;
 use sms_sim::mem::MemStats;
 use std::fs;
+use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Bump on any change to the cycle model that alters simulation results:
 /// all previously cached entries become unreachable (stale keys).
@@ -43,11 +56,25 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Default bounded-retry count for transient cache I/O (`SMS_RETRIES`).
+pub const DEFAULT_RETRIES: u32 = 2;
+
+/// Shared degradation state: once the directory proves unusable, every
+/// clone of the cache (workers hold clones) goes quiet together and the
+/// warning prints exactly once per harness.
+#[derive(Debug, Default)]
+struct Degrade {
+    disabled: AtomicBool,
+    warned: AtomicBool,
+}
+
 /// The on-disk cache at one directory.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
     salt: u32,
+    retries: u32,
+    degrade: Arc<Degrade>,
 }
 
 impl ResultCache {
@@ -59,12 +86,63 @@ impl ResultCache {
     /// A cache with an explicit salt — for tests and for migration tooling
     /// that needs to inspect entries written by an older simulator version.
     pub fn with_salt(dir: impl Into<PathBuf>, salt: u32) -> Self {
-        ResultCache { dir: dir.into(), salt }
+        ResultCache {
+            dir: dir.into(),
+            salt,
+            retries: DEFAULT_RETRIES,
+            degrade: Arc::new(Degrade::default()),
+        }
+    }
+
+    /// Sets the bounded-retry count for transient I/O failures.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// `true` once the cache has degraded to a no-op (unusable directory).
+    pub fn is_degraded(&self) -> bool {
+        self.degrade.disabled.load(Ordering::Relaxed)
+    }
+
+    /// Disables the cache, warning once across all clones.
+    fn degrade(&self, why: &std::io::Error) {
+        self.degrade.disabled.store(true, Ordering::Relaxed);
+        if !self.degrade.warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: result cache at {} is unusable ({why}); continuing without a cache",
+                self.dir.display()
+            );
+        }
+    }
+
+    /// Runs `op` up to `1 + retries` times with exponential backoff,
+    /// returning the first success. `Ok(None)` means "definitive miss" and
+    /// is returned immediately (no retry).
+    fn with_retry<T>(
+        &self,
+        mut op: impl FnMut() -> std::io::Result<T>,
+    ) -> Result<T, std::io::Error> {
+        let mut delay = Duration::from_millis(5);
+        let mut last;
+        let mut attempt = 0;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => last = e,
+            }
+            if attempt >= self.retries {
+                return Err(last);
+            }
+            attempt += 1;
+            std::thread::sleep(delay);
+            delay *= 2;
+        }
     }
 
     /// Computes the request's cache key under this cache's salt.
@@ -87,8 +165,20 @@ impl ResultCache {
     }
 
     /// Loads a cached result; `None` on miss or on any malformed entry.
+    /// Transient read errors are retried; persistent ones are misses.
     pub fn load(&self, key: &CacheKey) -> Option<SimStats> {
-        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        if self.is_degraded() {
+            return None;
+        }
+        let path = self.entry_path(key);
+        let text = self
+            .with_retry(|| match fs::read_to_string(&path) {
+                Ok(t) => Ok(Some(t)),
+                Err(e) if e.kind() == ErrorKind::NotFound => Ok(None),
+                Err(e) => Err(e),
+            })
+            .ok()
+            .flatten()?;
         let doc = parse(&text).ok()?;
         if doc.u64_field("salt")? != self.salt as u64 {
             return None;
@@ -100,21 +190,51 @@ impl ResultCache {
     }
 
     /// Stores a result, best-effort (errors are swallowed: a cold cache is
-    /// always correct, just slower).
+    /// always correct, just slower). A persistently unwritable directory
+    /// degrades the whole cache to a no-op with one warning.
     pub fn store(&self, key: &CacheKey, stats: &SimStats) {
+        if self.is_degraded() {
+            return;
+        }
         let doc = Json::Obj(vec![
             ("salt".to_owned(), Json::U64(self.salt as u64)),
             ("key".to_owned(), Json::Str(key.canonical.clone())),
             ("stats".to_owned(), stats_to_json(stats)),
         ]);
-        if fs::create_dir_all(&self.dir).is_err() {
+        if let Err(e) = self.with_retry(|| fs::create_dir_all(&self.dir)) {
+            self.degrade(&e);
             return;
         }
         // Write-then-rename so concurrent writers of the same entry (e.g.
-        // two bench harnesses) can never expose a half-written file.
-        let tmp = self.dir.join(format!("{:016x}.tmp{}", key.hash, std::process::id()));
-        if fs::write(&tmp, doc.to_string()).is_ok() {
-            let _ = fs::rename(&tmp, self.entry_path(key));
+        // two bench harnesses) can never expose a half-written file. The
+        // temp name is unique per process *and* store call, so racing
+        // writers never clobber each other's in-progress file.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "{:016x}.tmp{}.{}",
+            key.hash,
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let body = doc.to_string();
+        let entry = self.entry_path(key);
+        let result = self.with_retry(|| {
+            fs::write(&tmp, &body)?;
+            match fs::rename(&tmp, &entry) {
+                Ok(()) => Ok(()),
+                // A racing writer may have won the rename; one key always
+                // serializes to the same bytes, so an existing entry means
+                // the store already succeeded — just drop our temp file.
+                Err(_) if entry.exists() => {
+                    let _ = fs::remove_file(&tmp);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        });
+        if let Err(e) = result {
+            let _ = fs::remove_file(&tmp);
+            self.degrade(&e);
         }
     }
 }

@@ -7,17 +7,24 @@
 //!
 //! ```text
 //! {"event":"batch_start","jobs":80,"unique":80,"workers":8}
-//! {"event":"job_queued","job":0,"scene":"WKND","config":"RB_8","workload":"32x32x1"}
+//! {"event":"job_queued","job":0,"scene":"WKND","config":"RB_8","workload":"32x32x1","key":"sms-sim salt=1|..."}
 //! {"event":"job_started","job":0,"worker":2}
-//! {"event":"job_finished","job":0,"worker":2,"cache":"miss","cycles":184223,"duration_us":5120}
-//! {"event":"batch_end","jobs":80,"cache_hits":0,"cache_misses":80,"duration_us":412000}
+//! {"event":"job_finished","job":0,"worker":2,"cache":"miss","cycles":184223,"duration_us":5120,"stats":{...}}
+//! {"event":"run_failed","job":3,"worker":1,"kind":"panic","error":"...","duration_us":90}
+//! {"event":"batch_end","jobs":80,"cache_hits":0,"cache_misses":80,"failed":1,"duration_us":412000}
 //! ```
+//!
+//! `job_finished` lines carry the full counter set, which makes a journal
+//! self-sufficient for crash-safe resume (`SMS_RESUME=<journal>`): a new
+//! sweep replays completed runs from it and re-executes only the rest.
 
+use crate::cache::stats_to_json;
 use crate::json::Json;
+use sms_sim::gpu::SimStats;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// One journal event. `job` ids index the batch's *deduplicated* job list;
 /// `worker` is `None` for work the scheduler thread did itself (cache
@@ -43,6 +50,16 @@ pub enum Event {
         config: String,
         /// Workload as `WxHxSPP`.
         workload: String,
+        /// Canonical cache key — the job's stable identity, which is what
+        /// `SMS_RESUME` matches completed runs against across processes.
+        key: String,
+    },
+    /// A job was satisfied by a prior run's journal (`SMS_RESUME`).
+    JobResumed {
+        /// Job id within the batch.
+        job: usize,
+        /// Simulated cycles of the replayed result.
+        cycles: u64,
     },
     /// A worker picked the job up.
     JobStarted {
@@ -63,6 +80,35 @@ pub enum Event {
         cycles: u64,
         /// Wall-clock microseconds spent on this job.
         duration_us: u64,
+        /// The full counter set, when available. This is what makes the
+        /// journal self-sufficient for `SMS_RESUME` even without a cache.
+        stats: Option<SimStats>,
+    },
+    /// The job was aborted by the per-run watchdog (budget or stall).
+    RunTimeout {
+        /// Job id within the batch.
+        job: usize,
+        /// Worker index that ran the job.
+        worker: usize,
+        /// Watchdog class: `cycle_budget` or `stalled`.
+        kind: String,
+        /// Full diagnostic rendering (includes the state snapshot).
+        error: String,
+        /// Wall-clock microseconds spent before the abort.
+        duration_us: u64,
+    },
+    /// The job failed (panic, deadlock or invariant violation).
+    RunFailed {
+        /// Job id within the batch.
+        job: usize,
+        /// Worker index that ran the job.
+        worker: usize,
+        /// Failure class: `panic`, `deadlock` or `invariant`.
+        kind: String,
+        /// Full diagnostic rendering.
+        error: String,
+        /// Wall-clock microseconds spent before the failure.
+        duration_us: u64,
     },
     /// The batch completed; counters cover the deduplicated jobs.
     BatchEnd {
@@ -72,6 +118,8 @@ pub enum Event {
         cache_hits: usize,
         /// Jobs that re-simulated.
         cache_misses: usize,
+        /// Jobs that failed or timed out.
+        failed: usize,
         /// Batch wall-clock microseconds.
         duration_us: u64,
         /// Total simulated cycles across the deduplicated jobs.
@@ -90,27 +138,52 @@ impl Event {
                 (own("unique"), Json::U64(*unique as u64)),
                 (own("workers"), Json::U64(*workers as u64)),
             ]),
-            Event::JobQueued { job, scene, config, workload } => Json::Obj(vec![
+            Event::JobQueued { job, scene, config, workload, key } => Json::Obj(vec![
                 (own("event"), Json::Str(own("job_queued"))),
                 (own("job"), Json::U64(*job as u64)),
                 (own("scene"), Json::Str(scene.clone())),
                 (own("config"), Json::Str(config.clone())),
                 (own("workload"), Json::Str(workload.clone())),
+                (own("key"), Json::Str(key.clone())),
+            ]),
+            Event::JobResumed { job, cycles } => Json::Obj(vec![
+                (own("event"), Json::Str(own("job_resumed"))),
+                (own("job"), Json::U64(*job as u64)),
+                (own("cycles"), Json::U64(*cycles)),
             ]),
             Event::JobStarted { job, worker } => Json::Obj(vec![
                 (own("event"), Json::Str(own("job_started"))),
                 (own("job"), Json::U64(*job as u64)),
                 (own("worker"), Json::U64(*worker as u64)),
             ]),
-            Event::JobFinished { job, worker, cache_hit, cycles, duration_us } => Json::Obj(vec![
-                (own("event"), Json::Str(own("job_finished"))),
+            Event::JobFinished { job, worker, cache_hit, cycles, duration_us, stats } => {
+                Json::Obj(vec![
+                    (own("event"), Json::Str(own("job_finished"))),
+                    (own("job"), Json::U64(*job as u64)),
+                    (own("worker"), worker.map_or(Json::Null, |w| Json::U64(w as u64))),
+                    (own("cache"), Json::Str(own(if *cache_hit { "hit" } else { "miss" }))),
+                    (own("cycles"), Json::U64(*cycles)),
+                    (own("duration_us"), Json::U64(*duration_us)),
+                    (own("stats"), stats.as_ref().map_or(Json::Null, stats_to_json)),
+                ])
+            }
+            Event::RunTimeout { job, worker, kind, error, duration_us } => Json::Obj(vec![
+                (own("event"), Json::Str(own("run_timeout"))),
                 (own("job"), Json::U64(*job as u64)),
-                (own("worker"), worker.map_or(Json::Null, |w| Json::U64(w as u64))),
-                (own("cache"), Json::Str(own(if *cache_hit { "hit" } else { "miss" }))),
-                (own("cycles"), Json::U64(*cycles)),
+                (own("worker"), Json::U64(*worker as u64)),
+                (own("kind"), Json::Str(kind.clone())),
+                (own("error"), Json::Str(error.clone())),
                 (own("duration_us"), Json::U64(*duration_us)),
             ]),
-            Event::BatchEnd { jobs, cache_hits, cache_misses, duration_us, sim_cycles } => {
+            Event::RunFailed { job, worker, kind, error, duration_us } => Json::Obj(vec![
+                (own("event"), Json::Str(own("run_failed"))),
+                (own("job"), Json::U64(*job as u64)),
+                (own("worker"), Json::U64(*worker as u64)),
+                (own("kind"), Json::Str(kind.clone())),
+                (own("error"), Json::Str(error.clone())),
+                (own("duration_us"), Json::U64(*duration_us)),
+            ]),
+            Event::BatchEnd { jobs, cache_hits, cache_misses, failed, duration_us, sim_cycles } => {
                 // Aggregate throughput is derived at serialization time so
                 // the event itself stays integral (and `Eq`).
                 let secs = *duration_us as f64 / 1e6;
@@ -120,6 +193,7 @@ impl Event {
                     (own("jobs"), Json::U64(*jobs as u64)),
                     (own("cache_hits"), Json::U64(*cache_hits as u64)),
                     (own("cache_misses"), Json::U64(*cache_misses as u64)),
+                    (own("failed"), Json::U64(*failed as u64)),
                     (own("duration_us"), Json::U64(*duration_us)),
                     (own("sim_cycles"), Json::U64(*sim_cycles)),
                     (own("runs_per_sec"), Json::F64(rate(*jobs as u64))),
@@ -150,7 +224,7 @@ impl Journal {
 
     /// Records one event (and writes its JSONL line, if a sink is set).
     pub fn record(&self, event: Event) {
-        let mut inner = self.inner.lock().expect("journal poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(f) = inner.sink.as_mut() {
             let _ = writeln!(f, "{}", event.to_json());
         }
@@ -159,7 +233,7 @@ impl Journal {
 
     /// Snapshot of all events recorded so far.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.lock().expect("journal poisoned").events.clone()
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).events.clone()
     }
 
     /// Events recorded since (and including) the most recent `BatchStart`.
@@ -182,12 +256,38 @@ mod tests {
             cache_hit: true,
             cycles: 99,
             duration_us: 12,
+            stats: Some(SimStats { cycles: 99, ..Default::default() }),
         };
         let line = e.to_json().to_string();
         let doc = crate::json::parse(&line).unwrap();
         assert_eq!(doc.get("event").unwrap().as_str(), Some("job_finished"));
         assert_eq!(doc.get("worker").unwrap(), &Json::Null);
         assert_eq!(doc.u64_field("cycles"), Some(99));
+        let stats = crate::cache::stats_from_json(doc.get("stats").unwrap()).unwrap();
+        assert_eq!(stats.cycles, 99);
+    }
+
+    #[test]
+    fn failure_events_serialize() {
+        let e = Event::RunFailed {
+            job: 1,
+            worker: 2,
+            kind: "panic".to_owned(),
+            error: "boom".to_owned(),
+            duration_us: 7,
+        };
+        let doc = crate::json::parse(&e.to_json().to_string()).unwrap();
+        assert_eq!(doc.get("event").unwrap().as_str(), Some("run_failed"));
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("panic"));
+        let e = Event::RunTimeout {
+            job: 1,
+            worker: 2,
+            kind: "stalled".to_owned(),
+            error: "no progress".to_owned(),
+            duration_us: 7,
+        };
+        let doc = crate::json::parse(&e.to_json().to_string()).unwrap();
+        assert_eq!(doc.get("event").unwrap().as_str(), Some("run_timeout"));
     }
 
     #[test]
@@ -198,6 +298,7 @@ mod tests {
             jobs: 1,
             cache_hits: 0,
             cache_misses: 1,
+            failed: 0,
             duration_us: 5,
             sim_cycles: 42,
         });

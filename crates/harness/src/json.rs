@@ -297,7 +297,9 @@ impl<'a> Parser<'a> {
                     // boundaries are valid).
                     let rest = &self.bytes[self.pos..];
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("non-empty");
+                    let Some(c) = s.chars().next() else {
+                        return Err(self.err("truncated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -331,7 +333,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // The scanned span is ASCII by construction.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("malformed number"))?;
         if integral && !text.starts_with('-') {
             text.parse::<u64>().map(Json::U64).map_err(|_| self.err("integer out of range"))
         } else {

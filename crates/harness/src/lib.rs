@@ -37,16 +37,27 @@
 //! assert_eq!(results[0].scene, SceneId::Ship);
 //! ```
 
+// A failed sweep job must surface as a `RunError`, never abort the
+// process: no unwrap/expect in library code (tests are exempt via
+// clippy.toml).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod cache;
+pub mod error;
 pub mod journal;
 pub mod json;
 pub mod pool;
+pub mod resume;
 
 pub use cache::{CacheKey, ResultCache, SIM_VERSION_SALT};
+pub use error::RunError;
 pub use journal::{Event, Journal};
+pub use pool::JobPanic;
+pub use resume::ResumeState;
+pub use sms_sim::sim::{RunLimits, SimFault};
 
 use sms_sim::config::RenderConfig;
-use sms_sim::experiments::{run_prepared, RunResult};
+use sms_sim::experiments::{try_run_prepared, RunResult};
 use sms_sim::gpu::GpuConfig;
 use sms_sim::render::PreparedScene;
 use sms_sim::rtunit::StackConfig;
@@ -69,17 +80,28 @@ pub struct RunRequest {
     pub gpu: GpuConfig,
     /// Workload sizing.
     pub render: RenderConfig,
+    /// Per-request watchdog limits and validation, layered over the
+    /// harness-wide limits field by field. Deliberately *not* part of the
+    /// cache key: limits and validation never change simulation results,
+    /// only whether a run is allowed to finish.
+    pub limits: RunLimits,
 }
 
 impl RunRequest {
     /// A request on the Table I GPU.
     pub fn new(scene: SceneId, stack: StackConfig, render: RenderConfig) -> Self {
-        RunRequest { scene, stack, gpu: GpuConfig::default(), render }
+        RunRequest { scene, stack, gpu: GpuConfig::default(), render, limits: RunLimits::none() }
     }
 
     /// The same request with an explicit GPU configuration (L1 sweeps etc.).
     pub fn with_gpu(mut self, gpu: GpuConfig) -> Self {
         self.gpu = gpu;
+        self
+    }
+
+    /// The same request with per-run watchdog limits / validation.
+    pub fn with_limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
         self
     }
 
@@ -100,6 +122,14 @@ pub struct HarnessConfig {
     pub journal_path: Option<PathBuf>,
     /// Simulator version salt for cache keys.
     pub salt: u32,
+    /// Harness-wide watchdog limits / validation, applied to every run
+    /// (per-request limits take precedence field by field).
+    pub limits: RunLimits,
+    /// Bounded-retry count for transient cache I/O.
+    pub retries: u32,
+    /// A prior run's journal to resume from; its completed runs are served
+    /// without re-execution.
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for HarnessConfig {
@@ -109,6 +139,9 @@ impl Default for HarnessConfig {
             cache_dir: Some(default_cache_dir()),
             journal_path: None,
             salt: SIM_VERSION_SALT,
+            limits: RunLimits::none(),
+            retries: cache::DEFAULT_RETRIES,
+            resume: None,
         }
     }
 }
@@ -124,6 +157,21 @@ fn default_cache_dir() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/sms-cache"))
 }
 
+/// Parses a positive integer from an env var. A malformed value is
+/// reported on stderr — naming the variable and the offending value — and
+/// treated as unset, so one typo degrades to defaults instead of killing
+/// an hour-scale sweep at startup.
+fn env_positive(var: &str) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!("warning: {var}: expected a positive integer, got `{raw}` — ignoring");
+            None
+        }
+    }
+}
+
 impl HarnessConfig {
     /// Reads the environment knobs:
     ///
@@ -131,14 +179,17 @@ impl HarnessConfig {
     /// * `SMS_NO_CACHE=1` — disable the result cache.
     /// * `SMS_CACHE_DIR=path` — cache directory (default `target/sms-cache`).
     /// * `SMS_JOURNAL=path` — append JSONL events to `path`.
+    /// * `SMS_MAX_CYCLES=N` / `SMS_STALL_CYCLES=N` — per-run watchdog.
+    /// * `SMS_VALIDATE=1` — enable the stack invariant validator.
+    /// * `SMS_RETRIES=N` — bounded retries for transient cache I/O.
+    /// * `SMS_RESUME=path` — resume completed runs from a prior journal.
+    ///
+    /// Malformed numeric values warn (naming the variable and value) and
+    /// fall back to the default instead of panicking.
     pub fn from_env() -> Self {
         let mut cfg = HarnessConfig::default();
-        if let Ok(jobs) = std::env::var("SMS_JOBS") {
-            cfg.workers = jobs
-                .trim()
-                .parse()
-                .unwrap_or_else(|_| panic!("SMS_JOBS: expected a positive integer, got `{jobs}`"));
-            assert!(cfg.workers > 0, "SMS_JOBS must be at least 1");
+        if let Some(jobs) = env_positive("SMS_JOBS") {
+            cfg.workers = jobs;
         }
         if std::env::var("SMS_NO_CACHE").is_ok_and(|v| v == "1") {
             cfg.cache_dir = None;
@@ -147,6 +198,20 @@ impl HarnessConfig {
         }
         if let Ok(path) = std::env::var("SMS_JOURNAL") {
             cfg.journal_path = Some(PathBuf::from(path));
+        }
+        cfg.limits = RunLimits::from_env();
+        if let Ok(raw) = std::env::var("SMS_RETRIES") {
+            match raw.trim().parse::<u32>() {
+                Ok(n) => cfg.retries = n, // 0 = no retries, valid
+                Err(_) => eprintln!(
+                    "warning: SMS_RETRIES: expected a non-negative integer, got `{raw}` — ignoring"
+                ),
+            }
+        }
+        if let Ok(path) = std::env::var("SMS_RESUME") {
+            if !path.trim().is_empty() {
+                cfg.resume = Some(PathBuf::from(path));
+            }
         }
         cfg
     }
@@ -161,8 +226,12 @@ pub struct BatchSummary {
     pub unique_jobs: usize,
     /// Jobs served from the result cache.
     pub cache_hits: usize,
+    /// Jobs replayed from a resume journal (`SMS_RESUME`).
+    pub resumed: usize,
     /// Jobs that ran the simulator.
     pub cache_misses: usize,
+    /// Jobs that failed or were aborted by the watchdog.
+    pub failed: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Batch wall-clock time.
@@ -197,13 +266,15 @@ impl fmt::Display for BatchSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} jobs ({} unique) on {} workers: {} cache hits, {} simulated, {:.2}s \
-             ({:.1} runs/s, {:.2e} sim-cycles/s)",
+            "{} jobs ({} unique) on {} workers: {} cache hits, {} resumed, {} simulated, \
+             {} failed, {:.2}s ({:.1} runs/s, {:.2e} sim-cycles/s)",
             self.jobs,
             self.unique_jobs,
             self.workers,
             self.cache_hits,
+            self.resumed,
             self.cache_misses,
+            self.failed,
             self.wall.as_secs_f64(),
             self.runs_per_sec(),
             self.sim_cycles_per_sec()
@@ -217,6 +288,8 @@ pub struct Harness {
     workers: usize,
     cache: Option<ResultCache>,
     journal: Journal,
+    limits: RunLimits,
+    resume: Option<ResumeState>,
 }
 
 impl Harness {
@@ -224,13 +297,18 @@ impl Harness {
     pub fn new(config: HarnessConfig) -> Self {
         Harness {
             workers: config.workers.max(1),
-            cache: config.cache_dir.map(|dir| ResultCache::with_salt(dir, config.salt)),
+            cache: config
+                .cache_dir
+                .map(|dir| ResultCache::with_salt(dir, config.salt).with_retries(config.retries)),
             journal: Journal::new(config.journal_path),
+            limits: config.limits,
+            resume: config.resume.map(|p| ResumeState::load(&p)),
         }
     }
 
-    /// A harness honouring `SMS_JOBS`, `SMS_NO_CACHE`, `SMS_CACHE_DIR` and
-    /// `SMS_JOURNAL` (see [`HarnessConfig::from_env`]).
+    /// A harness honouring `SMS_JOBS`, `SMS_NO_CACHE`, `SMS_CACHE_DIR`,
+    /// `SMS_JOURNAL`, `SMS_MAX_CYCLES`, `SMS_STALL_CYCLES`, `SMS_VALIDATE`,
+    /// `SMS_RETRIES` and `SMS_RESUME` (see [`HarnessConfig::from_env`]).
     pub fn from_env() -> Self {
         Harness::new(HarnessConfig::from_env())
     }
@@ -249,11 +327,41 @@ impl Harness {
     /// prepared once each, cache hits skip simulation — and the returned
     /// results are positionally aligned with `requests`, with stats equal
     /// to what the serial `experiments` loops produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failed run, like the serial loop it replaces
+    /// would. Sweeps that must survive individual failures use
+    /// [`Harness::try_run_batch`].
     pub fn run_batch(&self, requests: &[RunRequest]) -> (Vec<RunResult>, BatchSummary) {
+        let (results, summary) = self.try_run_batch(requests);
+        let results = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Ok(v) => v,
+                Err(e) => panic!("batch request {i} failed: {e}"),
+            })
+            .collect();
+        (results, summary)
+    }
+
+    /// Fault-tolerant batch execution: every request yields either its
+    /// result or the [`RunError`] that stopped it, positionally aligned
+    /// with `requests`. One panicking, livelocked or invariant-violating
+    /// run cannot take down the rest of the batch — it is journalled as
+    /// `run_failed` / `run_timeout` and isolated to its own slot.
+    pub fn try_run_batch(
+        &self,
+        requests: &[RunRequest],
+    ) -> (Vec<Result<RunResult, RunError>>, BatchSummary) {
         let t0 = Instant::now();
 
         // 1. Dedupe on the canonical cache key (also the identity used for
-        //    the on-disk cache, so "same key" always means "same stats").
+        //    the on-disk cache, so "same key" always means "same stats") —
+        //    plus the limits, which are *not* in the cache key but can
+        //    change how a job ends (aborted vs completed), so requests
+        //    differing only in limits stay distinct jobs.
         let keyer = match &self.cache {
             Some(c) => c.clone(),
             None => ResultCache::new(PathBuf::new()), // keys only, no I/O
@@ -263,11 +371,12 @@ impl Harness {
         let mut seen: HashMap<String, usize> = HashMap::new();
         for req in requests {
             let key = keyer.key(req);
-            let job = match seen.get(&key.canonical) {
+            let identity = format!("{:?}|{}", req.limits, key.canonical);
+            let job = match seen.get(&identity) {
                 Some(&j) => j,
                 None => {
-                    jobs.push((*req, key.clone()));
-                    seen.insert(key.canonical, jobs.len() - 1);
+                    jobs.push((*req, key));
+                    seen.insert(identity, jobs.len() - 1);
                     jobs.len() - 1
                 }
             };
@@ -279,17 +388,19 @@ impl Harness {
             unique: jobs.len(),
             workers: self.workers,
         });
-        for (j, (req, _)) in jobs.iter().enumerate() {
+        for (j, (req, key)) in jobs.iter().enumerate() {
             self.journal.record(Event::JobQueued {
                 job: j,
                 scene: req.scene.name().to_owned(),
                 config: req.stack.label(),
                 workload: req.workload_label(),
+                key: key.canonical.clone(),
             });
         }
 
         // 2. Probe the cache on the scheduler thread (tiny JSON reads).
-        let mut slots: Vec<Option<sms_sim::gpu::SimStats>> = vec![None; jobs.len()];
+        let mut slots: Vec<Option<Result<sms_sim::gpu::SimStats, RunError>>> =
+            vec![None; jobs.len()];
         let mut hits = 0usize;
         if let Some(cache) = &self.cache {
             for (j, (_, key)) in jobs.iter().enumerate() {
@@ -302,14 +413,37 @@ impl Harness {
                         cache_hit: true,
                         cycles: stats.cycles,
                         duration_us: probe_start.elapsed().as_micros() as u64,
+                        stats: Some(stats),
                     });
-                    slots[j] = Some(stats);
+                    slots[j] = Some(Ok(stats));
+                }
+            }
+        }
+
+        // 2b. Replay completed runs from a prior journal (`SMS_RESUME`).
+        // Failed/timed-out runs never entered the resume state, so they
+        // re-execute below. Replayed results are written into the cache so
+        // the *next* run hits without needing the resume file at all.
+        let mut resumed = 0usize;
+        if let Some(state) = &self.resume {
+            for (j, (_, key)) in jobs.iter().enumerate() {
+                if slots[j].is_none() {
+                    if let Some(stats) = state.lookup(key) {
+                        resumed += 1;
+                        self.journal.record(Event::JobResumed { job: j, cycles: stats.cycles });
+                        if let Some(cache) = &self.cache {
+                            cache.store(key, &stats);
+                        }
+                        slots[j] = Some(Ok(stats));
+                    }
                 }
             }
         }
         let misses: Vec<usize> = (0..jobs.len()).filter(|&j| slots[j].is_none()).collect();
 
-        // 3. Prepare each distinct (scene, render) once, in parallel.
+        // 3. Prepare each distinct (scene, render) once, in parallel. A
+        //    panicking build is deferred: it fails only the jobs that
+        //    needed that scene, when they reach step 4.
         let mut scene_keys: Vec<(SceneId, RenderConfig)> = Vec::new();
         let mut scene_of_miss = Vec::with_capacity(misses.len());
         for &j in &misses {
@@ -321,44 +455,111 @@ impl Harness {
             });
             scene_of_miss.push(idx);
         }
-        let prepared: Vec<Arc<PreparedScene>> =
-            pool::run_indexed(self.workers, scene_keys.len(), |i, _| {
+        let prepared: Vec<Result<Arc<PreparedScene>, JobPanic>> =
+            pool::try_run_indexed(self.workers, scene_keys.len(), |i, _| {
                 let (id, render) = scene_keys[i];
                 Arc::new(PreparedScene::build(id, &render))
             });
 
         // 4. Simulate the misses on the pool; slot by job id, so merge
-        //    order is deterministic regardless of completion order.
+        //    order is deterministic regardless of completion order. The
+        //    closure maps simulator faults to `RunError`s itself; the
+        //    pool's own `catch_unwind` additionally nets any panic that
+        //    escapes the simulator.
         let journal = &self.journal;
         let cache = &self.cache;
-        let sim_stats = pool::run_indexed(self.workers, misses.len(), |i, worker| {
+        let sim_results = pool::try_run_indexed(self.workers, misses.len(), |i, worker| {
             let job = misses[i];
             let (req, key) = &jobs[job];
             journal.record(Event::JobStarted { job, worker });
             let job_start = Instant::now();
-            let result = run_prepared(&prepared[scene_of_miss[i]], req.stack, req.gpu, &req.render);
-            if let Some(cache) = cache {
-                cache.store(key, &result.stats);
+            let scene = match &prepared[scene_of_miss[i]] {
+                Ok(scene) => scene,
+                Err(p) => {
+                    let err = RunError::Panicked {
+                        worker: p.worker,
+                        message: format!("scene preparation panicked: {}", p.message),
+                    };
+                    journal.record(Event::RunFailed {
+                        job,
+                        worker,
+                        kind: err.kind().to_owned(),
+                        error: err.to_string(),
+                        duration_us: job_start.elapsed().as_micros() as u64,
+                    });
+                    return Err(err);
+                }
+            };
+            let limits = req.limits.or(self.limits);
+            match try_run_prepared(scene, req.stack, req.gpu, &req.render, &limits) {
+                Ok(result) => {
+                    if let Some(cache) = cache {
+                        cache.store(key, &result.stats);
+                    }
+                    journal.record(Event::JobFinished {
+                        job,
+                        worker: Some(worker),
+                        cache_hit: false,
+                        cycles: result.stats.cycles,
+                        duration_us: job_start.elapsed().as_micros() as u64,
+                        stats: Some(result.stats),
+                    });
+                    Ok(result.stats)
+                }
+                Err(fault) => {
+                    let err = RunError::from_fault(fault);
+                    let duration_us = job_start.elapsed().as_micros() as u64;
+                    if err.is_timeout() {
+                        journal.record(Event::RunTimeout {
+                            job,
+                            worker,
+                            kind: err.kind().to_owned(),
+                            error: err.to_string(),
+                            duration_us,
+                        });
+                    } else {
+                        journal.record(Event::RunFailed {
+                            job,
+                            worker,
+                            kind: err.kind().to_owned(),
+                            error: err.to_string(),
+                            duration_us,
+                        });
+                    }
+                    Err(err)
+                }
             }
-            journal.record(Event::JobFinished {
-                job,
-                worker: Some(worker),
-                cache_hit: false,
-                cycles: result.stats.cycles,
-                duration_us: job_start.elapsed().as_micros() as u64,
-            });
-            result.stats
         });
-        for (&j, stats) in misses.iter().zip(sim_stats) {
-            slots[j] = Some(stats);
+        for (&j, outcome) in misses.iter().zip(sim_results) {
+            slots[j] = Some(match outcome {
+                Ok(run) => run,
+                // Panic that escaped the closure before it could journal —
+                // journal it here so the record is complete.
+                Err(p) => {
+                    let worker = p.worker;
+                    let err = RunError::Panicked { worker: p.worker, message: p.message };
+                    self.journal.record(Event::RunFailed {
+                        job: j,
+                        worker,
+                        kind: err.kind().to_owned(),
+                        error: err.to_string(),
+                        duration_us: 0,
+                    });
+                    Err(err)
+                }
+            });
         }
 
-        let sim_cycles: u64 = slots.iter().flatten().map(|s| s.cycles).sum();
+        let failed = slots.iter().flatten().filter(|r| r.is_err()).count();
+        let sim_cycles: u64 =
+            slots.iter().flatten().filter_map(|r| r.as_ref().ok()).map(|s| s.cycles).sum();
         let summary = BatchSummary {
             jobs: requests.len(),
             unique_jobs: jobs.len(),
             cache_hits: hits,
+            resumed,
             cache_misses: misses.len(),
+            failed,
             workers: self.workers,
             wall: t0.elapsed(),
             sim_cycles,
@@ -367,6 +568,7 @@ impl Harness {
             jobs: jobs.len(),
             cache_hits: hits,
             cache_misses: misses.len(),
+            failed,
             duration_us: summary.wall.as_micros() as u64,
             sim_cycles,
         });
@@ -374,10 +576,14 @@ impl Harness {
         let results = requests
             .iter()
             .zip(&job_of_request)
-            .map(|(req, &j)| RunResult {
-                scene: req.scene,
-                stack: req.stack,
-                stats: slots[j].expect("every job resolved"),
+            .map(|(req, &j)| match &slots[j] {
+                Some(Ok(stats)) => {
+                    Ok(RunResult { scene: req.scene, stack: req.stack, stats: *stats })
+                }
+                Some(Err(e)) => Err(e.clone()),
+                // Every job is a hit, a resumed replay, or a miss that step
+                // 4 slotted.
+                None => unreachable!("batch job was never resolved"),
             })
             .collect();
         (results, summary)
@@ -398,6 +604,28 @@ impl Harness {
             .collect();
         let (flat, summary) = self.run_batch(&requests);
         let grouped = flat.chunks(configs.len().max(1)).map(<[RunResult]>::to_vec).collect();
+        (grouped, summary)
+    }
+
+    /// Fault-tolerant [`Harness::run_suite`]: each `(scene, config)` cell
+    /// is its own `Result`, so one failed run leaves the rest of the matrix
+    /// usable.
+    pub fn try_run_suite(
+        &self,
+        scenes: &[SceneId],
+        configs: &[StackConfig],
+        render: &RenderConfig,
+    ) -> (Vec<Vec<Result<RunResult, RunError>>>, BatchSummary) {
+        let requests: Vec<RunRequest> = scenes
+            .iter()
+            .flat_map(|&id| configs.iter().map(move |&stack| RunRequest::new(id, stack, *render)))
+            .collect();
+        let (flat, summary) = self.try_run_batch(&requests);
+        let mut grouped = Vec::with_capacity(scenes.len());
+        let mut it = flat.into_iter();
+        for _ in scenes {
+            grouped.push(it.by_ref().take(configs.len()).collect());
+        }
         (grouped, summary)
     }
 
@@ -422,7 +650,10 @@ impl Harness {
         scenes
             .iter()
             .map(|id| {
-                let i = distinct.iter().position(|d| d == id).expect("collected above");
+                let i = distinct
+                    .iter()
+                    .position(|d| d == id)
+                    .unwrap_or_else(|| unreachable!("collected above"));
                 Arc::clone(&built[i])
             })
             .collect()

@@ -72,8 +72,7 @@ fn corrupt_entry_falls_back_to_resimulation_end_to_end() {
     let harness = Harness::new(HarnessConfig {
         workers: 2,
         cache_dir: Some(dir.clone()),
-        journal_path: None,
-        salt: SIM_VERSION_SALT,
+        ..HarnessConfig::default()
     });
     let req = sample_request();
     let (first, s1) = harness.run_batch(&[req]);

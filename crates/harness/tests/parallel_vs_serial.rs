@@ -2,7 +2,7 @@
 //! *exactly* the serial loop's result — same `SimStats`, bit for bit — and
 //! a warm cache serves the whole batch without simulating.
 
-use sms_harness::{Event, Harness, HarnessConfig, RunRequest, SIM_VERSION_SALT};
+use sms_harness::{Event, Harness, HarnessConfig, RunRequest};
 use sms_sim::config::RenderConfig;
 use sms_sim::experiments;
 use sms_sim::rtunit::{SmsParams, StackConfig};
@@ -19,8 +19,7 @@ fn test_harness(cache: &str) -> Harness {
     Harness::new(HarnessConfig {
         workers: 4,
         cache_dir: Some(temp_dir(cache)),
-        journal_path: None,
-        salt: SIM_VERSION_SALT,
+        ..HarnessConfig::default()
     })
 }
 
@@ -131,8 +130,8 @@ fn journal_records_the_full_job_lifecycle() {
     assert!(matches!(events[0], Event::BatchStart { jobs: 1, unique: 1, workers: 4 }));
     assert!(events.iter().any(|e| matches!(
         e,
-        Event::JobQueued { job: 0, scene, config, workload }
-            if scene == "WKND" && config == "RB_8" && workload == "16x16x1"
+        Event::JobQueued { job: 0, scene, config, workload, key }
+            if scene == "WKND" && config == "RB_8" && workload == "16x16x1" && !key.is_empty()
     )));
     assert!(events.iter().any(|e| matches!(e, Event::JobStarted { job: 0, .. })));
     assert!(events.iter().any(|e| matches!(
@@ -158,7 +157,7 @@ fn journal_file_sink_writes_parseable_jsonl() {
         workers: 2,
         cache_dir: None,
         journal_path: Some(path.clone()),
-        salt: SIM_VERSION_SALT,
+        ..HarnessConfig::default()
     });
     let render = RenderConfig::tiny();
     harness.run_batch(&[RunRequest::new(SceneId::Wknd, StackConfig::baseline8(), render)]);

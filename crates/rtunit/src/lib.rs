@@ -29,9 +29,11 @@ pub mod overhead;
 pub mod stack;
 pub mod trace;
 pub mod unit;
+pub mod validator;
 
 pub use microop::{MicroOp, Space};
 pub use overhead::OverheadReport;
 pub use stack::{SmsParams, StackConfig, WarpStacks};
 pub use trace::{RayQuery, TraceRequest, TraceResult};
 pub use unit::{RtUnit, RtUnitConfig, ThreadTraceRecorder};
+pub use validator::{StackValidator, StackViolation, ViolationKind};

@@ -27,6 +27,7 @@
 //!   the top (≤3 consecutive flushes per stack before a forced flush).
 
 use crate::microop::MicroOp;
+use crate::validator::{StackValidator, StackViolation};
 use sms_gpu::{SimStats, WARP_SIZE};
 use sms_mem::space::spill_slot_addr;
 use sms_mem::{AccessKind, Addr};
@@ -272,6 +273,9 @@ pub struct WarpStacks {
     chains: Vec<Vec<u8>>,
     region_base: Addr,
     tid_base: u32,
+    /// Optional invariant validator (see [`crate::validator`]); absent in
+    /// normal runs, so the hot paths below pay one `Option` check at most.
+    validator: Option<Box<StackValidator>>,
 }
 
 impl WarpStacks {
@@ -305,12 +309,69 @@ impl WarpStacks {
             chains,
             region_base,
             tid_base,
+            validator: None,
+        }
+    }
+
+    /// Attaches a [`StackValidator`] that checks the SMS invariants at
+    /// every transition. Pure observation: enabling it cannot change any
+    /// stack content, micro-op or counter of the run.
+    pub fn enable_validator(&mut self) {
+        self.validator = Some(Box::new(StackValidator::new()));
+    }
+
+    /// The first invariant violation the validator latched, if any.
+    pub fn take_violation(&mut self) -> Option<StackViolation> {
+        self.validator.as_mut().and_then(|v| v.take_violation())
+    }
+
+    /// Runs `f` with the validator temporarily detached (it needs `&self`
+    /// while living inside `self`). No-op without a validator.
+    fn with_validator(&mut self, f: impl FnOnce(&mut StackValidator, &WarpStacks)) {
+        if let Some(mut v) = self.validator.take() {
+            f(&mut v, self);
+            self.validator = Some(v);
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &StackConfig {
         &self.config
+    }
+
+    /// Entries resident in the lane's RB level (validator/observability).
+    pub fn rb_len(&self, lane: usize) -> usize {
+        self.rb[lane].len()
+    }
+
+    /// Entries spilled to the lane's global-memory level.
+    pub fn global_len(&self, lane: usize) -> usize {
+        self.global[lane].len()
+    }
+
+    /// The RB capacity in effect.
+    pub fn rb_capacity(&self) -> usize {
+        self.rb_cap
+    }
+
+    /// The lane's reallocation chain (dedicated stack first).
+    pub fn chain(&self, lane: usize) -> &[u8] {
+        &self.chains[lane]
+    }
+
+    /// Entries resident in SH stack `seg`.
+    pub fn segment_len(&self, seg: usize) -> usize {
+        self.segs.get(seg).map_or(0, |s| s.entries.len())
+    }
+
+    /// Whether SH stack `seg` is marked idle (borrowable).
+    pub fn segment_idle(&self, seg: usize) -> bool {
+        self.segs.get(seg).is_some_and(|s| s.idle)
+    }
+
+    /// SH stack `seg`'s consecutive-flush counter.
+    pub fn segment_flushes(&self, seg: usize) -> u8 {
+        self.segs.get(seg).map_or(0, |s| s.flushes)
     }
 
     /// Logical stack depth of a lane.
@@ -358,6 +419,9 @@ impl WarpStacks {
     pub fn push(&mut self, lane: usize, node: u32, stats: &mut SimStats, ops: &mut Vec<MicroOp>) {
         if self.rb[lane].len() < self.rb_cap {
             self.rb[lane].push(node);
+            if self.validator.is_some() {
+                self.with_validator(|v, s| v.after_push(s, lane, node));
+            }
             return;
         }
         // RB overflow: spill the oldest RB entry one level down.
@@ -372,6 +436,9 @@ impl WarpStacks {
             }
             StackConfig::Sms(p) => self.push_to_sh(lane, old, &p, stats, ops),
             StackConfig::FullOnChip => unreachable!("full stack never overflows"),
+        }
+        if self.validator.is_some() {
+            self.with_validator(|v, s| v.after_push(s, lane, node));
         }
     }
 
@@ -423,6 +490,12 @@ impl WarpStacks {
             //    promote it to the top of the chain. Beyond the flush limit
             //    this still happens (forced) — it is the only move that
             //    preserves bottom-up fill order across linked stacks.
+            if self.validator.is_some() {
+                let chain_len = self.chains[lane].len();
+                let idle = self.find_idle_segment().is_some();
+                let borrow_limit = p.borrow_limit;
+                self.with_validator(|v, _| v.before_flush(lane, chain_len, borrow_limit, idle));
+            }
             let bottom = self.chains[lane][0];
             self.segs[bottom as usize].flushes =
                 self.segs[bottom as usize].flushes.saturating_add(1);
@@ -515,6 +588,9 @@ impl WarpStacks {
                 }
             }
         }
+        if self.validator.is_some() {
+            self.with_validator(|va, s| va.after_pop(s, lane, val));
+        }
         val
     }
 
@@ -559,6 +635,9 @@ impl WarpStacks {
                 }
             }
         }
+        if self.validator.is_some() {
+            self.with_validator(|v, s| v.on_clear(s, lane));
+        }
     }
 
     /// Marks a lane's traversal as finished: with reallocation enabled its
@@ -568,7 +647,12 @@ impl WarpStacks {
     /// pop again (the RT unit allocates fresh [`WarpStacks`] per trace
     /// request, matching the hardware's per-trace warp-buffer lifetime).
     pub fn mark_done(&mut self, lane: usize) {
-        debug_assert!(self.is_empty(lane), "mark_done with entries left");
+        // With a validator attached this becomes a latched structured
+        // violation instead of an abort (see `StackValidator::on_mark_done`).
+        debug_assert!(
+            self.validator.is_some() || self.is_empty(lane),
+            "mark_done with entries left"
+        );
         if let StackConfig::Sms(p) = self.config {
             if p.realloc && p.sh_entries > 0 {
                 self.release_empty_tops(lane);
@@ -583,12 +667,16 @@ impl WarpStacks {
                 }
             }
         }
+        if self.validator.is_some() {
+            self.with_validator(|v, s| v.on_mark_done(s, lane));
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::validator::ViolationKind;
 
     fn push_n(stacks: &mut WarpStacks, lane: usize, n: u32) -> (SimStats, Vec<MicroOp>) {
         let mut stats = SimStats::default();
@@ -899,5 +987,106 @@ mod tests {
         // 4 warps x 32 threads x 8 entries x 8B = 8KB (paper §IV-B).
         assert_eq!(StackConfig::sms_default().shared_carveout(4), 8 * 1024);
         assert_eq!(StackConfig::baseline8().shared_carveout(4), 0);
+    }
+
+    #[test]
+    fn validator_clean_on_legitimate_traffic() {
+        for cfg in [
+            StackConfig::baseline8(),
+            StackConfig::FullOnChip,
+            StackConfig::Sms(SmsParams::default()),
+            StackConfig::sms_default(),
+        ] {
+            let mut s = WarpStacks::new(&cfg, 0, 0);
+            s.enable_validator();
+            for lane in [0, 3, 31] {
+                push_n(&mut s, lane, 150);
+                let popped = pop_all(&mut s, lane);
+                assert_eq!(popped, (0..150).rev().collect::<Vec<u32>>());
+                s.mark_done(lane);
+            }
+            assert_eq!(s.take_violation(), None, "{cfg}: clean run must not trip validation");
+        }
+    }
+
+    #[test]
+    fn validator_is_pure_observation() {
+        let cfg = StackConfig::sms_default();
+        let mut plain = WarpStacks::new(&cfg, 0, 0);
+        let mut watched = WarpStacks::new(&cfg, 0, 0);
+        watched.enable_validator();
+        let mut stats_p = SimStats::default();
+        let mut stats_w = SimStats::default();
+        let (mut ops_p, mut ops_w) = (Vec::new(), Vec::new());
+        for i in 0..120 {
+            plain.push(2, i, &mut stats_p, &mut ops_p);
+            watched.push(2, i, &mut stats_w, &mut ops_w);
+        }
+        while !plain.is_empty(2) {
+            assert_eq!(
+                plain.pop(2, &mut stats_p, &mut ops_p),
+                watched.pop(2, &mut stats_w, &mut ops_w)
+            );
+        }
+        assert_eq!(stats_p, stats_w, "validator must not change any counter");
+        assert_eq!(ops_p, ops_w, "validator must not change emitted micro-ops");
+        assert_eq!(watched.take_violation(), None);
+    }
+
+    #[test]
+    fn validator_catches_lifo_tamper() {
+        let mut s = WarpStacks::new(&StackConfig::sms_default(), 0, 0);
+        s.enable_validator();
+        push_n(&mut s, 3, 6);
+        // Corrupt the RB top behind the validator's back; the next pop
+        // returns the tampered value.
+        *s.rb[3].last_mut().unwrap() = 999;
+        let mut stats = SimStats::default();
+        let mut ops = Vec::new();
+        assert_eq!(s.pop(3, &mut stats, &mut ops), 999);
+        let v = s.take_violation().expect("tampered pop must be flagged");
+        assert_eq!(v.kind, ViolationKind::LifoOrder);
+        assert_eq!(v.lane, 3);
+    }
+
+    #[test]
+    fn validator_catches_conservation_tamper() {
+        let mut s = WarpStacks::new(&StackConfig::sms_default(), 0, 0);
+        s.enable_validator();
+        push_n(&mut s, 0, 4);
+        // Smuggle in an entry that no push accounted for.
+        s.rb[0].insert(0, 77);
+        let mut stats = SimStats::default();
+        let mut ops = Vec::new();
+        s.push(0, 4, &mut stats, &mut ops);
+        let v = s.take_violation().expect("unaccounted entry must be flagged");
+        assert_eq!(v.kind, ViolationKind::Conservation);
+    }
+
+    #[test]
+    fn validator_catches_idle_tamper() {
+        let mut s = WarpStacks::new(&StackConfig::sms_default(), 0, 0);
+        s.enable_validator();
+        // 12 pushes overflow the 8-entry RB into lane 0's SH stack.
+        push_n(&mut s, 0, 12);
+        assert!(!s.segs[0].entries.is_empty());
+        // Mark the populated stack borrowable: idle stacks must be empty.
+        s.segs[0].idle = true;
+        let mut stats = SimStats::default();
+        let mut ops = Vec::new();
+        s.push(0, 12, &mut stats, &mut ops);
+        let v = s.take_violation().expect("populated idle stack must be flagged");
+        assert_eq!(v.kind, ViolationKind::IdleState);
+    }
+
+    #[test]
+    fn validator_catches_premature_mark_done() {
+        let mut s = WarpStacks::new(&StackConfig::sms_default(), 0, 0);
+        s.enable_validator();
+        push_n(&mut s, 5, 3);
+        s.mark_done(5);
+        let v = s.take_violation().expect("done with live entries must be flagged");
+        assert_eq!(v.kind, ViolationKind::Conservation);
+        assert_eq!(v.lane, 5);
     }
 }

@@ -28,6 +28,7 @@
 use crate::microop::{MicroOp, Space};
 use crate::stack::{StackConfig, WarpStacks};
 use crate::trace::{RayQuery, TraceRequest, TraceResult};
+use crate::validator::StackViolation;
 use sms_bvh::traverse::{NodeStep, TraverseBvh};
 use sms_bvh::{BvhLayout, DepthRecorder, Hit, NodeId, Primitive};
 use sms_gpu::{GtoScheduler, SimStats, WarpId, WARP_SIZE};
@@ -48,12 +49,23 @@ pub struct RtUnitConfig {
     pub tri_latency: u64,
     /// Record logical stack depths at every push/pop (Figs. 4/5).
     pub record_depths: bool,
+    /// Attach a [`crate::validator::StackValidator`] to every admitted
+    /// warp's stacks. Violations are latched (see [`RtUnit::take_violation`])
+    /// instead of asserting; simulation results are unaffected either way.
+    pub validate: bool,
 }
 
 impl RtUnitConfig {
     /// Table I defaults with the given stack architecture.
     pub fn new(stack: StackConfig) -> Self {
-        RtUnitConfig { stack, max_warps: 4, box_latency: 10, tri_latency: 20, record_depths: false }
+        RtUnitConfig {
+            stack,
+            max_warps: 4,
+            box_latency: 10,
+            tri_latency: 20,
+            record_depths: false,
+            validate: false,
+        }
     }
 }
 
@@ -177,6 +189,8 @@ pub struct RtUnit {
     pub depth_recorder: DepthRecorder,
     /// Optional per-thread traces (Fig. 10).
     pub thread_traces: Option<ThreadTraceRecorder>,
+    /// First invariant violation observed by any warp's validator.
+    violation: Option<StackViolation>,
 }
 
 impl RtUnit {
@@ -191,7 +205,31 @@ impl RtUnit {
             op_buf: Vec::new(),
             depth_recorder: DepthRecorder::new(),
             thread_traces: None,
+            violation: None,
         }
+    }
+
+    /// Takes the first invariant violation seen so far, if any. Only ever
+    /// `Some` when [`RtUnitConfig::validate`] is set.
+    pub fn take_violation(&mut self) -> Option<StackViolation> {
+        self.violation.take()
+    }
+
+    /// One-line-per-warp summary of resident warp state, for watchdog
+    /// diagnostics. Empty string when the unit is idle.
+    pub fn slot_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for slot in self.slots.iter().flatten() {
+            let next = slot.events.peek().map(|&Reverse(c)| c);
+            let depths: usize = (0..WARP_SIZE).map(|l| slot.stacks.depth(l)).sum();
+            let _ = writeln!(
+                out,
+                "      warp {}: done {}/{}, issuable {}, next event {:?}, total depth {}",
+                slot.warp, slot.done_count, WARP_SIZE, slot.issuable, next, depths
+            );
+        }
+        out
     }
 
     /// The configuration in use.
@@ -225,7 +263,10 @@ impl RtUnit {
         };
         let region_base = slot_idx as u64 * self.shared_stride;
         let tid_base = req.warp * WARP_SIZE as u32;
-        let stacks = WarpStacks::new(&self.config.stack, region_base, tid_base);
+        let mut stacks = WarpStacks::new(&self.config.stack, region_base, tid_base);
+        if self.config.validate {
+            stacks.enable_validator();
+        }
         let mut threads = Vec::with_capacity(WARP_SIZE);
         let mut active = 0usize;
         for lane in 0..WARP_SIZE {
@@ -343,6 +384,17 @@ impl RtUnit {
                 .expect("scheduled warp resident");
             Self::issue_warp(slot, now, bvh, l1, shared, global, stats, &mut scratch);
             self.scratch = scratch;
+        }
+
+        // Latch the first invariant violation before retiring warps, so a
+        // violation on a warp's final transition is not lost with its slot.
+        if self.config.validate && self.violation.is_none() {
+            for slot in self.slots.iter_mut().flatten() {
+                if let Some(v) = slot.stacks.take_violation() {
+                    self.violation = Some(v);
+                    break;
+                }
+            }
         }
 
         // Phase 3: retire completed warps.

@@ -45,13 +45,26 @@ fn main() {
     let harness = Harness::from_env();
     let requests: Vec<RunRequest> =
         configs.iter().map(|&stack| RunRequest::new(scene, stack, render)).collect();
-    let (results, summary) = harness.run_batch(&requests);
+    let (outcomes, summary) = harness.try_run_batch(&requests);
     eprintln!("{summary}");
 
-    let base = results
-        .iter()
-        .find(|r| r.stack == StackConfig::baseline8())
-        .expect("sweep includes the baseline");
+    // Failed configs are reported and dropped from the table; the rest of
+    // the sweep is still printed (unless the baseline itself died).
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut failed = 0usize;
+    for (cfg, outcome) in configs.iter().zip(outcomes) {
+        match outcome {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                failed += 1;
+                eprintln!("FAILED {}: {e}", cfg.label());
+            }
+        }
+    }
+    let Some(base) = results.iter().find(|r| r.stack == StackConfig::baseline8()) else {
+        eprintln!("baseline RB_8 run failed; nothing to normalize against");
+        std::process::exit(2);
+    };
     let mut table = Table::new(["config", "cycles", "norm. IPC", "off-chip", "spills"]);
     for r in &results {
         table.row([
@@ -63,4 +76,8 @@ fn main() {
         ]);
     }
     println!("\n{table}");
+    if failed > 0 {
+        eprintln!("{failed} config(s) failed; sweep is partial");
+        std::process::exit(2);
+    }
 }
