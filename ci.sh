@@ -16,6 +16,19 @@ cargo test -q
 echo "==> fault-injection suite"
 cargo test -q -p sms-harness --test fault_injection
 
+echo "==> journal/json regression suite (schema goldens, non-finite floats, watchdog)"
+cargo test -q -p sms-harness --test journal_schema
+cargo test -q -p sms-harness --lib json::
+cargo test -q -p sms-harness --lib journal::
+
+echo "==> SMS_TRACE smoke (well-formed Chrome-trace JSON, Σ buckets == cycles)"
+cargo test -q -p sms-harness --test trace_export
+cargo test -q -p sms-sim --test attribution
+
+echo "==> breakdown sweep smoke (SMS_BREAKDOWN=1; conservation asserted in-sim)"
+SMS_BREAKDOWN=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP \
+  cargo bench --bench breakdown_stalls > /dev/null
+
 echo "==> validator-on sweep smoke (SMS_VALIDATE=1, cache bypassed)"
 SMS_VALIDATE=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP \
   SMS_BENCH_OUT=target/BENCH_validate.json \

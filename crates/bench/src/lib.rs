@@ -24,6 +24,10 @@
 //! * `SMS_VALIDATE=1` — run the stack invariant validator.
 //! * `SMS_RETRIES=N` — transient cache-I/O retries.
 //! * `SMS_RESUME=journal.jsonl` — resume a killed sweep from its journal.
+//! * `SMS_BREAKDOWN=1` — arm cycle attribution (stall taxonomy in the
+//!   journal and `BatchSummary`; see `breakdown_stalls`).
+//! * `SMS_TRACE=out.json` / `SMS_TRACE_PERIOD=N` — per-run Chrome-trace
+//!   timeline export (implies attribution).
 //!
 //! Batches run on the fault-tolerant path: a panicking, livelocked or
 //! invariant-violating run is reported per cell (and journalled as

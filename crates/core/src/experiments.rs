@@ -13,7 +13,8 @@ use crate::config::{RenderConfig, SimConfig};
 use crate::render::PreparedScene;
 use crate::report::geomean;
 use crate::sim::{GpuSim, RunLimits, SimFault};
-use sms_gpu::{GpuConfig, SimStats};
+use crate::trace::TraceSpec;
+use sms_gpu::{GpuConfig, SimStats, StallBreakdown};
 use sms_rtunit::StackConfig;
 use sms_scene::SceneId;
 
@@ -26,6 +27,9 @@ pub struct RunResult {
     pub stack: StackConfig,
     /// All counters.
     pub stats: SimStats,
+    /// Stall attribution (when [`RunLimits::breakdown`] or `SMS_TRACE` was
+    /// armed for the run; `None` otherwise).
+    pub breakdown: Option<StallBreakdown>,
 }
 
 impl RunResult {
@@ -81,6 +85,11 @@ pub fn run_prepared(
 /// limits and surfaces aborts as structured [`SimFault`]s instead of
 /// panicking. With `RunLimits::none()` the statistics are bit-identical to
 /// [`run_prepared`] — the watchdog only observes.
+///
+/// When `SMS_TRACE` is set, every run through this entry point also writes
+/// a Chrome trace-event file; the configured path is suffixed with the
+/// scene and stack-config labels (`<stem>.<SCENE>.<CONFIG>.json`) so sweep
+/// jobs — possibly running in parallel — never clobber each other.
 pub fn try_run_prepared(
     prepared: &PreparedScene,
     stack: StackConfig,
@@ -89,8 +98,12 @@ pub fn try_run_prepared(
     limits: &RunLimits,
 ) -> Result<RunResult, SimFault> {
     let config = SimConfig::new(gpu, stack, *render);
-    let run = GpuSim::new(prepared, config).with_limits(*limits).try_run()?;
-    Ok(RunResult { scene: prepared.scene.id, stack, stats: run.stats })
+    let mut sim = GpuSim::new(prepared, config).with_limits(*limits);
+    if let Some(spec) = TraceSpec::from_env() {
+        sim = sim.with_trace(spec.for_job(&format!("{}.{}", prepared.scene.id, stack.label())));
+    }
+    let run = sim.try_run()?;
+    Ok(RunResult { scene: prepared.scene.id, stack, stats: run.stats, breakdown: run.breakdown })
 }
 
 /// The scene list a harness should evaluate: all 16 by default, or the

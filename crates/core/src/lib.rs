@@ -38,10 +38,12 @@ pub mod experiments;
 pub mod render;
 pub mod report;
 pub mod sim;
+pub mod trace;
 
 pub use config::{RenderConfig, SimConfig};
 pub use experiments::RunResult;
 pub use sim::{GpuSim, RunLimits, SimFault};
+pub use trace::TraceSpec;
 
 // Re-export the component crates so downstream users need one dependency.
 pub use sms_bvh as bvh;

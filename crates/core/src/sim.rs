@@ -25,9 +25,10 @@
 use crate::config::SimConfig;
 use crate::driver::{self, PathState, ACCUM_COST, RAYGEN_COST, SHADE_COST};
 use crate::render::PreparedScene;
+use crate::trace::{SmCounters, TraceRecorder, TraceSpec};
 use sms_bvh::{DepthRecorder, TraverseBvh};
 use sms_geom::{Ray, Vec3};
-use sms_gpu::{SimStats, WarpId, WARP_SIZE};
+use sms_gpu::{SimStats, StallBreakdown, WarpId, WARP_SIZE};
 use sms_mem::{coalesce_lines, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1, SHADE_BASE_ADDR};
 use sms_rtunit::{
     RayQuery, RtUnit, RtUnitConfig, StackViolation, ThreadTraceRecorder, TraceRequest, TraceResult,
@@ -135,6 +136,11 @@ pub struct RunLimits {
     /// Attach a `StackValidator` to every warp's stacks and abort with
     /// [`SimFault::Invariant`] on the first violation.
     pub validate: bool,
+    /// Arm the cycle-attribution layer: charge every resident warp/lane
+    /// cycle to a [`StallBreakdown`] bucket (returned on
+    /// [`SimRun::breakdown`]). Pure observation like `validate`: no
+    /// scheduling decision or [`SimStats`] counter changes.
+    pub breakdown: bool,
 }
 
 impl RunLimits {
@@ -143,14 +149,16 @@ impl RunLimits {
         RunLimits::default()
     }
 
-    /// Reads `SMS_MAX_CYCLES`, `SMS_STALL_CYCLES` and `SMS_VALIDATE` from
-    /// the environment. Unparseable values are reported on stderr (naming
-    /// the variable and the offending value) and treated as unset.
+    /// Reads `SMS_MAX_CYCLES`, `SMS_STALL_CYCLES`, `SMS_VALIDATE` and
+    /// `SMS_BREAKDOWN` from the environment. Unparseable values are
+    /// reported on stderr (naming the variable and the offending value) and
+    /// treated as unset.
     pub fn from_env() -> Self {
         RunLimits {
             max_cycles: env_cycles("SMS_MAX_CYCLES"),
             stall_cycles: env_cycles("SMS_STALL_CYCLES"),
             validate: env_flag("SMS_VALIDATE"),
+            breakdown: env_flag("SMS_BREAKDOWN"),
         }
     }
 
@@ -160,6 +168,7 @@ impl RunLimits {
             max_cycles: self.max_cycles.or(fallback.max_cycles),
             stall_cycles: self.stall_cycles.or(fallback.stall_cycles),
             validate: self.validate || fallback.validate,
+            breakdown: self.breakdown || fallback.breakdown,
         }
     }
 }
@@ -212,6 +221,43 @@ enum Phase {
     Done,
 }
 
+/// Warp-level cycle attribution (armed by [`RunLimits::breakdown`]).
+///
+/// Charges the half-open interval `[since, now)` to the bucket of the
+/// *outgoing* phase at every phase change, so each resident warp-cycle
+/// lands in exactly one bucket. The per-warp invariant
+/// `warp_sum() == warp_cycles` holds by construction (every flush adds the
+/// same `dt` to one bucket and to the total); the run-level aggregate is
+/// asserted at the end of the run.
+#[derive(Debug, Default)]
+struct WarpAttr {
+    /// Start of the interval the current phase will be charged for.
+    since: Cycle,
+    /// Buckets accumulated by this warp (warp-level fields only).
+    b: StallBreakdown,
+}
+
+impl WarpAttr {
+    /// Charges `[since, now)` to `phase`'s bucket and restarts the interval.
+    fn flush(&mut self, now: Cycle, phase: &Phase) {
+        let dt = now - self.since;
+        self.since = now;
+        if dt == 0 {
+            return;
+        }
+        match phase {
+            Phase::Compute { .. } => self.b.compute += dt,
+            Phase::WaitMem { .. } => self.b.mem_wait += dt,
+            Phase::TraceWait => self.b.rt_admit += dt,
+            Phase::InRt => self.b.in_rt += dt,
+            // `Done` is assigned and retired within one cycle (step 4 then
+            // step 5 of the same iteration), so its interval is empty.
+            Phase::Done => unreachable!("Done phase retired with a non-empty interval"),
+        }
+        self.b.warp_cycles += dt;
+    }
+}
+
 #[derive(Debug)]
 struct WarpCtx {
     id: WarpId,
@@ -231,6 +277,8 @@ struct WarpCtx {
     /// Lanes participating in the current phase (instruction accounting).
     active: u32,
     pending_req: Option<TraceRequest>,
+    /// Warp-level stall attribution (present iff attribution is armed).
+    attr: Option<Box<WarpAttr>>,
 }
 
 struct Sm {
@@ -264,6 +312,10 @@ pub struct SimRun {
     pub depths: DepthRecorder,
     /// Per-thread stack traces (when `config.trace_warp_limit > 0`).
     pub thread_traces: Vec<(WarpId, u8, u32, u16)>,
+    /// Cycle attribution (when [`RunLimits::breakdown`] or a trace spec is
+    /// armed): every resident warp/lane cycle charged to one bucket, with
+    /// both conservation laws asserted before this is returned.
+    pub breakdown: Option<StallBreakdown>,
 }
 
 /// The cycle-level GPU model.
@@ -274,6 +326,7 @@ pub struct GpuSim<'a> {
     trace_warp_limit: u32,
     use_flat: bool,
     limits: RunLimits,
+    trace: Option<TraceSpec>,
 }
 
 impl<'a> GpuSim<'a> {
@@ -286,12 +339,20 @@ impl<'a> GpuSim<'a> {
             trace_warp_limit: 0,
             use_flat: true,
             limits: RunLimits::none(),
+            trace: None,
         }
     }
 
     /// Arms the per-run watchdog and/or the stack validator.
     pub fn with_limits(mut self, limits: RunLimits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Arms the time-series trace export (implies cycle attribution): the
+    /// run writes a Chrome trace-event JSON file to `spec.path`.
+    pub fn with_trace(mut self, spec: TraceSpec) -> Self {
+        self.trace = Some(spec);
         self
     }
 
@@ -344,6 +405,13 @@ impl<'a> GpuSim<'a> {
         let total_threads = (w * h * spp) as usize;
         let num_warps = total_threads.div_ceil(WARP_SIZE);
         let gpu = &self.config.gpu;
+        // Tracing implies attribution (slices and counters reuse its
+        // timestamps); either way the simulation itself is unchanged.
+        let attribute = self.limits.breakdown || self.trace.is_some();
+        let mut recorder = self
+            .trace
+            .as_ref()
+            .map(|spec| TraceRecorder::new(spec.clone(), gpu.num_sms, gpu.max_warps_per_rt_unit));
 
         // Build all warps and distribute round-robin over SMs.
         let mut sms: Vec<Sm> = (0..gpu.num_sms)
@@ -354,7 +422,11 @@ impl<'a> GpuSim<'a> {
                 rt_cfg.tri_latency = gpu.tri_latency;
                 rt_cfg.record_depths = self.record_depths;
                 rt_cfg.validate = self.limits.validate;
+                rt_cfg.attribute = attribute;
                 let mut rt = RtUnit::new(rt_cfg);
+                if recorder.is_some() {
+                    rt.record_slices();
+                }
                 if self.trace_warp_limit > 0 {
                     rt.thread_traces = Some(ThreadTraceRecorder::new(self.trace_warp_limit));
                 }
@@ -405,6 +477,7 @@ impl<'a> GpuSim<'a> {
                 phase: Phase::Compute { remaining: RAYGEN_COST },
                 active,
                 pending_req: None,
+                attr: None,
             };
             sms[wid % gpu.num_sms].pending.push_back(ctx);
         }
@@ -412,7 +485,12 @@ impl<'a> GpuSim<'a> {
             sm.total_warps = sm.pending.len() as u64;
             while sm.warps.len() < gpu.resident_warps_per_sm {
                 match sm.pending.pop_front() {
-                    Some(wc) => sm.warps.push(wc),
+                    Some(mut wc) => {
+                        if attribute {
+                            wc.attr = Some(Box::default());
+                        }
+                        sm.warps.push(wc);
+                    }
                     None => break,
                 }
             }
@@ -429,11 +507,18 @@ impl<'a> GpuSim<'a> {
         let issue_width = gpu.issue_width;
 
         // Watchdog state: the effective cycle budget and a forward-progress
-        // counter (traces retired by RT units + warps fully finished).
+        // counter (traces retired by RT units + warps fully finished +
+        // completed RT micro-events — fetch responses, node-op commits and
+        // stack micro-ops — so a long-but-live traversal is not mistaken
+        // for a stall just because no full trace retired in the window).
         let budget = self.limits.max_cycles.map_or(HARD_CYCLE_CAP, |m| m.min(HARD_CYCLE_CAP));
         let mut retired_traces: u64 = 0;
         let mut last_progress: u64 = 0;
         let mut last_progress_cycle: Cycle = 0;
+
+        // Run-level stall attribution: warp-level buckets flushed at retire,
+        // lane-level buckets merged from the RT units at the end.
+        let mut breakdown = StallBreakdown::default();
 
         loop {
             for sm in &mut sms {
@@ -454,6 +539,9 @@ impl<'a> GpuSim<'a> {
                         .iter_mut()
                         .find(|wc| wc.id == res.warp)
                         .expect("retired warp resident");
+                    if let Some(a) = warp.attr.as_deref_mut() {
+                        a.flush(now, &warp.phase); // charge InRt
+                    }
                     Self::on_trace_result(warp, &res, scene, max_depth, shadow_on);
                     Self::advance_after_trace(warp, scene);
                 }
@@ -470,6 +558,9 @@ impl<'a> GpuSim<'a> {
                     let warp =
                         sm.warps.iter_mut().find(|wc| wc.id == wid).expect("waiting warp resident");
                     debug_assert!(matches!(warp.phase, Phase::WaitMem { done } if done <= now));
+                    if let Some(a) = warp.attr.as_deref_mut() {
+                        a.flush(now, &warp.phase); // charge WaitMem
+                    }
                     Self::after_shade_mem(warp, scene);
                 }
 
@@ -480,8 +571,11 @@ impl<'a> GpuSim<'a> {
                 }
                 for warp in &mut sm.warps {
                     if matches!(warp.phase, Phase::TraceWait) && sm.rt.has_free_slot() {
+                        if let Some(a) = warp.attr.as_deref_mut() {
+                            a.flush(now, &warp.phase); // charge TraceWait
+                        }
                         let req = warp.pending_req.take().expect("TraceWait has a request");
-                        sm.rt.try_admit(req, &mut stats).expect("slot checked free");
+                        sm.rt.try_admit(now, req, &mut stats).expect("slot checked free");
                         warp.phase = Phase::InRt;
                     }
                 }
@@ -497,6 +591,9 @@ impl<'a> GpuSim<'a> {
                         stats.thread_instructions += warp.active as u64;
                         issued += 1;
                         if *remaining == 0 {
+                            if let Some(a) = warp.attr.as_deref_mut() {
+                                a.flush(now, &warp.phase); // charge Compute
+                            }
                             Self::on_compute_done(
                                 warp,
                                 scene,
@@ -514,7 +611,12 @@ impl<'a> GpuSim<'a> {
                 let mut i = 0;
                 while i < sm.warps.len() {
                     if matches!(sm.warps[i].phase, Phase::Done) {
-                        let _ = sm.warps.swap_remove(i);
+                        let mut wc = sm.warps.swap_remove(i);
+                        if let Some(mut a) = wc.attr.take() {
+                            a.flush(now, &wc.phase); // empty interval: Done is same-cycle
+                            debug_assert_eq!(a.b.warp_sum(), a.b.warp_cycles);
+                            breakdown.merge(&a.b);
+                        }
                         sm.done_warps += 1;
                         sm.warps_dirty = true;
                     } else {
@@ -523,7 +625,13 @@ impl<'a> GpuSim<'a> {
                 }
                 while sm.warps.len() < resident_cap {
                     match sm.pending.pop_front() {
-                        Some(wc) => {
+                        Some(mut wc) => {
+                            if attribute {
+                                wc.attr = Some(Box::new(WarpAttr {
+                                    since: now,
+                                    b: StallBreakdown::default(),
+                                }));
+                            }
                             sm.warps.push(wc);
                             sm.warps_dirty = true;
                         }
@@ -531,13 +639,29 @@ impl<'a> GpuSim<'a> {
                     }
                 }
             }
+            // Time-series sampler (pure observation; see `crate::trace`).
+            if let Some(rec) = recorder.as_mut() {
+                if rec.sample_due(now) {
+                    rec.sample(
+                        now,
+                        sms.iter().map(|sm| SmCounters {
+                            resident_warps: sm.warps.len(),
+                            rt_busy: sm.rt.busy_warps(),
+                            mem_queue: sm.mem_events.len(),
+                            conflict_cycles: sm.shared.conflict_cycles,
+                        }),
+                    );
+                }
+            }
             if sms.iter().all(|sm| sm.done_warps == sm.total_warps) {
                 break;
             }
 
-            // Forward-progress watchdog: nothing retired since the last
-            // productive cycle, for longer than the configured window.
-            let progress = retired_traces + sms.iter().map(|sm| sm.done_warps).sum::<u64>();
+            // Forward-progress watchdog: nothing completed since the last
+            // productive cycle, for longer than the configured window. The
+            // RT units' micro-event counters keep slow traversals alive.
+            let progress =
+                retired_traces + sms.iter().map(|sm| sm.done_warps + sm.rt.progress()).sum::<u64>();
             if progress != last_progress {
                 last_progress = progress;
                 last_progress_cycle = now;
@@ -611,15 +735,49 @@ impl<'a> GpuSim<'a> {
         stats.cycles = now;
         let mut depths = DepthRecorder::new();
         let mut thread_traces = Vec::new();
-        for sm in sms {
+        for (i, mut sm) in sms.into_iter().enumerate() {
             stats.mem.merge(&sm.l1.stats);
             depths.merge(&sm.rt.depth_recorder);
+            if attribute {
+                breakdown.merge(sm.rt.breakdown());
+            }
+            if let Some(rec) = recorder.as_mut() {
+                rec.add_slices(i, &sm.rt.take_slices());
+            }
             if let Some(tr) = sm.rt.thread_traces {
                 thread_traces.extend(tr.samples);
             }
         }
         stats.mem.merge(&global.stats);
-        Ok(SimRun { stats, image, width: w, height: h, depths, thread_traces })
+        let breakdown = attribute.then(|| {
+            // The taxonomy's conservation laws: every resident warp-cycle
+            // and every RT-resident lane-cycle attributed exactly once, and
+            // the two levels agree on RT residency.
+            assert_eq!(
+                breakdown.warp_sum(),
+                breakdown.warp_cycles,
+                "warp-level stall buckets must sum to resident warp-cycles"
+            );
+            assert_eq!(
+                breakdown.lane_sum(),
+                breakdown.rt_lane_cycles,
+                "lane-level stall buckets must sum to RT-resident lane-cycles"
+            );
+            assert_eq!(
+                breakdown.in_rt * WARP_SIZE as u64,
+                breakdown.rt_lane_cycles,
+                "warp-level and lane-level views must agree on RT residency"
+            );
+            breakdown
+        });
+        if let Some(rec) = recorder {
+            let b = breakdown.expect("tracing arms attribution");
+            match rec.finish(now, &b) {
+                Ok(path) => eprintln!("SMS_TRACE: wrote {}", path.display()),
+                Err(e) => eprintln!("warning: SMS_TRACE: failed to write trace: {e}"),
+            }
+        }
+        Ok(SimRun { stats, image, width: w, height: h, depths, thread_traces, breakdown })
     }
 
     /// Consumes a trace result: shading (main) or shadow application.

@@ -1,0 +1,288 @@
+//! Opt-in time-series trace export (Chrome trace-event / Perfetto JSON).
+//!
+//! Setting `SMS_TRACE=out.json` arms the cycle-attribution layer and makes
+//! the simulator emit a trace file loadable in Perfetto or
+//! `chrome://tracing`:
+//!
+//! * one *process* per SM with one *thread* per RT-unit warp slot, carrying
+//!   a `ph:"X"` slice for every warp residency (admission → retirement);
+//! * `ph:"C"` counter tracks per SM sampled every `SMS_TRACE_PERIOD` cycles
+//!   (default 1024): resident warps, busy RT slots, memory event-queue
+//!   depth, and cumulative shared-memory bank-conflict cycles;
+//! * top-level `cycles` and `stallBreakdown` keys (extra keys are tolerated
+//!   by both viewers) so one file carries the whole diagnosis.
+//!
+//! Timestamps are simulated cycles, written as microseconds — absolute
+//! units are meaningless for a simulator trace; relative spans are what the
+//! viewer is for.
+//!
+//! The recorder is pure observation layered on the attribution plumbing:
+//! it reads counters and the RT units' residency slices but never feeds
+//! anything back, so `SimStats` are bit-identical with tracing on or off
+//! (asserted by `crates/core/tests/attribution.rs`).
+
+use sms_gpu::StallBreakdown;
+use sms_mem::Cycle;
+use sms_rtunit::RtSlice;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Default counter-sampling period in cycles.
+pub const DEFAULT_PERIOD: Cycle = 1024;
+
+/// Where and how often to trace, parsed from the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Output path (`SMS_TRACE`).
+    pub path: PathBuf,
+    /// Counter-sampling period in cycles (`SMS_TRACE_PERIOD`).
+    pub period: Cycle,
+}
+
+impl TraceSpec {
+    /// Reads `SMS_TRACE` (the output path) and `SMS_TRACE_PERIOD` from the
+    /// environment. Returns `None` when `SMS_TRACE` is unset or empty; an
+    /// unparseable period is reported on stderr and falls back to
+    /// [`DEFAULT_PERIOD`].
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("SMS_TRACE").ok()?;
+        let path = raw.trim();
+        if path.is_empty() {
+            return None;
+        }
+        let period = match std::env::var("SMS_TRACE_PERIOD") {
+            Ok(p) => match p.trim().parse::<Cycle>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!(
+                        "warning: SMS_TRACE_PERIOD: expected a positive integer, got `{p}` — \
+                         using {DEFAULT_PERIOD}"
+                    );
+                    DEFAULT_PERIOD
+                }
+            },
+            Err(_) => DEFAULT_PERIOD,
+        };
+        Some(TraceSpec { path: PathBuf::from(path), period })
+    }
+
+    /// A copy of this spec writing to `<stem>.<suffix>.json` next to the
+    /// configured path — used by sweeps so parallel `(scene, config)` jobs
+    /// don't clobber one file. The suffix is sanitized to `[A-Za-z0-9._-]`.
+    pub fn for_job(&self, suffix: &str) -> TraceSpec {
+        let clean: String = suffix
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' { c } else { '_' })
+            .collect();
+        let stem = self.path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        let file = format!("{stem}.{clean}.json");
+        TraceSpec { path: self.path.with_file_name(file), period: self.period }
+    }
+}
+
+/// One SM's counter snapshot, read by the sampler at each period boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct SmCounters {
+    /// Warps resident on the SM (compute side).
+    pub resident_warps: usize,
+    /// Occupied RT-unit warp slots.
+    pub rt_busy: usize,
+    /// Pending entries in the SM's memory completion heap.
+    pub mem_queue: usize,
+    /// Cumulative shared-memory bank-conflict replay cycles.
+    pub conflict_cycles: u64,
+}
+
+/// Accumulates trace events during a run and writes the JSON file at the
+/// end. Events are kept pre-serialized (one JSON object string each) — the
+/// recorder never builds a document tree.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    spec: TraceSpec,
+    events: Vec<String>,
+    next_sample: Cycle,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder and emits the metadata events naming one process
+    /// per SM and one thread per RT-unit warp slot.
+    pub fn new(spec: TraceSpec, num_sms: usize, rt_slots: usize) -> Self {
+        let mut events = Vec::new();
+        for sm in 0..num_sms {
+            events.push(format!(
+                r#"{{"name":"process_name","ph":"M","pid":{sm},"tid":0,"args":{{"name":"SM{sm}"}}}}"#
+            ));
+            for slot in 0..rt_slots {
+                events.push(format!(
+                    r#"{{"name":"thread_name","ph":"M","pid":{sm},"tid":{slot},"args":{{"name":"RT slot {slot}"}}}}"#
+                ));
+            }
+        }
+        TraceRecorder { spec, events, next_sample: 0 }
+    }
+
+    /// The sampling period in cycles.
+    pub fn period(&self) -> Cycle {
+        self.spec.period
+    }
+
+    /// `true` when `now` has reached the next sampling boundary. The main
+    /// loop skips idle stretches, so boundaries may be crossed in jumps;
+    /// one sample is taken per call and the boundary re-armed *past* `now`.
+    pub fn sample_due(&self, now: Cycle) -> bool {
+        now >= self.next_sample
+    }
+
+    /// Records one `ph:"C"` counter event per SM at cycle `now` and re-arms
+    /// the sampling boundary.
+    pub fn sample<'c>(&mut self, now: Cycle, sms: impl Iterator<Item = SmCounters> + 'c) {
+        for (sm, c) in sms.enumerate() {
+            self.events.push(format!(
+                r#"{{"name":"SM{sm} queues","ph":"C","ts":{now},"pid":{sm},"args":{{"resident_warps":{},"rt_busy":{},"mem_queue":{}}}}}"#,
+                c.resident_warps, c.rt_busy, c.mem_queue
+            ));
+            self.events.push(format!(
+                r#"{{"name":"SM{sm} conflict cycles","ph":"C","ts":{now},"pid":{sm},"args":{{"cycles":{}}}}}"#,
+                c.conflict_cycles
+            ));
+        }
+        self.next_sample = (now / self.spec.period + 1) * self.spec.period;
+    }
+
+    /// Records one `ph:"X"` residency slice per retired warp of SM `sm`.
+    pub fn add_slices(&mut self, sm: usize, slices: &[RtSlice]) {
+        for s in slices {
+            let dur = s.end - s.start;
+            self.events.push(format!(
+                r#"{{"name":"warp {}","cat":"rt","ph":"X","ts":{},"dur":{dur},"pid":{sm},"tid":{}}}"#,
+                s.warp, s.start, s.slot
+            ));
+        }
+    }
+
+    /// Writes the trace file: the event array plus top-level `cycles` and
+    /// `stallBreakdown` keys. Returns the path written.
+    pub fn finish(self, cycles: Cycle, breakdown: &StallBreakdown) -> std::io::Result<PathBuf> {
+        let mut out = String::with_capacity(self.events.len() * 96 + 1024);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(ev);
+        }
+        out.push_str("\n],\n\"cycles\":");
+        let _ = write!(out, "{cycles}");
+        out.push_str(",\n\"stallBreakdown\":");
+        out.push_str(&breakdown_json(breakdown));
+        out.push_str("\n}\n");
+        std::fs::write(&self.spec.path, out)?;
+        Ok(self.spec.path)
+    }
+
+    /// The configured output path.
+    pub fn path(&self) -> &Path {
+        &self.spec.path
+    }
+}
+
+/// Serializes a [`StallBreakdown`] as a flat JSON object (snake_case keys,
+/// one per bucket plus the two totals). Field-exhaustive: adding a bucket
+/// without extending this function is a compile error.
+pub fn breakdown_json(b: &StallBreakdown) -> String {
+    let StallBreakdown {
+        compute,
+        mem_wait,
+        rt_admit,
+        in_rt,
+        warp_cycles,
+        rt_sched_wait,
+        fetch_wait_l1,
+        fetch_wait_l2,
+        fetch_wait_dram,
+        op_wait,
+        stack_wait_rb_sh,
+        stack_wait_sh_global,
+        stack_wait_flush,
+        bank_conflict_replay,
+        rt_idle,
+        rt_lane_cycles,
+    } = *b;
+    format!(
+        "{{\"compute\":{compute},\"mem_wait\":{mem_wait},\"rt_admit\":{rt_admit},\
+         \"in_rt\":{in_rt},\"warp_cycles\":{warp_cycles},\"rt_sched_wait\":{rt_sched_wait},\
+         \"fetch_wait_l1\":{fetch_wait_l1},\"fetch_wait_l2\":{fetch_wait_l2},\
+         \"fetch_wait_dram\":{fetch_wait_dram},\"op_wait\":{op_wait},\
+         \"stack_wait_rb_sh\":{stack_wait_rb_sh},\"stack_wait_sh_global\":{stack_wait_sh_global},\
+         \"stack_wait_flush\":{stack_wait_flush},\"bank_conflict_replay\":{bank_conflict_replay},\
+         \"rt_idle\":{rt_idle},\"rt_lane_cycles\":{rt_lane_cycles}}}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_suffix_is_sanitized_and_keeps_directory() {
+        let spec = TraceSpec { path: PathBuf::from("/tmp/traces/run.json"), period: 64 };
+        let job = spec.for_job("SHIP/SMS_8+SK");
+        assert_eq!(job.path, PathBuf::from("/tmp/traces/run.SHIP_SMS_8_SK.json"));
+        assert_eq!(job.period, 64);
+    }
+
+    #[test]
+    fn sampling_boundary_rearms_past_now() {
+        let spec = TraceSpec { path: PathBuf::from("t.json"), period: 100 };
+        let mut rec = TraceRecorder::new(spec, 1, 1);
+        assert!(rec.sample_due(0));
+        rec.sample(
+            0,
+            std::iter::once(SmCounters {
+                resident_warps: 3,
+                rt_busy: 1,
+                mem_queue: 0,
+                conflict_cycles: 0,
+            }),
+        );
+        assert!(!rec.sample_due(99));
+        assert!(rec.sample_due(100));
+        // A jump over several boundaries takes one sample and re-arms past.
+        rec.sample(
+            517,
+            std::iter::once(SmCounters {
+                resident_warps: 2,
+                rt_busy: 0,
+                mem_queue: 1,
+                conflict_cycles: 8,
+            }),
+        );
+        assert!(!rec.sample_due(599));
+        assert!(rec.sample_due(600));
+    }
+
+    #[test]
+    fn breakdown_json_lists_every_bucket() {
+        let j = breakdown_json(&StallBreakdown::default());
+        for key in [
+            "compute",
+            "mem_wait",
+            "rt_admit",
+            "in_rt",
+            "warp_cycles",
+            "rt_sched_wait",
+            "fetch_wait_l1",
+            "fetch_wait_l2",
+            "fetch_wait_dram",
+            "op_wait",
+            "stack_wait_rb_sh",
+            "stack_wait_sh_global",
+            "stack_wait_flush",
+            "bank_conflict_replay",
+            "rt_idle",
+            "rt_lane_cycles",
+        ] {
+            assert!(j.contains(&format!("\"{key}\":0")), "missing {key} in {j}");
+        }
+    }
+}

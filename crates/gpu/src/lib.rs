@@ -11,11 +11,15 @@
 //!   SM compute scheduler and the RT unit's warp buffer (paper §II-B).
 //! * [`SimStats`] — cycle/instruction/traversal counters and the IPC
 //!   quantity every figure normalizes.
+//! * [`StallBreakdown`] — the opt-in cycle-attribution taxonomy: every
+//!   simulated warp/lane cycle charged to exactly one stall bucket.
 
+pub mod breakdown;
 pub mod config;
 pub mod sched;
 pub mod stats;
 
+pub use breakdown::StallBreakdown;
 pub use config::GpuConfig;
 pub use sched::GtoScheduler;
 pub use stats::SimStats;

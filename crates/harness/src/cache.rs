@@ -22,7 +22,7 @@
 
 use crate::json::{parse, Json};
 use crate::RunRequest;
-use sms_sim::gpu::SimStats;
+use sms_sim::gpu::{SimStats, StallBreakdown};
 use sms_sim::mem::MemStats;
 use std::fs;
 use std::io::ErrorKind;
@@ -333,6 +333,72 @@ pub fn stats_from_json(doc: &Json) -> Option<SimStats> {
     })
 }
 
+/// Serializes a stall breakdown (journal `job_finished` / `batch_end`
+/// payloads). Field-exhaustive like [`stats_to_json`]: a new bucket that
+/// is not serialized is a compile error, not a silent omission.
+pub fn breakdown_to_json(b: &StallBreakdown) -> Json {
+    let StallBreakdown {
+        compute,
+        mem_wait,
+        rt_admit,
+        in_rt,
+        warp_cycles,
+        rt_sched_wait,
+        fetch_wait_l1,
+        fetch_wait_l2,
+        fetch_wait_dram,
+        op_wait,
+        stack_wait_rb_sh,
+        stack_wait_sh_global,
+        stack_wait_flush,
+        bank_conflict_replay,
+        rt_idle,
+        rt_lane_cycles,
+    } = *b;
+    let u = |v: u64| Json::U64(v);
+    Json::Obj(vec![
+        ("compute".to_owned(), u(compute)),
+        ("mem_wait".to_owned(), u(mem_wait)),
+        ("rt_admit".to_owned(), u(rt_admit)),
+        ("in_rt".to_owned(), u(in_rt)),
+        ("warp_cycles".to_owned(), u(warp_cycles)),
+        ("rt_sched_wait".to_owned(), u(rt_sched_wait)),
+        ("fetch_wait_l1".to_owned(), u(fetch_wait_l1)),
+        ("fetch_wait_l2".to_owned(), u(fetch_wait_l2)),
+        ("fetch_wait_dram".to_owned(), u(fetch_wait_dram)),
+        ("op_wait".to_owned(), u(op_wait)),
+        ("stack_wait_rb_sh".to_owned(), u(stack_wait_rb_sh)),
+        ("stack_wait_sh_global".to_owned(), u(stack_wait_sh_global)),
+        ("stack_wait_flush".to_owned(), u(stack_wait_flush)),
+        ("bank_conflict_replay".to_owned(), u(bank_conflict_replay)),
+        ("rt_idle".to_owned(), u(rt_idle)),
+        ("rt_lane_cycles".to_owned(), u(rt_lane_cycles)),
+    ])
+}
+
+/// Deserializes a stall breakdown; `None` if any bucket is missing or
+/// mistyped.
+pub fn breakdown_from_json(doc: &Json) -> Option<StallBreakdown> {
+    Some(StallBreakdown {
+        compute: doc.u64_field("compute")?,
+        mem_wait: doc.u64_field("mem_wait")?,
+        rt_admit: doc.u64_field("rt_admit")?,
+        in_rt: doc.u64_field("in_rt")?,
+        warp_cycles: doc.u64_field("warp_cycles")?,
+        rt_sched_wait: doc.u64_field("rt_sched_wait")?,
+        fetch_wait_l1: doc.u64_field("fetch_wait_l1")?,
+        fetch_wait_l2: doc.u64_field("fetch_wait_l2")?,
+        fetch_wait_dram: doc.u64_field("fetch_wait_dram")?,
+        op_wait: doc.u64_field("op_wait")?,
+        stack_wait_rb_sh: doc.u64_field("stack_wait_rb_sh")?,
+        stack_wait_sh_global: doc.u64_field("stack_wait_sh_global")?,
+        stack_wait_flush: doc.u64_field("stack_wait_flush")?,
+        bank_conflict_replay: doc.u64_field("bank_conflict_replay")?,
+        rt_idle: doc.u64_field("rt_idle")?,
+        rt_lane_cycles: doc.u64_field("rt_lane_cycles")?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +425,26 @@ mod tests {
         let Json::Obj(mut pairs) = stats_to_json(&sample_stats()) else { unreachable!() };
         pairs.retain(|(k, _)| k != "sh_spills");
         assert_eq!(stats_from_json(&Json::Obj(pairs)), None);
+    }
+
+    #[test]
+    fn breakdown_roundtrip() {
+        let b = StallBreakdown {
+            compute: 9_007_199_254_740_995, // > 2^53: u64 fidelity
+            stack_wait_rb_sh: 17,
+            bank_conflict_replay: 3,
+            ..Default::default()
+        };
+        assert_eq!(breakdown_from_json(&breakdown_to_json(&b)), Some(b));
+    }
+
+    #[test]
+    fn breakdown_missing_bucket_is_rejected() {
+        let Json::Obj(mut pairs) = breakdown_to_json(&StallBreakdown::default()) else {
+            unreachable!()
+        };
+        pairs.retain(|(k, _)| k != "rt_idle");
+        assert_eq!(breakdown_from_json(&Json::Obj(pairs)), None);
     }
 
     #[test]

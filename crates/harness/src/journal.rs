@@ -18,9 +18,9 @@
 //! self-sufficient for crash-safe resume (`SMS_RESUME=<journal>`): a new
 //! sweep replays completed runs from it and re-executes only the rest.
 
-use crate::cache::stats_to_json;
+use crate::cache::{breakdown_to_json, stats_to_json};
 use crate::json::Json;
-use sms_sim::gpu::SimStats;
+use sms_sim::gpu::{SimStats, StallBreakdown};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::PathBuf;
@@ -83,6 +83,10 @@ pub enum Event {
         /// The full counter set, when available. This is what makes the
         /// journal self-sufficient for `SMS_RESUME` even without a cache.
         stats: Option<SimStats>,
+        /// Stall attribution, when the run was armed (`SMS_BREAKDOWN` /
+        /// `SMS_TRACE`). Cache hits never carry one — the cache stores
+        /// only `SimStats`, byte-identical with attribution on or off.
+        breakdown: Option<StallBreakdown>,
     },
     /// The job was aborted by the per-run watchdog (budget or stall).
     RunTimeout {
@@ -124,6 +128,8 @@ pub enum Event {
         duration_us: u64,
         /// Total simulated cycles across the deduplicated jobs.
         sim_cycles: u64,
+        /// Aggregated stall attribution over the jobs that produced one.
+        breakdown: Option<StallBreakdown>,
     },
 }
 
@@ -156,17 +162,24 @@ impl Event {
                 (own("job"), Json::U64(*job as u64)),
                 (own("worker"), Json::U64(*worker as u64)),
             ]),
-            Event::JobFinished { job, worker, cache_hit, cycles, duration_us, stats } => {
-                Json::Obj(vec![
-                    (own("event"), Json::Str(own("job_finished"))),
-                    (own("job"), Json::U64(*job as u64)),
-                    (own("worker"), worker.map_or(Json::Null, |w| Json::U64(w as u64))),
-                    (own("cache"), Json::Str(own(if *cache_hit { "hit" } else { "miss" }))),
-                    (own("cycles"), Json::U64(*cycles)),
-                    (own("duration_us"), Json::U64(*duration_us)),
-                    (own("stats"), stats.as_ref().map_or(Json::Null, stats_to_json)),
-                ])
-            }
+            Event::JobFinished {
+                job,
+                worker,
+                cache_hit,
+                cycles,
+                duration_us,
+                stats,
+                breakdown,
+            } => Json::Obj(vec![
+                (own("event"), Json::Str(own("job_finished"))),
+                (own("job"), Json::U64(*job as u64)),
+                (own("worker"), worker.map_or(Json::Null, |w| Json::U64(w as u64))),
+                (own("cache"), Json::Str(own(if *cache_hit { "hit" } else { "miss" }))),
+                (own("cycles"), Json::U64(*cycles)),
+                (own("duration_us"), Json::U64(*duration_us)),
+                (own("stats"), stats.as_ref().map_or(Json::Null, stats_to_json)),
+                (own("breakdown"), breakdown.as_ref().map_or(Json::Null, breakdown_to_json)),
+            ]),
             Event::RunTimeout { job, worker, kind, error, duration_us } => Json::Obj(vec![
                 (own("event"), Json::Str(own("run_timeout"))),
                 (own("job"), Json::U64(*job as u64)),
@@ -183,7 +196,15 @@ impl Event {
                 (own("error"), Json::Str(error.clone())),
                 (own("duration_us"), Json::U64(*duration_us)),
             ]),
-            Event::BatchEnd { jobs, cache_hits, cache_misses, failed, duration_us, sim_cycles } => {
+            Event::BatchEnd {
+                jobs,
+                cache_hits,
+                cache_misses,
+                failed,
+                duration_us,
+                sim_cycles,
+                breakdown,
+            } => {
                 // Aggregate throughput is derived at serialization time so
                 // the event itself stays integral (and `Eq`).
                 let secs = *duration_us as f64 / 1e6;
@@ -198,6 +219,7 @@ impl Event {
                     (own("sim_cycles"), Json::U64(*sim_cycles)),
                     (own("runs_per_sec"), Json::F64(rate(*jobs as u64))),
                     (own("sim_cycles_per_sec"), Json::F64(rate(*sim_cycles))),
+                    (own("breakdown"), breakdown.as_ref().map_or(Json::Null, breakdown_to_json)),
                 ])
             }
         }
@@ -257,6 +279,7 @@ mod tests {
             cycles: 99,
             duration_us: 12,
             stats: Some(SimStats { cycles: 99, ..Default::default() }),
+            breakdown: Some(StallBreakdown { compute: 7, ..Default::default() }),
         };
         let line = e.to_json().to_string();
         let doc = crate::json::parse(&line).unwrap();
@@ -265,6 +288,8 @@ mod tests {
         assert_eq!(doc.u64_field("cycles"), Some(99));
         let stats = crate::cache::stats_from_json(doc.get("stats").unwrap()).unwrap();
         assert_eq!(stats.cycles, 99);
+        let b = crate::cache::breakdown_from_json(doc.get("breakdown").unwrap()).unwrap();
+        assert_eq!(b.compute, 7);
     }
 
     #[test]
@@ -291,6 +316,27 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_batch_end_serializes_finite_rates() {
+        // Regression guard: a batch served entirely from cache can finish
+        // in 0µs at the journal's clock resolution; the derived throughput
+        // fields must come out as 0, not NaN (which would render the line
+        // unparseable if it ever slipped past the writer's null guard).
+        let e = Event::BatchEnd {
+            jobs: 5,
+            cache_hits: 5,
+            cache_misses: 0,
+            failed: 0,
+            duration_us: 0,
+            sim_cycles: 1_000,
+            breakdown: None,
+        };
+        let doc = crate::json::parse(&e.to_json().to_string()).unwrap();
+        assert_eq!(doc.get("runs_per_sec").unwrap().as_f64(), Some(0.0));
+        assert_eq!(doc.get("sim_cycles_per_sec").unwrap().as_f64(), Some(0.0));
+        assert_eq!(doc.get("breakdown"), Some(&Json::Null));
+    }
+
+    #[test]
     fn last_batch_cuts_at_latest_start() {
         let j = Journal::new(None);
         j.record(Event::BatchStart { jobs: 1, unique: 1, workers: 1 });
@@ -301,6 +347,7 @@ mod tests {
             failed: 0,
             duration_us: 5,
             sim_cycles: 42,
+            breakdown: None,
         });
         j.record(Event::BatchStart { jobs: 2, unique: 2, workers: 1 });
         let last = j.last_batch();

@@ -367,6 +367,23 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_floats_serialize_as_null() {
+        // Regression guard: JSON has no NaN/Infinity literals, so a
+        // non-finite F64 (e.g. a rate computed from a zero-duration batch
+        // by code without its own guard) must degrade to `null` — emitting
+        // `NaN` would make the whole journal line unparseable.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Json::F64(v).to_string(), "null");
+            let line = Json::Obj(vec![("rate".to_owned(), Json::F64(v))]).to_string();
+            assert_eq!(line, "{\"rate\":null}");
+            let doc = parse(&line).unwrap();
+            assert_eq!(doc.get("rate"), Some(&Json::Null));
+        }
+        // Finite values are untouched by the guard.
+        assert_eq!(Json::F64(2.5).to_string(), "2.5");
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(parse("").is_err());
         assert!(parse("{").is_err());

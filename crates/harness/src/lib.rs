@@ -58,10 +58,11 @@ pub use sms_sim::sim::{RunLimits, SimFault};
 
 use sms_sim::config::RenderConfig;
 use sms_sim::experiments::{try_run_prepared, RunResult};
-use sms_sim::gpu::GpuConfig;
+use sms_sim::gpu::{GpuConfig, StallBreakdown};
 use sms_sim::render::PreparedScene;
 use sms_sim::rtunit::StackConfig;
 use sms_sim::scene::SceneId;
+use sms_sim::trace::TraceSpec;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
@@ -181,6 +182,8 @@ impl HarnessConfig {
     /// * `SMS_JOURNAL=path` — append JSONL events to `path`.
     /// * `SMS_MAX_CYCLES=N` / `SMS_STALL_CYCLES=N` — per-run watchdog.
     /// * `SMS_VALIDATE=1` — enable the stack invariant validator.
+    /// * `SMS_BREAKDOWN=1` — arm stall attribution on every run (armed
+    ///   jobs always simulate; see [`Harness::try_run_batch`]).
     /// * `SMS_RETRIES=N` — bounded retries for transient cache I/O.
     /// * `SMS_RESUME=path` — resume completed runs from a prior journal.
     ///
@@ -238,6 +241,10 @@ pub struct BatchSummary {
     pub wall: Duration,
     /// Total simulated cycles across the deduplicated jobs.
     pub sim_cycles: u64,
+    /// Aggregated stall attribution over the jobs that produced one
+    /// (`SMS_BREAKDOWN` / `SMS_TRACE`, or per-request limits). `None` when
+    /// no job was armed.
+    pub breakdown: Option<StallBreakdown>,
 }
 
 impl BatchSummary {
@@ -398,12 +405,24 @@ impl Harness {
             });
         }
 
+        // Jobs whose effective limits (or a process-wide `SMS_TRACE`) arm
+        // stall attribution must actually *run*: the cache and resume state
+        // store only `SimStats` — byte-identical with attribution on or off
+        // — so a hit could not supply the breakdown (or write the trace
+        // file). Such jobs skip the probe and the replay below; their stats
+        // still land in the cache afterwards for unarmed future sweeps.
+        let trace_armed = TraceSpec::from_env().is_some();
+        let armed = |req: &RunRequest| trace_armed || req.limits.or(self.limits).breakdown;
+
         // 2. Probe the cache on the scheduler thread (tiny JSON reads).
-        let mut slots: Vec<Option<Result<sms_sim::gpu::SimStats, RunError>>> =
-            vec![None; jobs.len()];
+        type JobOutcome = (sms_sim::gpu::SimStats, Option<StallBreakdown>);
+        let mut slots: Vec<Option<Result<JobOutcome, RunError>>> = vec![None; jobs.len()];
         let mut hits = 0usize;
         if let Some(cache) = &self.cache {
-            for (j, (_, key)) in jobs.iter().enumerate() {
+            for (j, (req, key)) in jobs.iter().enumerate() {
+                if armed(req) {
+                    continue;
+                }
                 let probe_start = Instant::now();
                 if let Some(stats) = cache.load(key) {
                     hits += 1;
@@ -414,8 +433,9 @@ impl Harness {
                         cycles: stats.cycles,
                         duration_us: probe_start.elapsed().as_micros() as u64,
                         stats: Some(stats),
+                        breakdown: None,
                     });
-                    slots[j] = Some(Ok(stats));
+                    slots[j] = Some(Ok((stats, None)));
                 }
             }
         }
@@ -426,15 +446,15 @@ impl Harness {
         // the *next* run hits without needing the resume file at all.
         let mut resumed = 0usize;
         if let Some(state) = &self.resume {
-            for (j, (_, key)) in jobs.iter().enumerate() {
-                if slots[j].is_none() {
+            for (j, (req, key)) in jobs.iter().enumerate() {
+                if slots[j].is_none() && !armed(req) {
                     if let Some(stats) = state.lookup(key) {
                         resumed += 1;
                         self.journal.record(Event::JobResumed { job: j, cycles: stats.cycles });
                         if let Some(cache) = &self.cache {
                             cache.store(key, &stats);
                         }
-                        slots[j] = Some(Ok(stats));
+                        slots[j] = Some(Ok((stats, None)));
                     }
                 }
             }
@@ -503,8 +523,9 @@ impl Harness {
                         cycles: result.stats.cycles,
                         duration_us: job_start.elapsed().as_micros() as u64,
                         stats: Some(result.stats),
+                        breakdown: result.breakdown,
                     });
-                    Ok(result.stats)
+                    Ok((result.stats, result.breakdown))
                 }
                 Err(fault) => {
                     let err = RunError::from_fault(fault);
@@ -552,7 +573,13 @@ impl Harness {
 
         let failed = slots.iter().flatten().filter(|r| r.is_err()).count();
         let sim_cycles: u64 =
-            slots.iter().flatten().filter_map(|r| r.as_ref().ok()).map(|s| s.cycles).sum();
+            slots.iter().flatten().filter_map(|r| r.as_ref().ok()).map(|(s, _)| s.cycles).sum();
+        let mut batch_breakdown: Option<StallBreakdown> = None;
+        for (_, b) in slots.iter().flatten().filter_map(|r| r.as_ref().ok()) {
+            if let Some(b) = b {
+                batch_breakdown.get_or_insert_with(StallBreakdown::default).merge(b);
+            }
+        }
         let summary = BatchSummary {
             jobs: requests.len(),
             unique_jobs: jobs.len(),
@@ -563,6 +590,7 @@ impl Harness {
             workers: self.workers,
             wall: t0.elapsed(),
             sim_cycles,
+            breakdown: batch_breakdown,
         };
         self.journal.record(Event::BatchEnd {
             jobs: jobs.len(),
@@ -571,15 +599,19 @@ impl Harness {
             failed,
             duration_us: summary.wall.as_micros() as u64,
             sim_cycles,
+            breakdown: batch_breakdown,
         });
 
         let results = requests
             .iter()
             .zip(&job_of_request)
             .map(|(req, &j)| match &slots[j] {
-                Some(Ok(stats)) => {
-                    Ok(RunResult { scene: req.scene, stack: req.stack, stats: *stats })
-                }
+                Some(Ok((stats, breakdown))) => Ok(RunResult {
+                    scene: req.scene,
+                    stack: req.stack,
+                    stats: *stats,
+                    breakdown: *breakdown,
+                }),
                 Some(Err(e)) => Err(e.clone()),
                 // Every job is a hit, a resumed replay, or a miss that step
                 // 4 slotted.

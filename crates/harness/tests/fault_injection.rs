@@ -93,7 +93,8 @@ fn injected_panic_is_isolated_and_journalled() {
 
 #[test]
 fn cycle_budget_watchdog_aborts_with_snapshot() {
-    let limits = RunLimits { max_cycles: Some(50), stall_cycles: None, validate: false };
+    let limits =
+        RunLimits { max_cycles: Some(50), stall_cycles: None, validate: false, breakdown: false };
     let reqs = [
         good(SceneId::Wknd, StackConfig::baseline8()).with_limits(limits),
         good(SceneId::Wknd, StackConfig::sms_default()),
@@ -132,7 +133,8 @@ fn cycle_budget_watchdog_aborts_with_snapshot() {
 fn stall_watchdog_aborts_livelocked_run() {
     // A 1-cycle stall tolerance treats the first memory-latency bubble as
     // a livelock — exactly the forward-progress detector firing.
-    let limits = RunLimits { max_cycles: None, stall_cycles: Some(1), validate: false };
+    let limits =
+        RunLimits { max_cycles: None, stall_cycles: Some(1), validate: false, breakdown: false };
     let reqs = [
         good(SceneId::Wknd, StackConfig::baseline8()).with_limits(limits),
         good(SceneId::Wknd, StackConfig::baseline8()),
@@ -150,6 +152,33 @@ fn stall_watchdog_aborts_livelocked_run() {
         summary.unique_jobs, 2,
         "limits are not part of the dedupe key, but these differ in nothing else — \
          the watchdogged request and the free one must still be distinct jobs"
+    );
+}
+
+#[test]
+fn tight_stall_window_survives_long_but_live_run() {
+    // Forward progress is counted in completed RT micro-events (fetch
+    // responses, node-op commits, stack micro-ops), not just retired
+    // traces: a stall window far below a single trace's duration — but
+    // above the longest single memory round-trip (~400 cycles) — must let
+    // a long-but-live run finish instead of flagging it as livelocked.
+    // Two RB entries force constant spill traffic, stretching every trace.
+    let limits = RunLimits {
+        max_cycles: None,
+        stall_cycles: Some(2_000),
+        validate: false,
+        breakdown: false,
+    };
+    let reqs = [good(SceneId::Ship, StackConfig::Baseline { rb_entries: 2 }).with_limits(limits)];
+    let harness = quiet_harness(1, None);
+    let (results, summary) = harness.try_run_batch(&reqs);
+
+    let run = results[0].as_ref().expect("live run must survive the tight window");
+    assert_eq!(summary.failed, 0);
+    assert!(
+        run.stats.cycles > 10 * 2_000,
+        "run must be much longer than the stall window to prove the point (got {} cycles)",
+        run.stats.cycles
     );
 }
 

@@ -1,0 +1,164 @@
+//! Journal schema stability: every event kind serializes to the exact
+//! JSONL line downstream tooling (resume, `breakdown_stalls`, external
+//! dashboards) parses.
+//!
+//! The golden strings below ARE the schema. If a change here is
+//! intentional, it is a schema migration: confirm `resume.rs` still parses
+//! old journals (new fields must be additive/optional) and update the
+//! examples in `journal.rs`'s module docs.
+
+use sms_harness::json::{parse, Json};
+use sms_harness::{cache, Event};
+use sms_sim::gpu::{SimStats, StallBreakdown};
+
+/// Serializes, checks against the golden line, parses the line back, and
+/// returns the parsed document for field-level spot checks.
+fn golden(event: &Event, want: &str) -> Json {
+    let line = event.to_json().to_string();
+    assert_eq!(line, want, "schema drift for {event:?}");
+    parse(&line).unwrap_or_else(|e| panic!("journal line must reparse: {e}\n{line}"))
+}
+
+#[test]
+fn batch_start_line() {
+    let doc = golden(
+        &Event::BatchStart { jobs: 80, unique: 64, workers: 8 },
+        r#"{"event":"batch_start","jobs":80,"unique":64,"workers":8}"#,
+    );
+    assert_eq!(doc.u64_field("unique"), Some(64));
+}
+
+#[test]
+fn job_queued_line() {
+    golden(
+        &Event::JobQueued {
+            job: 0,
+            scene: "WKND".to_owned(),
+            config: "RB_8+SH_8+SK+RA".to_owned(),
+            workload: "32x32x1".to_owned(),
+            key: "sms-sim salt=1|scene=WKND".to_owned(),
+        },
+        r#"{"event":"job_queued","job":0,"scene":"WKND","config":"RB_8+SH_8+SK+RA","workload":"32x32x1","key":"sms-sim salt=1|scene=WKND"}"#,
+    );
+}
+
+#[test]
+fn job_resumed_line() {
+    golden(
+        &Event::JobResumed { job: 2, cycles: 184_223 },
+        r#"{"event":"job_resumed","job":2,"cycles":184223}"#,
+    );
+}
+
+#[test]
+fn job_started_line() {
+    golden(
+        &Event::JobStarted { job: 1, worker: 3 },
+        r#"{"event":"job_started","job":1,"worker":3}"#,
+    );
+}
+
+#[test]
+fn job_finished_line_roundtrips_stats_and_breakdown() {
+    let stats =
+        SimStats { cycles: 42, thread_instructions: 9_007_199_254_740_993, ..Default::default() };
+    let breakdown = StallBreakdown {
+        compute: 30,
+        in_rt: 12,
+        warp_cycles: 42,
+        rt_idle: 384,
+        rt_lane_cycles: 384,
+        ..Default::default()
+    };
+    let e = Event::JobFinished {
+        job: 4,
+        worker: Some(1),
+        cache_hit: false,
+        cycles: 42,
+        duration_us: 1_234,
+        stats: Some(stats),
+        breakdown: Some(breakdown),
+    };
+    let doc = golden(
+        &e,
+        concat!(
+            r#"{"event":"job_finished","job":4,"worker":1,"cache":"miss","cycles":42,"duration_us":1234,"#,
+            r#""stats":{"cycles":42,"thread_instructions":9007199254740993,"node_visits":0,"rays_traced":0,"shadow_rays":0,"rb_spills":0,"rb_reloads":0,"sh_spills":0,"sh_reloads":0,"ra_flushes":0,"ra_borrows":0,"mem":{"l1_hits":0,"l1_misses":0,"l2_hits":0,"l2_misses":0,"stores":0,"stack_transactions":0,"stack_l1_hits":0,"stack_l1_misses":0,"data_transactions":0,"shared_accesses":0,"bank_conflict_cycles":0}},"#,
+            r#""breakdown":{"compute":30,"mem_wait":0,"rt_admit":0,"in_rt":12,"warp_cycles":42,"rt_sched_wait":0,"fetch_wait_l1":0,"fetch_wait_l2":0,"fetch_wait_dram":0,"op_wait":0,"stack_wait_rb_sh":0,"stack_wait_sh_global":0,"stack_wait_flush":0,"bank_conflict_replay":0,"rt_idle":384,"rt_lane_cycles":384}}"#,
+        ),
+    );
+    // The payloads round-trip through the same codecs resume/tools use —
+    // u64 fidelity beyond 2^53 included.
+    assert_eq!(cache::stats_from_json(doc.get("stats").unwrap()), Some(stats));
+    assert_eq!(cache::breakdown_from_json(doc.get("breakdown").unwrap()), Some(breakdown));
+    let b = cache::breakdown_from_json(doc.get("breakdown").unwrap()).unwrap();
+    assert!(b.is_conserved());
+}
+
+#[test]
+fn job_finished_cache_hit_has_null_worker_and_breakdown() {
+    let e = Event::JobFinished {
+        job: 0,
+        worker: None,
+        cache_hit: true,
+        cycles: 7,
+        duration_us: 0,
+        stats: None,
+        breakdown: None,
+    };
+    let doc = golden(
+        &e,
+        r#"{"event":"job_finished","job":0,"worker":null,"cache":"hit","cycles":7,"duration_us":0,"stats":null,"breakdown":null}"#,
+    );
+    assert_eq!(doc.get("worker"), Some(&Json::Null));
+}
+
+#[test]
+fn run_timeout_line() {
+    golden(
+        &Event::RunTimeout {
+            job: 3,
+            worker: 0,
+            kind: "stalled".to_owned(),
+            error: "no progress\nSM0: ...".to_owned(),
+            duration_us: 99,
+        },
+        r#"{"event":"run_timeout","job":3,"worker":0,"kind":"stalled","error":"no progress\nSM0: ...","duration_us":99}"#,
+    );
+}
+
+#[test]
+fn run_failed_line() {
+    golden(
+        &Event::RunFailed {
+            job: 5,
+            worker: 2,
+            kind: "panic".to_owned(),
+            error: "boom \"quoted\"".to_owned(),
+            duration_us: 7,
+        },
+        r#"{"event":"run_failed","job":5,"worker":2,"kind":"panic","error":"boom \"quoted\"","duration_us":7}"#,
+    );
+}
+
+#[test]
+fn batch_end_line_with_breakdown() {
+    let breakdown = StallBreakdown { compute: 1, warp_cycles: 1, ..Default::default() };
+    let e = Event::BatchEnd {
+        jobs: 2,
+        cache_hits: 1,
+        cache_misses: 1,
+        failed: 0,
+        duration_us: 2_000_000,
+        sim_cycles: 100,
+        breakdown: Some(breakdown),
+    };
+    let doc = golden(
+        &e,
+        concat!(
+            r#"{"event":"batch_end","jobs":2,"cache_hits":1,"cache_misses":1,"failed":0,"duration_us":2000000,"sim_cycles":100,"runs_per_sec":1,"sim_cycles_per_sec":50,"#,
+            r#""breakdown":{"compute":1,"mem_wait":0,"rt_admit":0,"in_rt":0,"warp_cycles":1,"rt_sched_wait":0,"fetch_wait_l1":0,"fetch_wait_l2":0,"fetch_wait_dram":0,"op_wait":0,"stack_wait_rb_sh":0,"stack_wait_sh_global":0,"stack_wait_flush":0,"bank_conflict_replay":0,"rt_idle":0,"rt_lane_cycles":0}}"#,
+        ),
+    );
+    assert_eq!(cache::breakdown_from_json(doc.get("breakdown").unwrap()), Some(breakdown));
+}

@@ -35,7 +35,12 @@ fn full_sweep_validates_clean_and_stats_match_unvalidated() {
         workers: 4,
         cache_dir: None,
         journal_path: None,
-        limits: RunLimits { max_cycles: None, stall_cycles: None, validate: true },
+        limits: RunLimits {
+            max_cycles: None,
+            stall_cycles: None,
+            validate: true,
+            breakdown: false,
+        },
         ..HarnessConfig::default()
     });
 
@@ -68,7 +73,8 @@ fn per_request_validation_composes_with_harness_limits() {
         journal_path: None,
         ..HarnessConfig::default()
     });
-    let limits = RunLimits { max_cycles: None, stall_cycles: None, validate: true };
+    let limits =
+        RunLimits { max_cycles: None, stall_cycles: None, validate: true, breakdown: false };
     let req = RunRequest::new(SceneId::Wknd, StackConfig::sms_default(), RenderConfig::tiny())
         .with_limits(limits);
     let plain = RunRequest::new(SceneId::Wknd, StackConfig::sms_default(), RenderConfig::tiny());

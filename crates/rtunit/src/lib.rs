@@ -31,9 +31,9 @@ pub mod trace;
 pub mod unit;
 pub mod validator;
 
-pub use microop::{MicroOp, Space};
+pub use microop::{MicroOp, Space, StackLevel};
 pub use overhead::OverheadReport;
 pub use stack::{SmsParams, StackConfig, WarpStacks};
 pub use trace::{RayQuery, TraceRequest, TraceResult};
-pub use unit::{RtUnit, RtUnitConfig, ThreadTraceRecorder};
+pub use unit::{RtSlice, RtUnit, RtUnitConfig, ThreadTraceRecorder};
 pub use validator::{StackValidator, StackViolation, ViolationKind};

@@ -11,6 +11,20 @@ pub enum Space {
     Global,
 }
 
+/// Which stack-hierarchy boundary a micro-op crosses. Pure metadata for
+/// cycle attribution (`StallBreakdown`): the memory system never reads it,
+/// so tagging cannot perturb timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackLevel {
+    /// RB ↔ SH traffic: spills into / refills from the shared-memory stack.
+    RbSh,
+    /// SH ↔ global (or RB ↔ global in baseline configs): off-chip spills
+    /// and their reloads.
+    ShGlobal,
+    /// The warp-wide burst of an intra-warp reallocation flush (§VI-B).
+    Flush,
+}
+
 /// One ordered memory operation of a stack-manager sequence.
 ///
 /// A micro-op may carry several `(addr, size)` pairs when the stack manager
@@ -23,19 +37,21 @@ pub struct MicroOp {
     pub space: Space,
     /// Load or store.
     pub kind: AccessKind,
+    /// Stack-hierarchy boundary, for stall attribution.
+    pub level: StackLevel,
     /// Byte accesses of this operation.
     pub addrs: Vec<(Addr, u32)>,
 }
 
 impl MicroOp {
     /// A single 8-byte (one stack entry) shared-memory operation.
-    pub fn shared(kind: AccessKind, addr: Addr) -> Self {
-        MicroOp { space: Space::Shared, kind, addrs: vec![(addr, 8)] }
+    pub fn shared(kind: AccessKind, level: StackLevel, addr: Addr) -> Self {
+        MicroOp { space: Space::Shared, kind, level, addrs: vec![(addr, 8)] }
     }
 
     /// A single 8-byte global-memory operation.
-    pub fn global(kind: AccessKind, addr: Addr) -> Self {
-        MicroOp { space: Space::Global, kind, addrs: vec![(addr, 8)] }
+    pub fn global(kind: AccessKind, level: StackLevel, addr: Addr) -> Self {
+        MicroOp { space: Space::Global, kind, level, addrs: vec![(addr, 8)] }
     }
 
     /// `true` when the thread must wait for this op before proceeding.
@@ -50,12 +66,14 @@ mod tests {
 
     #[test]
     fn constructors_fill_fields() {
-        let s = MicroOp::shared(AccessKind::Load, 64);
+        let s = MicroOp::shared(AccessKind::Load, StackLevel::RbSh, 64);
         assert_eq!(s.space, Space::Shared);
+        assert_eq!(s.level, StackLevel::RbSh);
         assert_eq!(s.addrs, vec![(64, 8)]);
         assert!(s.is_blocking());
-        let g = MicroOp::global(AccessKind::Store, 128);
+        let g = MicroOp::global(AccessKind::Store, StackLevel::ShGlobal, 128);
         assert_eq!(g.space, Space::Global);
+        assert_eq!(g.level, StackLevel::ShGlobal);
         assert!(!g.is_blocking());
     }
 }

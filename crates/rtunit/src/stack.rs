@@ -26,7 +26,7 @@
 //!   *bottom* stack is flushed wholesale to global memory and promoted to
 //!   the top (≤3 consecutive flushes per stack before a forced flush).
 
-use crate::microop::MicroOp;
+use crate::microop::{MicroOp, StackLevel};
 use crate::validator::{StackValidator, StackViolation};
 use sms_gpu::{SimStats, WARP_SIZE};
 use sms_mem::space::spill_slot_addr;
@@ -161,13 +161,30 @@ impl std::fmt::Display for StackConfig {
 }
 
 /// The skewed base entry index of §VI-B:
-/// `base = (tid / k) mod N`, `k = 32 / (N * 2)` (clamped to ≥1).
+/// `base = (tid / k) mod N`, `k = 32 / (N * 2)`.
+///
+/// The paper's `k` assumes `2N` divides the warp width (every size it
+/// evaluates). For other sizes we generalize to `k = 32 / gcd(2N, 32)` —
+/// identical on all power-of-two sizes, but clamp-free: the naive
+/// `(32 / 2N).max(1)` degenerates on non-power-of-two stacks (e.g. `N = 5`
+/// lands 10 of 32 lane bases on one bank, five times worse than disabling
+/// skew), while the gcd form provably spreads the 32 bases two-per-bank
+/// for every `N` (see `skew_never_degenerates_for_any_sh_size`).
 pub fn base_entry_index(lane: usize, sh_entries: usize, skewed: bool) -> u32 {
     if !skewed || sh_entries == 0 {
         return 0;
     }
-    let k = (WARP_SIZE / (sh_entries * 2)).max(1);
+    let k = (WARP_SIZE / gcd(2 * sh_entries, WARP_SIZE)).max(1);
     ((lane / k) % sh_entries) as u32
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
 }
 
 /// One thread-sized SH stack region (a circular queue in shared memory).
@@ -432,7 +449,11 @@ impl WarpStacks {
             StackConfig::Baseline { .. } => {
                 let slot = self.global[lane].len();
                 self.global[lane].push(old);
-                ops.push(MicroOp::global(AccessKind::Store, self.spill_addr(lane, slot)));
+                ops.push(MicroOp::global(
+                    AccessKind::Store,
+                    StackLevel::ShGlobal,
+                    self.spill_addr(lane, slot),
+                ));
             }
             StackConfig::Sms(p) => self.push_to_sh(lane, old, &p, stats, ops),
             StackConfig::FullOnChip => unreachable!("full stack never overflows"),
@@ -454,7 +475,11 @@ impl WarpStacks {
             // Degenerate SH_0: behave like the baseline.
             let slot = self.global[lane].len();
             self.global[lane].push(v);
-            ops.push(MicroOp::global(AccessKind::Store, self.spill_addr(lane, slot)));
+            ops.push(MicroOp::global(
+                AccessKind::Store,
+                StackLevel::ShGlobal,
+                self.spill_addr(lane, slot),
+            ));
             return;
         }
         let top = *self.chains[lane].last().expect("chain never empty");
@@ -463,7 +488,11 @@ impl WarpStacks {
         }
         let top = *self.chains[lane].last().expect("chain never empty");
         let idx = self.segs[top as usize].push_top(v);
-        ops.push(MicroOp::shared(AccessKind::Store, self.seg_entry_addr(top, idx)));
+        ops.push(MicroOp::shared(
+            AccessKind::Store,
+            StackLevel::RbSh,
+            self.seg_entry_addr(top, idx),
+        ));
     }
 
     /// Frees one slot in the lane's top SH stack: borrow, flush, or
@@ -513,11 +542,13 @@ impl WarpStacks {
             ops.push(MicroOp {
                 space: crate::Space::Shared,
                 kind: AccessKind::Load,
+                level: StackLevel::Flush,
                 addrs: shared_reads,
             });
             ops.push(MicroOp {
                 space: crate::Space::Global,
                 kind: AccessKind::Store,
+                level: StackLevel::Flush,
                 addrs: global_writes,
             });
             self.segs[bottom as usize].reset();
@@ -527,10 +558,18 @@ impl WarpStacks {
             // (shared load -> global store), as in Fig. 7 steps 3-4.
             let seg = self.chains[lane][0];
             let (val, idx) = self.segs[seg as usize].evict_bottom();
-            ops.push(MicroOp::shared(AccessKind::Load, self.seg_entry_addr(seg, idx)));
+            ops.push(MicroOp::shared(
+                AccessKind::Load,
+                StackLevel::ShGlobal,
+                self.seg_entry_addr(seg, idx),
+            ));
             let slot = self.global[lane].len();
             self.global[lane].push(val);
-            ops.push(MicroOp::global(AccessKind::Store, self.spill_addr(lane, slot)));
+            ops.push(MicroOp::global(
+                AccessKind::Store,
+                StackLevel::ShGlobal,
+                self.spill_addr(lane, slot),
+            ));
             stats.sh_spills += 1;
         }
     }
@@ -553,7 +592,11 @@ impl WarpStacks {
                 if let Some(v) = self.global[lane].pop() {
                     stats.rb_reloads += 1;
                     let slot = self.global[lane].len();
-                    ops.push(MicroOp::global(AccessKind::Load, self.spill_addr(lane, slot)));
+                    ops.push(MicroOp::global(
+                        AccessKind::Load,
+                        StackLevel::ShGlobal,
+                        self.spill_addr(lane, slot),
+                    ));
                     self.rb[lane].insert(0, v);
                 }
             }
@@ -562,7 +605,11 @@ impl WarpStacks {
                     stats.rb_reloads += 1;
                     let top = *self.chains[lane].last().expect("chain never empty");
                     let (v, idx) = self.segs[top as usize].pop_top();
-                    ops.push(MicroOp::shared(AccessKind::Load, self.seg_entry_addr(top, idx)));
+                    ops.push(MicroOp::shared(
+                        AccessKind::Load,
+                        StackLevel::RbSh,
+                        self.seg_entry_addr(top, idx),
+                    ));
                     self.rb[lane].insert(0, v);
                     self.release_empty_tops(lane);
                     // Refill shared memory from global (newest spilled entry
@@ -572,10 +619,15 @@ impl WarpStacks {
                         let g = self.global[lane].pop().expect("checked non-empty");
                         stats.sh_reloads += 1;
                         let slot = self.global[lane].len();
-                        ops.push(MicroOp::global(AccessKind::Load, self.spill_addr(lane, slot)));
+                        ops.push(MicroOp::global(
+                            AccessKind::Load,
+                            StackLevel::ShGlobal,
+                            self.spill_addr(lane, slot),
+                        ));
                         let idx = self.segs[bottom as usize].insert_bottom(g);
                         ops.push(MicroOp::shared(
                             AccessKind::Store,
+                            StackLevel::ShGlobal,
                             self.seg_entry_addr(bottom, idx),
                         ));
                     }
@@ -583,7 +635,11 @@ impl WarpStacks {
                     // SH_0 degenerate case: direct global reload.
                     stats.rb_reloads += 1;
                     let slot = self.global[lane].len();
-                    ops.push(MicroOp::global(AccessKind::Load, self.spill_addr(lane, slot)));
+                    ops.push(MicroOp::global(
+                        AccessKind::Load,
+                        StackLevel::ShGlobal,
+                        self.spill_addr(lane, slot),
+                    ));
                     self.rb[lane].insert(0, v);
                 }
             }
@@ -848,6 +904,70 @@ mod tests {
         assert_eq!(base_entry_index(21, 16, true), 5);
         // Disabled skew -> always 0.
         assert_eq!(base_entry_index(9, 8, false), 0);
+    }
+
+    /// How many of the warp's 32 skewed base entries land on each of the 32
+    /// shared-memory banks (4-byte banks; lane `l`'s dedicated segment
+    /// starts at byte `l * N * 8`).
+    fn base_bank_histogram(sh_entries: usize, skewed: bool) -> [u32; 32] {
+        let mut counts = [0u32; 32];
+        for lane in 0..WARP_SIZE {
+            let base = base_entry_index(lane, sh_entries, skewed) as u64;
+            let addr = (lane * sh_entries * 8) as u64 + base * 8;
+            counts[((addr / 4) % 32) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn skew_never_degenerates_for_any_sh_size() {
+        for n in 1..=64usize {
+            for lane in 0..WARP_SIZE {
+                let b = base_entry_index(lane, n, true) as usize;
+                assert!(b < n, "N={n} lane={lane}: base {b} outside the segment");
+                assert_eq!(base_entry_index(lane, n, false), 0);
+            }
+            let skewed = *base_bank_histogram(n, true).iter().max().unwrap();
+            let unskewed = *base_bank_histogram(n, false).iter().max().unwrap();
+            assert!(
+                skewed <= unskewed,
+                "N={n}: skew made bank pressure worse ({skewed} vs {unskewed} bases/bank)"
+            );
+            assert!(
+                skewed <= 2,
+                "N={n}: 32 bases must spread over >=16 distinct banks, got {skewed} on one"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_clamp_sizes_spread_banks() {
+        // SH_32 and up clamp k to 1 (2N >= 64 > warp width): base = lane % N.
+        // Unskewed, every lane's base sits on bank 0 (segment stride 2N is a
+        // multiple of 32 banks); skewed they pair up two-per-bank.
+        for n in [32usize, 64] {
+            assert_eq!(*base_bank_histogram(n, false).iter().max().unwrap(), 32);
+            assert_eq!(*base_bank_histogram(n, true).iter().max().unwrap(), 2);
+            for lane in 0..WARP_SIZE {
+                assert_eq!(base_entry_index(lane, n, true) as usize, lane % n);
+            }
+        }
+    }
+
+    #[test]
+    fn all_sh_sizes_stay_lifo_with_skew() {
+        for n in 1..=64usize {
+            let cfg = StackConfig::Sms(SmsParams {
+                sh_entries: n,
+                ..SmsParams::default().with_skewed(true)
+            });
+            let mut s = WarpStacks::new(&cfg, 0, 0);
+            for lane in [0usize, 17, 31] {
+                push_n(&mut s, lane, 3 * n as u32 + 20);
+                let popped = pop_all(&mut s, lane);
+                assert_eq!(popped, (0..3 * n as u32 + 20).rev().collect::<Vec<u32>>(), "N={n}");
+            }
+        }
     }
 
     #[test]

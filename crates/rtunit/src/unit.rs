@@ -25,13 +25,13 @@
 //! contexts — the transitions themselves are unchanged, so timing is
 //! cycle-identical to the scanning implementation.
 
-use crate::microop::{MicroOp, Space};
+use crate::microop::{MicroOp, Space, StackLevel};
 use crate::stack::{StackConfig, WarpStacks};
 use crate::trace::{RayQuery, TraceRequest, TraceResult};
 use crate::validator::StackViolation;
 use sms_bvh::traverse::{NodeStep, TraverseBvh};
 use sms_bvh::{BvhLayout, DepthRecorder, Hit, NodeId, Primitive};
-use sms_gpu::{GtoScheduler, SimStats, WarpId, WARP_SIZE};
+use sms_gpu::{GtoScheduler, SimStats, StallBreakdown, WarpId, WARP_SIZE};
 use sms_mem::{coalesce_lines_into, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -53,6 +53,10 @@ pub struct RtUnitConfig {
     /// warp's stacks. Violations are latched (see [`RtUnit::take_violation`])
     /// instead of asserting; simulation results are unaffected either way.
     pub validate: bool,
+    /// Attribute every resident lane-cycle to a [`StallBreakdown`] bucket.
+    /// Pure observation, like `validate`: no counter, micro-op or timing
+    /// decision changes whether this is on or off.
+    pub attribute: bool,
 }
 
 impl RtUnitConfig {
@@ -65,6 +69,7 @@ impl RtUnitConfig {
             tri_latency: 20,
             record_depths: false,
             validate: false,
+            attribute: false,
         }
     }
 }
@@ -114,6 +119,117 @@ struct ThreadCtx {
     done: bool,
 }
 
+/// Attribution class of one lane's *current* interval. The class is set
+/// when the lane transitions and the interval is charged to the matching
+/// [`StallBreakdown`] bucket when the next transition flushes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneClass {
+    /// Issuable (`NeedFetch` / `StackIssue`) but not yet scheduled.
+    SchedWait,
+    /// Node fetch in flight, served by the L1.
+    FetchL1,
+    /// Node fetch in flight, served by the L2.
+    FetchL2,
+    /// Node fetch in flight, served by DRAM.
+    FetchDram,
+    /// Ray-box / ray-triangle operation unit busy.
+    OpWait,
+    /// Blocking RB↔SH stack micro-op in flight.
+    StackRbSh,
+    /// Blocking SH↔global (or RB↔global) stack micro-op in flight.
+    StackShGlobal,
+    /// Blocking phase of an RA flush burst in flight.
+    StackFlush,
+    /// Lane finished (or inactive in the request).
+    Idle,
+}
+
+/// Per-slot lane-attribution state. Boxed behind an `Option` so an
+/// attribution-off run pays one pointer per slot and no per-cycle work.
+#[derive(Debug)]
+struct SlotAttr {
+    admitted_at: Cycle,
+    /// Start of each lane's current interval.
+    since: [Cycle; WARP_SIZE],
+    /// Class each lane's current interval will be charged to.
+    class: [LaneClass; WARP_SIZE],
+    /// Bank-conflict replay cycles to carve out of the lane's current
+    /// stack-wait interval when it flushes.
+    pending_conflict: [u64; WARP_SIZE],
+    breakdown: StallBreakdown,
+}
+
+impl SlotAttr {
+    fn new(now: Cycle, threads: &[ThreadCtx]) -> Self {
+        SlotAttr {
+            admitted_at: now,
+            since: [now; WARP_SIZE],
+            class: std::array::from_fn(|lane| {
+                if threads[lane].done {
+                    LaneClass::Idle
+                } else {
+                    LaneClass::SchedWait
+                }
+            }),
+            pending_conflict: [0; WARP_SIZE],
+            breakdown: StallBreakdown::default(),
+        }
+    }
+
+    /// Charges the lane's interval `[since, now)` to its current class.
+    fn flush_lane(&mut self, lane: usize, now: Cycle) {
+        let dt = now - self.since[lane];
+        self.since[lane] = now;
+        if dt == 0 {
+            return;
+        }
+        let b = &mut self.breakdown;
+        match self.class[lane] {
+            LaneClass::SchedWait => b.rt_sched_wait += dt,
+            LaneClass::FetchL1 => b.fetch_wait_l1 += dt,
+            LaneClass::FetchL2 => b.fetch_wait_l2 += dt,
+            LaneClass::FetchDram => b.fetch_wait_dram += dt,
+            LaneClass::OpWait => b.op_wait += dt,
+            LaneClass::Idle => b.rt_idle += dt,
+            stack @ (LaneClass::StackRbSh | LaneClass::StackShGlobal | LaneClass::StackFlush) => {
+                let replay = dt.min(self.pending_conflict[lane]);
+                self.pending_conflict[lane] = 0;
+                b.bank_conflict_replay += replay;
+                let rest = dt - replay;
+                match stack {
+                    LaneClass::StackRbSh => b.stack_wait_rb_sh += rest,
+                    LaneClass::StackShGlobal => b.stack_wait_sh_global += rest,
+                    _ => b.stack_wait_flush += rest,
+                }
+            }
+        }
+    }
+
+    /// Final flush at warp retirement: closes every lane interval, records
+    /// the total, and checks the conservation law for this warp.
+    fn finish(&mut self, now: Cycle, warp: WarpId) -> &StallBreakdown {
+        for lane in 0..WARP_SIZE {
+            self.flush_lane(lane, now);
+        }
+        self.breakdown.rt_lane_cycles = (now - self.admitted_at) * WARP_SIZE as u64;
+        assert_eq!(
+            self.breakdown.lane_sum(),
+            self.breakdown.rt_lane_cycles,
+            "warp {warp}: lane-attribution buckets must sum to resident lane-cycles"
+        );
+        &self.breakdown
+    }
+}
+
+/// The class a blocking stack micro-op's wait is charged to.
+fn stack_class(level: StackLevel) -> LaneClass {
+    match level {
+        StackLevel::RbSh => LaneClass::StackRbSh,
+        StackLevel::ShGlobal => LaneClass::StackShGlobal,
+        StackLevel::Flush => LaneClass::StackFlush,
+    }
+}
+
 #[derive(Debug)]
 struct WarpSlot {
     warp: WarpId,
@@ -126,12 +242,49 @@ struct WarpSlot {
     events: BinaryHeap<Reverse<Cycle>>,
     /// Lanes in an issuable state (`NeedFetch` or `StackIssue`).
     issuable: u32,
+    /// Cycle-attribution state; `None` unless `RtUnitConfig::attribute`.
+    attr: Option<Box<SlotAttr>>,
 }
 
 impl WarpSlot {
     /// Routes every post-admission thread state change, keeping the
-    /// issuable-lane counter and the completion-event heap in sync.
-    fn transition(&mut self, lane: usize, state: TState) {
+    /// issuable-lane counter and the completion-event heap in sync. The
+    /// attribution class is derived from the new state; issue sites that
+    /// know more (which memory level serves a wait) use
+    /// [`WarpSlot::transition_traced`] instead.
+    fn transition(&mut self, now: Cycle, lane: usize, state: TState) {
+        if self.attr.is_some() {
+            let class = match &state {
+                TState::NeedFetch | TState::StackIssue => LaneClass::SchedWait,
+                TState::OpWait { .. } => LaneClass::OpWait,
+                TState::Idle => LaneClass::Idle,
+                // Issue sites classify these via transition_traced; the
+                // fallbacks here are never reached on those paths.
+                TState::WaitFetch { .. } => LaneClass::FetchL1,
+                TState::StackWait { .. } => LaneClass::StackRbSh,
+            };
+            self.note_class(now, lane, class);
+        }
+        self.apply_transition(lane, state);
+    }
+
+    /// [`WarpSlot::transition`] with an explicit attribution class, for
+    /// issue sites that know which memory level serves the wait.
+    fn transition_traced(&mut self, now: Cycle, lane: usize, state: TState, class: LaneClass) {
+        if self.attr.is_some() {
+            self.note_class(now, lane, class);
+        }
+        self.apply_transition(lane, state);
+    }
+
+    fn note_class(&mut self, now: Cycle, lane: usize, class: LaneClass) {
+        if let Some(attr) = &mut self.attr {
+            attr.flush_lane(lane, now);
+            attr.class[lane] = class;
+        }
+    }
+
+    fn apply_transition(&mut self, lane: usize, state: TState) {
         let becomes_issuable = matches!(state, TState::NeedFetch | TState::StackIssue);
         if let TState::WaitFetch { done }
         | TState::OpWait { done, .. }
@@ -168,12 +321,28 @@ struct IssueScratch {
     lane_lines: Vec<u64>,
     /// `line -> completion` map for this issue (small; linear scan).
     line_done: Vec<(u64, Cycle)>,
+    /// Attribution class per entry of `line_done` (fetch path only).
+    line_class: Vec<LaneClass>,
     /// `(lane, blocking)` for shared-space stack ops.
     shared_batch: Vec<(usize, bool)>,
     /// Gathered shared-space addresses for the warp-wide banked access.
     shared_addrs: Vec<(u64, u32)>,
     /// Lanes with global-space stack ops, in lane order.
     global_lanes: Vec<usize>,
+}
+
+/// One retired warp's residency interval in an RT-unit slot, for the
+/// Chrome-trace export (`SMS_TRACE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtSlice {
+    /// Warp-buffer slot index (one trace track per slot).
+    pub slot: u8,
+    /// The warp that was resident.
+    pub warp: WarpId,
+    /// Admission cycle.
+    pub start: Cycle,
+    /// Retirement cycle.
+    pub end: Cycle,
 }
 
 /// One ray-tracing acceleration unit (one per SM, Table I).
@@ -191,6 +360,17 @@ pub struct RtUnit {
     pub thread_traces: Option<ThreadTraceRecorder>,
     /// First invariant violation observed by any warp's validator.
     violation: Option<StackViolation>,
+    /// Lane-level attribution accumulated from retired warps
+    /// ([`RtUnitConfig::attribute`] only).
+    breakdown: StallBreakdown,
+    /// Completed micro-events (fetch responses, operation commits, finished
+    /// stack ops): the fine-grained forward-progress signal the stall
+    /// watchdog reads, so a single long-but-live trace is not mistaken for
+    /// a livelock.
+    progress: u64,
+    /// Warp-residency intervals of retired warps, recorded when slice
+    /// recording is enabled (implies attribution).
+    slices: Option<Vec<RtSlice>>,
 }
 
 impl RtUnit {
@@ -206,6 +386,9 @@ impl RtUnit {
             depth_recorder: DepthRecorder::new(),
             thread_traces: None,
             violation: None,
+            breakdown: StallBreakdown::default(),
+            progress: 0,
+            slices: None,
         }
     }
 
@@ -213,6 +396,30 @@ impl RtUnit {
     /// `Some` when [`RtUnitConfig::validate`] is set.
     pub fn take_violation(&mut self) -> Option<StackViolation> {
         self.violation.take()
+    }
+
+    /// Lane-level stall attribution of all warps retired so far. All zeros
+    /// unless [`RtUnitConfig::attribute`] is set.
+    pub fn breakdown(&self) -> &StallBreakdown {
+        &self.breakdown
+    }
+
+    /// Monotonic count of completed micro-events (fetch responses, node
+    /// operations, stack micro-ops) — the watchdog's progress signal.
+    pub fn progress(&self) -> u64 {
+        self.progress
+    }
+
+    /// Starts recording per-warp residency slices for the trace export.
+    /// Requires [`RtUnitConfig::attribute`] (slices reuse its timestamps).
+    pub fn record_slices(&mut self) {
+        assert!(self.config.attribute, "slice recording requires attribution");
+        self.slices = Some(Vec::new());
+    }
+
+    /// Drains the recorded residency slices.
+    pub fn take_slices(&mut self) -> Vec<RtSlice> {
+        self.slices.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// One-line-per-warp summary of resident warp state, for watchdog
@@ -247,7 +454,7 @@ impl RtUnit {
         self.busy_warps() < self.config.max_warps
     }
 
-    /// Admits a warp trace request into the warp buffer.
+    /// Admits a warp trace request into the warp buffer at cycle `now`.
     ///
     /// Returns the request back when the buffer is full.
     // The Err variant hands the (large, by-value) request back for a
@@ -255,6 +462,7 @@ impl RtUnit {
     #[allow(clippy::result_large_err)]
     pub fn try_admit(
         &mut self,
+        now: Cycle,
         req: TraceRequest,
         stats: &mut SimStats,
     ) -> Result<(), TraceRequest> {
@@ -304,6 +512,7 @@ impl RtUnit {
             threads.push(ctx);
         }
         // Inactive lanes release their SH stacks to the idle pool at once.
+        let attr = self.config.attribute.then(|| Box::new(SlotAttr::new(now, &threads)));
         let mut slot = WarpSlot {
             warp: req.warp,
             stacks,
@@ -312,6 +521,7 @@ impl RtUnit {
             done_count: WARP_SIZE - active,
             events: BinaryHeap::new(),
             issuable: active as u32,
+            attr,
         };
         for lane in 0..WARP_SIZE {
             if slot.threads[lane].done {
@@ -362,6 +572,7 @@ impl RtUnit {
                     &mut self.depth_recorder,
                     &mut self.thread_traces,
                     &mut op_buf,
+                    &mut self.progress,
                 );
                 // Every event at or before `now` has been consumed by the
                 // scan above (chained transitions included) — drop them.
@@ -382,7 +593,17 @@ impl RtUnit {
                 .flatten()
                 .find(|s| s.warp == warp)
                 .expect("scheduled warp resident");
-            Self::issue_warp(slot, now, bvh, l1, shared, global, stats, &mut scratch);
+            Self::issue_warp(
+                slot,
+                now,
+                bvh,
+                l1,
+                shared,
+                global,
+                stats,
+                &mut scratch,
+                &mut self.progress,
+            );
             self.scratch = scratch;
         }
 
@@ -399,11 +620,23 @@ impl RtUnit {
 
         // Phase 3: retire completed warps.
         let mut results = Vec::new();
-        for entry in &mut self.slots {
+        for idx in 0..self.slots.len() {
+            let entry = &mut self.slots[idx];
             let finished = entry.as_ref().map(|s| s.done_count == WARP_SIZE).unwrap_or(false);
             if finished {
-                let slot = entry.take().expect("checked above");
+                let mut slot = entry.take().expect("checked above");
                 self.sched.evict(slot.warp);
+                if let Some(mut attr) = slot.attr.take() {
+                    self.breakdown.merge(attr.finish(now, slot.warp));
+                    if let Some(slices) = &mut self.slices {
+                        slices.push(RtSlice {
+                            slot: idx as u8,
+                            warp: slot.warp,
+                            start: attr.admitted_at,
+                            end: now,
+                        });
+                    }
+                }
                 results.push(TraceResult {
                     warp: slot.warp,
                     hits: std::array::from_fn(|l| slot.threads[l].best),
@@ -426,6 +659,7 @@ impl RtUnit {
         depths: &mut DepthRecorder,
         traces: &mut Option<ThreadTraceRecorder>,
         op_buf: &mut Vec<MicroOp>,
+        progress: &mut u64,
     ) {
         for lane in 0..WARP_SIZE {
             loop {
@@ -438,28 +672,34 @@ impl RtUnit {
                         let step = bvh.node_step(prims, &q.ray, node, q.t_min, t.t_max);
                         let lat =
                             if bvh.is_leaf(node) { config.tri_latency } else { config.box_latency };
-                        slot.transition(lane, TState::OpWait { done: done + lat, step });
+                        *progress += 1; // fetch response consumed
+                        slot.transition(now, lane, TState::OpWait { done: done + lat, step });
                     }
                     TState::OpWait { done, .. } if *done <= now => {
                         // Idle and OpWait are both non-issuable and the
                         // OpWait event is consumed right here, so this
                         // direct swap keeps the slot counters untouched;
-                        // commit_step sets the real next state.
+                        // commit_step sets the real next state (and its
+                        // transition flushes the OpWait interval).
                         let TState::OpWait { step, .. } =
                             std::mem::replace(&mut slot.threads[lane].state, TState::Idle)
                         else {
                             unreachable!()
                         };
                         stats.node_visits += 1;
-                        Self::commit_step(slot, lane, step, stats, config, depths, traces, op_buf);
+                        *progress += 1; // node operation committed
+                        Self::commit_step(
+                            slot, now, lane, step, stats, config, depths, traces, op_buf,
+                        );
                         // commit_step set the next state; keep draining in
                         // case it is already complete (e.g. empty op list).
                         break;
                     }
                     TState::StackWait { done } if *done <= now => {
                         slot.threads[lane].ops.pop_front();
+                        *progress += 1; // blocking stack micro-op completed
                         let next = Self::after_ops_state(&slot.threads[lane]);
-                        slot.transition(lane, next);
+                        slot.transition(now, lane, next);
                         break;
                     }
                     _ => break,
@@ -484,6 +724,7 @@ impl RtUnit {
     #[allow(clippy::too_many_arguments)]
     fn commit_step(
         slot: &mut WarpSlot,
+        now: Cycle,
         lane: usize,
         step: NodeStep,
         stats: &mut SimStats,
@@ -537,7 +778,7 @@ impl RtUnit {
                         slot.stacks.clear_lane(lane);
                         slot.done_count += 1;
                         let next = Self::after_ops_state(&slot.threads[lane]);
-                        slot.transition(lane, next);
+                        slot.transition(now, lane, next);
                         return;
                     }
                     if h.t < t.t_max {
@@ -569,7 +810,59 @@ impl RtUnit {
         }
         slot.threads[lane].ops.extend(new_ops.drain(..));
         let next = Self::after_ops_state(&slot.threads[lane]);
-        slot.transition(lane, next);
+        slot.transition(now, lane, next);
+    }
+
+    /// Ranks fetch classes so a lane waiting on several lines is charged
+    /// to the slowest level among the lines that bound its wait.
+    fn fetch_rank(class: LaneClass) -> u8 {
+        match class {
+            LaneClass::FetchDram => 2,
+            LaneClass::FetchL2 => 1,
+            _ => 0,
+        }
+    }
+
+    /// Classifies which level served a fetched line, from the hit/miss
+    /// counter deltas around its `access_line` call (pure observation). A
+    /// ride-along on an in-flight MSHR line bumps no counter; its level is
+    /// estimated from the remaining wait.
+    fn classify_fetch(
+        l1: &SmL1,
+        global: &GlobalMemory,
+        counters_before: (u64, u64, u64, u64),
+        now: Cycle,
+        done: Cycle,
+    ) -> LaneClass {
+        let (l1_hits, l1_misses, l2_hits, l2_misses) = counters_before;
+        if global.stats.l2_misses > l2_misses {
+            LaneClass::FetchDram
+        } else if global.stats.l2_hits > l2_hits {
+            LaneClass::FetchL2
+        } else if l1.stats.l1_hits > l1_hits || l1.stats.l1_misses == l1_misses {
+            // A hit — or no lookup at all (L1 MSHR ride-along with a short
+            // remaining wait falls through to the estimate below).
+            if l1.stats.l1_hits > l1_hits {
+                LaneClass::FetchL1
+            } else {
+                let wait = done.saturating_sub(now);
+                if wait > l1.config().latency + global.config().l2_latency {
+                    LaneClass::FetchDram
+                } else if wait > l1.config().latency {
+                    LaneClass::FetchL2
+                } else {
+                    LaneClass::FetchL1
+                }
+            }
+        } else {
+            // L1 miss that merged into an in-flight L2/DRAM fetch.
+            let wait = done.saturating_sub(now);
+            if wait > l1.config().latency + global.config().l2_latency {
+                LaneClass::FetchDram
+            } else {
+                LaneClass::FetchL2
+            }
+        }
     }
 
     /// Phase 2: issue the scheduled warp's node fetches and stack micro-ops.
@@ -583,6 +876,7 @@ impl RtUnit {
         global: &mut GlobalMemory,
         stats: &mut SimStats,
         sc: &mut IssueScratch,
+        progress: &mut u64,
     ) {
         // --- Node fetches: collect, coalesce, issue per line. ---
         sc.fetch_lanes.clear();
@@ -600,33 +894,54 @@ impl RtUnit {
                 sc.fetch_lanes.push(FetchSpans { lane, spans, len });
             }
         }
+        let attributing = slot.attr.is_some();
         if !sc.fetch_lanes.is_empty() {
             coalesce_lines_into(
                 &mut sc.all_lines,
                 sc.fetch_lanes.iter().flat_map(|f| f.spans[..f.len].iter().copied()),
             );
             sc.line_done.clear();
+            sc.line_class.clear();
             for i in 0..sc.all_lines.len() {
                 let line = sc.all_lines[i];
+                let before = if attributing {
+                    (
+                        l1.stats.l1_hits,
+                        l1.stats.l1_misses,
+                        global.stats.l2_hits,
+                        global.stats.l2_misses,
+                    )
+                } else {
+                    (0, 0, 0, 0)
+                };
                 let done = l1.access_line(global, line, AccessKind::Load, now, false);
                 sc.line_done.push((line, done));
+                sc.line_class.push(if attributing {
+                    Self::classify_fetch(l1, global, before, now, done)
+                } else {
+                    LaneClass::FetchL1
+                });
             }
             for i in 0..sc.fetch_lanes.len() {
                 let FetchSpans { lane, spans, len } = sc.fetch_lanes[i];
                 coalesce_lines_into(&mut sc.lane_lines, spans[..len].iter().copied());
-                let done = sc
-                    .lane_lines
-                    .iter()
-                    .map(|l| {
-                        sc.line_done
-                            .iter()
-                            .find(|(dl, _)| dl == l)
-                            .expect("lane lines subset of warp lines")
-                            .1
-                    })
-                    .max()
-                    .unwrap_or(now + 1);
-                slot.transition(lane, TState::WaitFetch { done });
+                let mut done = now + 1;
+                let mut class = LaneClass::FetchL1;
+                for j in 0..sc.lane_lines.len() {
+                    let line = sc.lane_lines[j];
+                    let k = sc
+                        .line_done
+                        .iter()
+                        .position(|(dl, _)| *dl == line)
+                        .expect("lane lines subset of warp lines");
+                    let d = sc.line_done[k].1;
+                    let c = sc.line_class[k];
+                    if d > done || (d == done && Self::fetch_rank(c) >= Self::fetch_rank(class)) {
+                        done = d;
+                        class = c;
+                    }
+                }
+                slot.transition_traced(now, lane, TState::WaitFetch { done }, class);
             }
         }
 
@@ -654,15 +969,29 @@ impl RtUnit {
             stats.mem.shared_accesses += 1;
             let before = shared.conflict_cycles;
             let done = shared.access_warp(now, sc.shared_addrs.iter().copied());
-            stats.mem.bank_conflict_cycles += shared.conflict_cycles - before;
+            let extra = shared.conflict_cycles - before;
+            stats.mem.bank_conflict_cycles += extra;
             for i in 0..sc.shared_batch.len() {
                 let (lane, blocking) = sc.shared_batch[i];
                 if blocking {
-                    slot.transition(lane, TState::StackWait { done });
+                    let level =
+                        slot.threads[lane].ops.front().expect("shared lane has pending op").level;
+                    if let Some(attr) = &mut slot.attr {
+                        // This lane's wait includes the warp's bank-conflict
+                        // replay passes; carved out when the wait flushes.
+                        attr.pending_conflict[lane] = extra;
+                    }
+                    slot.transition_traced(
+                        now,
+                        lane,
+                        TState::StackWait { done },
+                        stack_class(level),
+                    );
                 } else {
                     slot.threads[lane].ops.pop_front();
+                    *progress += 1; // posted store accepted
                     let next = Self::after_ops_state(&slot.threads[lane]);
-                    slot.transition(lane, next);
+                    slot.transition(now, lane, next);
                 }
             }
         }
@@ -675,6 +1004,7 @@ impl RtUnit {
                 let lane = sc.global_lanes[i];
                 let op = slot.threads[lane].ops.front().expect("global lane has pending op");
                 let blocking = op.is_blocking();
+                let level = op.level;
                 let kind = if blocking { AccessKind::Load } else { AccessKind::Store };
                 coalesce_lines_into(&mut sc.lane_lines, op.addrs.iter().copied());
                 let mut done = now + 1;
@@ -691,11 +1021,17 @@ impl RtUnit {
                     done = done.max(d);
                 }
                 if blocking {
-                    slot.transition(lane, TState::StackWait { done });
+                    slot.transition_traced(
+                        now,
+                        lane,
+                        TState::StackWait { done },
+                        stack_class(level),
+                    );
                 } else {
                     slot.threads[lane].ops.pop_front();
+                    *progress += 1; // posted store accepted
                     let next = Self::after_ops_state(&slot.threads[lane]);
-                    slot.transition(lane, next);
+                    slot.transition(now, lane, next);
                 }
             }
         }

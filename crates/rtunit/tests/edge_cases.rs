@@ -43,7 +43,7 @@ fn run_warp(
     let mut shared = SharedMem::new(SharedMemConfig::default());
     let mut global = GlobalMemory::new(GlobalMemoryConfig::default());
     let mut stats = SimStats::default();
-    unit.try_admit(TraceRequest::new(0, queries.try_into().unwrap()), &mut stats).unwrap();
+    unit.try_admit(0, TraceRequest::new(0, queries.try_into().unwrap()), &mut stats).unwrap();
     let mut now = 0;
     loop {
         let mut results =
@@ -163,8 +163,12 @@ fn successive_traces_reuse_slots() {
         while next_warp < 20 && unit.has_free_slot() {
             let queries: Vec<Option<RayQuery>> =
                 (0..32).map(|_| Some(RayQuery::nearest(ray, 0.0))).collect();
-            unit.try_admit(TraceRequest::new(next_warp, queries.try_into().unwrap()), &mut stats)
-                .unwrap();
+            unit.try_admit(
+                0,
+                TraceRequest::new(next_warp, queries.try_into().unwrap()),
+                &mut stats,
+            )
+            .unwrap();
             next_warp += 1;
         }
         for r in unit.tick(now, &bvh, &prims, &mut l1, &mut shared, &mut global, &mut stats) {

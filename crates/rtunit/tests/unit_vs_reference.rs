@@ -66,7 +66,7 @@ fn run_unit(
         for (i, r) in chunk.iter().enumerate() {
             queries[i] = Some(RayQuery::nearest(*r, 0.0));
         }
-        unit.try_admit(TraceRequest::new(w as u32, queries.try_into().unwrap()), &mut stats)
+        unit.try_admit(0, TraceRequest::new(w as u32, queries.try_into().unwrap()), &mut stats)
             .expect("free slot");
     }
 
@@ -181,7 +181,7 @@ fn occlusion_queries_match_reference() {
     let mut stats = SimStats::default();
     let queries: Vec<Option<RayQuery>> =
         rays.iter().map(|r| Some(RayQuery::occlusion(*r, 0.0, 25.0))).collect();
-    unit.try_admit(TraceRequest::new(0, queries.try_into().unwrap()), &mut stats).unwrap();
+    unit.try_admit(0, TraceRequest::new(0, queries.try_into().unwrap()), &mut stats).unwrap();
     let mut now = 0;
     let mut results = Vec::new();
     while results.is_empty() {
@@ -209,10 +209,10 @@ fn warp_buffer_capacity_enforced() {
         TraceRequest::new(w, [Some(RayQuery::nearest(r, 0.0)); 32])
     };
     for w in 0..4 {
-        assert!(unit.try_admit(mk(w), &mut stats).is_ok());
+        assert!(unit.try_admit(0, mk(w), &mut stats).is_ok());
     }
     assert!(!unit.has_free_slot());
-    assert!(unit.try_admit(mk(4), &mut stats).is_err(), "5th warp must bounce");
+    assert!(unit.try_admit(0, mk(4), &mut stats).is_err(), "5th warp must bounce");
     assert_eq!(unit.busy_warps(), 4);
 }
 
@@ -247,7 +247,7 @@ fn depth_recorder_sees_pushes() {
     let mut stats = SimStats::default();
     let queries: Vec<Option<RayQuery>> =
         rays.iter().map(|r| Some(RayQuery::nearest(*r, 0.0))).collect();
-    unit.try_admit(TraceRequest::new(0, queries.try_into().unwrap()), &mut stats).unwrap();
+    unit.try_admit(0, TraceRequest::new(0, queries.try_into().unwrap()), &mut stats).unwrap();
     let mut now = 0;
     while unit.busy_warps() > 0 {
         unit.tick(now, &bvh, &prims, &mut l1, &mut shared, &mut global, &mut stats);
