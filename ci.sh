@@ -25,6 +25,29 @@ echo "==> SMS_TRACE smoke (well-formed Chrome-trace JSON, Σ buckets == cycles)"
 cargo test -q -p sms-harness --test trace_export
 cargo test -q -p sms-sim --test attribution
 
+echo "==> metrics suite (observation purity, ledger cross-checks, export goldens)"
+cargo test -q -p sms-metrics
+cargo test -q -p sms-sim --test metrics_observation
+cargo test -q -p sms-sim --test metrics_schema
+cargo test -q -p sms-harness --test metrics_byte_identity
+
+echo "==> SMS_METRICS smoke (armed sweep; per-job Prometheus/CSV dumps strictly parsed)"
+rm -f target/metrics.*.prom target/metrics.*.csv
+SMS_METRICS=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP \
+  SMS_METRICS_OUT=target/metrics.prom SMS_METRICS_CSV=target/metrics.csv \
+  SMS_BENCH_OUT=target/BENCH_smoke.json SMS_BENCH_METRICS_OUT=target/BENCH_metrics.json \
+  cargo run --release -q -p sms-bench --bin perf_baseline > /dev/null
+cargo run --release -q -p sms-bench --bin promlint -- \
+  target/metrics.*.prom target/metrics.*.csv
+
+echo "==> proptest suite (opt-in: needs crates.io; skipped when offline)"
+if cargo metadata --offline --manifest-path crates/proptests/Cargo.toml \
+     --format-version 1 > /dev/null 2>&1; then
+  cargo test -q --manifest-path crates/proptests/Cargo.toml --test prop_metrics
+else
+  echo "    (skipped: proptest registry deps unavailable offline)"
+fi
+
 echo "==> breakdown sweep smoke (SMS_BREAKDOWN=1; conservation asserted in-sim)"
 SMS_BREAKDOWN=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP \
   cargo bench --bench breakdown_stalls > /dev/null

@@ -6,7 +6,7 @@
 //! showing how stack pressure depends on tree quality.
 
 use sms_bench::{fmt_improvement, setup, Table};
-use sms_sim::bvh::{builder::SplitMethod, BuildParams, DepthRecorder, WideBvh};
+use sms_sim::bvh::{builder::SplitMethod, BuildParams, WideBvh};
 use sms_sim::experiments::run_prepared;
 use sms_sim::gpu::GpuConfig;
 use sms_sim::render::PreparedScene;
@@ -34,7 +34,7 @@ fn main() {
 
             // Depth statistics from the functional renderer.
             let out = sms_sim::render::render(&prepared, &render);
-            let d: &DepthRecorder = &out.depths;
+            let d = &out.depths;
 
             let gpu = GpuConfig::default();
             let base = run_prepared(&prepared, StackConfig::baseline8(), gpu, &render);
@@ -44,8 +44,8 @@ fn main() {
                 id.name().to_owned(),
                 label.to_owned(),
                 base.stats.node_visits.to_string(),
-                d.max_depth().to_string(),
-                format!("{:.2}", d.mean_depth()),
+                d.max().to_string(),
+                format!("{:.2}", d.mean()),
                 fmt_improvement(sms.normalized_ipc(&base)),
             ]);
         }

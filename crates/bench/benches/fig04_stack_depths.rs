@@ -15,18 +15,18 @@ fn main() {
     for r in &rows {
         table.row([
             r.id.name().to_owned(),
-            r.recorder.max_depth().to_string(),
-            format!("{:.2}", r.recorder.mean_depth()),
-            r.recorder.median_depth().to_string(),
-            r.recorder.ops().to_string(),
+            r.recorder.max().to_string(),
+            format!("{:.2}", r.recorder.mean()),
+            r.recorder.quantile(0.5).to_string(),
+            r.recorder.count().to_string(),
         ]);
     }
     table.row([
         "ALL".to_owned(),
-        total.max_depth().to_string(),
-        format!("{:.2}", total.mean_depth()),
-        total.median_depth().to_string(),
-        total.ops().to_string(),
+        total.max().to_string(),
+        format!("{:.2}", total.mean()),
+        total.quantile(0.5).to_string(),
+        total.count().to_string(),
     ]);
     println!("{table}");
     println!("paper: avg/median 4-5, max ~30 across workloads");

@@ -4,14 +4,14 @@
 //! 1.9% exceed 16, which is why `RB_8 + SH_8` covers the bulk of traversal.
 
 use sms_bench::{fmt_pct, setup, Table};
-use sms_sim::analyze::measure_all;
+use sms_sim::analyze::{depth_buckets, depth_fraction_at, measure_all};
 
 fn main() {
     let (_, scenes, render) = setup("Fig. 5", "stack depth distribution (all workloads)");
     let (_, total) = measure_all(&render, &scenes);
 
     let mut table = Table::new(["depth bucket", "fraction (ours)", "fraction (paper)"]);
-    let b = total.buckets();
+    let b = depth_buckets(&total);
     table.row(["1-4", &fmt_pct(b[0]), "~52%"]);
     table.row(["5-8", &fmt_pct(b[1]), "~29%"]);
     table.row(["9-16", &fmt_pct(b[2]), "17.0%"]);
@@ -20,8 +20,8 @@ fn main() {
 
     // Fine-grained distribution for the figure's x-axis.
     let mut fine = Table::new(["depth", "fraction"]);
-    for d in 0..=total.max_depth() {
-        fine.row([d.to_string(), fmt_pct(total.fraction_in(d, d))]);
+    for d in 0..=total.max() {
+        fine.row([d.to_string(), fmt_pct(depth_fraction_at(&total, d))]);
     }
     println!("{fine}");
     println!(

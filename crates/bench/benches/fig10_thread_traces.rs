@@ -13,7 +13,6 @@ use sms_sim::config::{RenderConfig, SimConfig};
 use sms_sim::render::PreparedScene;
 use sms_sim::rtunit::StackConfig;
 use sms_sim::scene::SceneId;
-use std::io::Write;
 
 fn main() {
     let render = RenderConfig::from_env();
@@ -58,12 +57,12 @@ fn main() {
     let deep = sim.thread_traces.iter().filter(|(_, _, _, d)| *d > 8).count();
     println!("observation 2 (divergent depth): {deep} accesses exceeded the 8-entry RB stack");
 
+    let mut csv = sms_metrics::Table::new(["warp", "lane", "access_index", "depth"]);
+    for (w, l, i, d) in &sim.thread_traces {
+        csv.row([w.to_string(), l.to_string(), i.to_string(), d.to_string()]);
+    }
     let path = std::path::Path::new("target/fig10_traces.csv");
     std::fs::create_dir_all("target").expect("create target dir");
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create csv"));
-    writeln!(f, "warp,lane,access_index,depth").expect("write header");
-    for (w, l, i, d) in &sim.thread_traces {
-        writeln!(f, "{w},{l},{i},{d}").expect("write row");
-    }
+    std::fs::write(path, csv.to_csv()).expect("write csv");
     println!("full series written to {}", path.display());
 }

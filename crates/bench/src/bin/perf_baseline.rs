@@ -7,26 +7,44 @@
 //! batch measures disk reads, not the simulator) and the worker count
 //! defaults to 1 for stable numbers; `SMS_JOBS`/`SMS_SCENES` still apply.
 //!
-//! Writes `BENCH_core.json` to the current directory (override the path
-//! with `SMS_BENCH_OUT`).
+//! Appends one timestamped entry to `BENCH_core.json` (an append-only JSON
+//! array, so successive runs build a throughput history; a pre-history
+//! single-object file is converted in place). Override the path with
+//! `SMS_BENCH_OUT`.
+//!
+//! A second, metrics-armed pass then writes `BENCH_metrics.json`
+//! (`SMS_BENCH_METRICS_OUT`): per-`(scene, config)` stack-depth and
+//! ray-latency percentile digests plus spill/reload totals. The passes are
+//! separate so the timed numbers measure the bare simulator, never the
+//! telemetry.
 
 use sms_harness::json::Json;
-use sms_harness::{Event, Harness, HarnessConfig};
+use sms_harness::{cache, BatchMetrics, Event, Harness, HarnessConfig};
 use sms_sim::config::RenderConfig;
 use sms_sim::experiments;
 use sms_sim::rtunit::StackConfig;
 
-fn main() {
-    let render = RenderConfig::from_env();
-    let scenes = experiments::scene_list();
-    let configs = [StackConfig::baseline8(), StackConfig::sms_default()];
+fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
 
+fn quiet_config() -> HarnessConfig {
     let mut cfg = HarnessConfig::from_env();
     cfg.cache_dir = None;
     if std::env::var("SMS_JOBS").is_err() {
         cfg.workers = 1;
     }
-    let harness = Harness::new(cfg);
+    cfg
+}
+
+fn main() {
+    let render = RenderConfig::from_env();
+    let scenes = experiments::scene_list();
+    let configs = [StackConfig::baseline8(), StackConfig::sms_default()];
+    let harness = Harness::new(quiet_config());
 
     println!("=== perf_baseline: host throughput on the Table 2 scene set ===");
     println!(
@@ -73,8 +91,10 @@ fn main() {
         }
     }
 
+    let timestamp = unix_timestamp();
     let doc = Json::Obj(vec![
         (own("bench"), Json::Str(own("perf_baseline"))),
+        (own("timestamp"), Json::U64(timestamp)),
         (own("mode"), Json::Str(format!("{:?}", render.mode))),
         (own("scenes"), Json::U64(scenes.len() as u64)),
         (own("unique_jobs"), Json::U64(summary.unique_jobs as u64)),
@@ -86,6 +106,41 @@ fn main() {
         (own("runs"), Json::Arr(runs)),
     ]);
     let out = std::env::var("SMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_core.json".to_owned());
-    std::fs::write(&out, format!("{doc}\n")).expect("write benchmark output");
-    println!("\nwrote {out}");
+    let mut history =
+        match std::fs::read_to_string(&out).ok().and_then(|s| sms_harness::json::parse(&s).ok()) {
+            Some(Json::Arr(entries)) => entries,
+            // Pre-history format: one bare object per file. Keep it as the
+            // first history entry.
+            Some(obj @ Json::Obj(_)) => vec![obj],
+            _ => Vec::new(),
+        };
+    history.push(doc);
+    std::fs::write(&out, format!("{}\n", Json::Arr(history))).expect("write benchmark output");
+    println!("\nappended entry to {out}");
+
+    // Metrics-armed pass: distributional digests per (scene, config).
+    let mut mcfg = quiet_config();
+    mcfg.limits.metrics = true;
+    let mharness = Harness::new(mcfg);
+    let (mresults, _) = mharness.try_run_suite(&scenes, &configs, &render);
+    let mut entries = Vec::new();
+    for r in mresults.iter().flatten().filter_map(|r| r.as_ref().ok()) {
+        if let Some(m) = &r.metrics {
+            entries.push(Json::Obj(vec![
+                (own("scene"), Json::Str(r.scene.name().to_owned())),
+                (own("config"), Json::Str(r.stack.label())),
+                (own("metrics"), cache::metrics_to_json(&BatchMetrics::from_stacks(&m.stacks))),
+            ]));
+        }
+    }
+    let mdoc = Json::Obj(vec![
+        (own("bench"), Json::Str(own("perf_baseline_metrics"))),
+        (own("timestamp"), Json::U64(timestamp)),
+        (own("mode"), Json::Str(format!("{:?}", render.mode))),
+        (own("entries"), Json::Arr(entries)),
+    ]);
+    let mout =
+        std::env::var("SMS_BENCH_METRICS_OUT").unwrap_or_else(|_| "BENCH_metrics.json".to_owned());
+    std::fs::write(&mout, format!("{mdoc}\n")).expect("write metrics output");
+    println!("wrote {mout}");
 }

@@ -1,0 +1,32 @@
+//! Strict linter for the metrics exports: validates Prometheus text dumps
+//! (`.prom`, via `sms_metrics::prom::validate`) and series CSVs (`.csv`,
+//! via `sms_metrics::series::validate_csv`) given as arguments. Exits
+//! non-zero on the first malformed file — CI's end-to-end check that an
+//! armed sweep's dumps actually parse under the exposition-format rules.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: promlint <dump.prom|series.csv>...");
+        std::process::exit(2);
+    }
+    for path in &args {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("promlint: {path}: {e}");
+            std::process::exit(2);
+        });
+        let outcome = if path.ends_with(".csv") {
+            sms_metrics::series::validate_csv(&text)
+                .map(|(cols, rows)| format!("{rows} rows x {cols} columns"))
+        } else {
+            sms_metrics::prom::validate(&text).map(|samples| format!("{samples} samples"))
+        };
+        match outcome {
+            Ok(what) => println!("promlint: {path}: OK ({what})"),
+            Err(e) => {
+                eprintln!("promlint: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

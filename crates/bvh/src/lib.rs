@@ -64,7 +64,7 @@ pub use builder::{BinaryBvh, BuildParams};
 pub use flat::{FlatBvh, FlatNode};
 pub use layout::{BvhLayout, NODE_BASE_ADDR, NODE_STRIDE, PRIM_BASE_ADDR, PRIM_STRIDE};
 pub use restart::{intersect_nearest_restart, RestartStats};
-pub use stats::{BvhStats, DepthRecorder};
+pub use stats::BvhStats;
 pub use traverse::{
     intersect_any, intersect_any_with, intersect_nearest, intersect_nearest_with, Hit,
     StackObserver, TraversalScratch, TraverseBvh,

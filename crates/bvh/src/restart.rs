@@ -175,9 +175,9 @@ mod tests {
             let origin = rng.unit_vector() * 25.0;
             let ray = Ray::new(origin, -origin);
             // Count reference visits via the observer (pushes+pops ~ visits).
-            let mut counter = crate::DepthRecorder::new();
+            let mut counter = sms_metrics::Histogram::new();
             let _ = crate::intersect_nearest(&bvh, &prims, &ray, 0.0, f32::INFINITY, &mut counter);
-            stack_visits += counter.ops();
+            stack_visits += counter.count();
             let (_, s) = intersect_nearest_restart(&bvh, &prims, &ray, 0.0, f32::INFINITY);
             restart_visits += s.node_visits;
             restarts += s.restarts;

@@ -1,127 +1,39 @@
 //! Stack-depth and BVH-size statistics (paper Figs. 4–5, Table II).
+//!
+//! Depth distributions are recorded straight into an
+//! [`sms_metrics::Histogram`] — logical stack depths sit far below the
+//! histogram's linear-bucket cutoff, so every count, mean, median and
+//! bucket fraction the paper's figures need is exact.
 
 use crate::layout::BvhLayout;
 use crate::traverse::StackObserver;
 use crate::wide::WideBvh;
+use sms_metrics::Histogram;
 
-/// Records the logical traversal-stack depth at every push and pop, exactly
-/// as the paper's Fig. 4/5 methodology describes.
+/// The paper records "the stack depth … at every push and pop operation
+/// across all rays" (Figs. 4/5): a [`Histogram`] observing a traversal
+/// does exactly that, symmetrically for pushes and pops.
 ///
 /// # Example
 ///
 /// ```
-/// use sms_bvh::DepthRecorder;
 /// use sms_bvh::traverse::StackObserver;
-/// let mut r = DepthRecorder::new();
+/// use sms_metrics::Histogram;
+/// let mut r = Histogram::new();
 /// r.on_push(1);
 /// r.on_push(2);
 /// r.on_pop(1);
-/// assert_eq!(r.max_depth(), 2);
-/// assert_eq!(r.ops(), 3);
+/// assert_eq!(r.max(), 2);
+/// assert_eq!(r.count(), 3);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct DepthRecorder {
-    /// `counts[d]` = number of push/pop operations observed at depth `d`.
-    counts: Vec<u64>,
-    ops: u64,
-}
-
-impl DepthRecorder {
-    /// Creates an empty recorder.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
+impl StackObserver for Histogram {
     #[inline]
-    fn record(&mut self, depth: usize) {
-        if depth >= self.counts.len() {
-            self.counts.resize(depth + 1, 0);
-        }
-        self.counts[depth] += 1;
-        self.ops += 1;
-    }
-
-    /// Total number of recorded operations.
-    pub fn ops(&self) -> u64 {
-        self.ops
-    }
-
-    /// Largest observed depth.
-    pub fn max_depth(&self) -> usize {
-        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
-    }
-
-    /// Mean observed depth.
-    pub fn mean_depth(&self) -> f64 {
-        if self.ops == 0 {
-            return 0.0;
-        }
-        let sum: u64 = self.counts.iter().enumerate().map(|(d, &c)| d as u64 * c).sum();
-        sum as f64 / self.ops as f64
-    }
-
-    /// Median observed depth.
-    pub fn median_depth(&self) -> usize {
-        if self.ops == 0 {
-            return 0;
-        }
-        let half = self.ops.div_ceil(2);
-        let mut acc = 0u64;
-        for (d, &c) in self.counts.iter().enumerate() {
-            acc += c;
-            if acc >= half {
-                return d;
-            }
-        }
-        self.counts.len() - 1
-    }
-
-    /// Fraction of operations whose depth fell in `[lo, hi]`.
-    pub fn fraction_in(&self, lo: usize, hi: usize) -> f64 {
-        if self.ops == 0 {
-            return 0.0;
-        }
-        let n: u64 = self
-            .counts
-            .iter()
-            .enumerate()
-            .filter(|(d, _)| *d >= lo && *d <= hi)
-            .map(|(_, &c)| c)
-            .sum();
-        n as f64 / self.ops as f64
-    }
-
-    /// The paper's Fig. 5 buckets: fractions at depth 1–4, 5–8, 9–16, >16.
-    ///
-    /// (Depth-0 operations — pops that empty the stack — are folded into the
-    /// first bucket, matching a distribution over *required entries*.)
-    pub fn buckets(&self) -> [f64; 4] {
-        [
-            self.fraction_in(0, 4),
-            self.fraction_in(5, 8),
-            self.fraction_in(9, 16),
-            self.fraction_in(17, usize::MAX),
-        ]
-    }
-
-    /// Merges another recorder's observations into `self`.
-    pub fn merge(&mut self, other: &DepthRecorder) {
-        if other.counts.len() > self.counts.len() {
-            self.counts.resize(other.counts.len(), 0);
-        }
-        for (d, &c) in other.counts.iter().enumerate() {
-            self.counts[d] += c;
-        }
-        self.ops += other.ops;
-    }
-}
-
-impl StackObserver for DepthRecorder {
     fn on_push(&mut self, depth: usize) {
-        self.record(depth);
+        self.record(depth as u64);
     }
+    #[inline]
     fn on_pop(&mut self, depth: usize) {
-        self.record(depth);
+        self.record(depth as u64);
     }
 }
 
@@ -162,56 +74,29 @@ impl BvhStats {
 mod tests {
     use super::*;
 
-    fn rec(depths: &[usize]) -> DepthRecorder {
-        let mut r = DepthRecorder::new();
-        for &d in depths {
+    #[test]
+    fn histogram_observer_records_both_ops() {
+        let mut r = Histogram::new();
+        for &d in &[1usize, 2, 3, 4, 30] {
+            r.on_push(d);
+        }
+        assert_eq!(r.max(), 30);
+        assert_eq!(r.mean(), 8.0);
+        assert_eq!(r.quantile(0.5), 3);
+        r.on_pop(2);
+        assert_eq!(r.count(), 6);
+    }
+
+    #[test]
+    fn fig5_bucket_fractions_are_exact() {
+        let mut r = Histogram::new();
+        for &d in &[1u64, 3, 5, 7, 9, 12, 17, 40] {
             r.record(d);
         }
-        r
-    }
-
-    #[test]
-    fn empty_recorder_is_zero() {
-        let r = DepthRecorder::new();
-        assert_eq!(r.max_depth(), 0);
-        assert_eq!(r.mean_depth(), 0.0);
-        assert_eq!(r.median_depth(), 0);
-        assert_eq!(r.ops(), 0);
-    }
-
-    #[test]
-    fn max_mean_median() {
-        let r = rec(&[1, 2, 3, 4, 30]);
-        assert_eq!(r.max_depth(), 30);
-        assert_eq!(r.mean_depth(), 8.0);
-        assert_eq!(r.median_depth(), 3);
-    }
-
-    #[test]
-    fn buckets_sum_to_one() {
-        let r = rec(&[1, 3, 5, 7, 9, 12, 17, 40]);
-        let b = r.buckets();
-        let sum: f64 = b.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-9);
-        assert_eq!(b[0], 2.0 / 8.0);
-        assert_eq!(b[1], 2.0 / 8.0);
-        assert_eq!(b[2], 2.0 / 8.0);
-        assert_eq!(b[3], 2.0 / 8.0);
-    }
-
-    #[test]
-    fn merge_accumulates() {
-        let mut a = rec(&[1, 2]);
-        let b = rec(&[2, 30]);
-        a.merge(&b);
-        assert_eq!(a.ops(), 4);
-        assert_eq!(a.max_depth(), 30);
-        assert_eq!(a.fraction_in(2, 2), 0.5);
-    }
-
-    #[test]
-    fn median_even_count_lower_middle() {
-        let r = rec(&[1, 2, 3, 4]);
-        assert_eq!(r.median_depth(), 2);
+        let n = r.count() as f64;
+        assert_eq!(r.count_in_range(0, 4) as f64 / n, 2.0 / 8.0);
+        assert_eq!(r.count_in_range(5, 8) as f64 / n, 2.0 / 8.0);
+        assert_eq!(r.count_in_range(9, 16) as f64 / n, 2.0 / 8.0);
+        assert_eq!(r.count_above(16) as f64 / n, 2.0 / 8.0);
     }
 }

@@ -5,7 +5,7 @@
 
 use crate::config::RenderConfig;
 use crate::render::{render, PreparedScene};
-use sms_bvh::DepthRecorder;
+use sms_metrics::Histogram;
 use sms_scene::SceneId;
 
 /// Per-scene stack-depth summary (one row of Fig. 4).
@@ -14,7 +14,7 @@ pub struct SceneDepths {
     /// The scene.
     pub id: SceneId,
     /// Depth histogram recorded at every push/pop across all rays.
-    pub recorder: DepthRecorder,
+    pub recorder: Histogram,
 }
 
 impl SceneDepths {
@@ -28,15 +28,34 @@ impl SceneDepths {
 
 /// Measures every Table II scene and the all-workload aggregate
 /// (Fig. 4 rows plus the Fig. 5 distribution).
-pub fn measure_all(config: &RenderConfig, scenes: &[SceneId]) -> (Vec<SceneDepths>, DepthRecorder) {
+pub fn measure_all(config: &RenderConfig, scenes: &[SceneId]) -> (Vec<SceneDepths>, Histogram) {
     let mut rows = Vec::with_capacity(scenes.len());
-    let mut total = DepthRecorder::new();
+    let mut total = Histogram::new();
     for &id in scenes {
         let row = SceneDepths::measure(id, config);
         total.merge(&row.recorder);
         rows.push(row);
     }
     (rows, total)
+}
+
+/// The Fig. 5 depth buckets as fractions of all operations:
+/// `[<=4, 5-8, 9-16, >16]`. Exact — these bounds all sit inside the
+/// histogram's unit-width linear region.
+pub fn depth_buckets(h: &Histogram) -> [f64; 4] {
+    let n = h.count().max(1) as f64;
+    [
+        h.count_in_range(0, 4) as f64 / n,
+        h.count_in_range(5, 8) as f64 / n,
+        h.count_in_range(9, 16) as f64 / n,
+        h.count_above(16) as f64 / n,
+    ]
+}
+
+/// The fraction of operations recorded at exactly depth `d` (the Fig. 5
+/// fine-grained x-axis; exact for `d` below the linear cutoff).
+pub fn depth_fraction_at(h: &Histogram, d: u64) -> f64 {
+    h.count_at(d) as f64 / h.count().max(1) as f64
 }
 
 #[cfg(test)]
@@ -46,8 +65,8 @@ mod tests {
     #[test]
     fn ship_depths_nontrivial() {
         let d = SceneDepths::measure(SceneId::Ship, &RenderConfig::tiny());
-        assert!(d.recorder.ops() > 100);
-        assert!(d.recorder.max_depth() >= 4, "max depth {}", d.recorder.max_depth());
+        assert!(d.recorder.count() > 100);
+        assert!(d.recorder.max() >= 4, "max depth {}", d.recorder.max());
     }
 
     #[test]
@@ -55,6 +74,6 @@ mod tests {
         let cfg = RenderConfig::tiny();
         let (rows, total) = measure_all(&cfg, &[SceneId::Ship, SceneId::Bunny]);
         assert_eq!(rows.len(), 2);
-        assert_eq!(total.ops(), rows[0].recorder.ops() + rows[1].recorder.ops());
+        assert_eq!(total.count(), rows[0].recorder.count() + rows[1].recorder.count());
     }
 }

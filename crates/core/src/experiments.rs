@@ -10,6 +10,7 @@
 //! as its reference). See `DESIGN.md` for the experiment index.
 
 use crate::config::{RenderConfig, SimConfig};
+use crate::metrics::{MetricsReport, MetricsSpec};
 use crate::render::PreparedScene;
 use crate::report::geomean;
 use crate::sim::{GpuSim, RunLimits, SimFault};
@@ -30,6 +31,9 @@ pub struct RunResult {
     /// Stall attribution (when [`RunLimits::breakdown`] or `SMS_TRACE` was
     /// armed for the run; `None` otherwise).
     pub breakdown: Option<StallBreakdown>,
+    /// Metrics report (when [`RunLimits::metrics`] or `SMS_METRICS` was
+    /// armed for the run; `None` otherwise).
+    pub metrics: Option<Box<MetricsReport>>,
 }
 
 impl RunResult {
@@ -89,7 +93,9 @@ pub fn run_prepared(
 /// When `SMS_TRACE` is set, every run through this entry point also writes
 /// a Chrome trace-event file; the configured path is suffixed with the
 /// scene and stack-config labels (`<stem>.<SCENE>.<CONFIG>.json`) so sweep
-/// jobs — possibly running in parallel — never clobber each other.
+/// jobs — possibly running in parallel — never clobber each other. The
+/// metrics exports (`SMS_METRICS_OUT`, `SMS_METRICS_CSV`) get the same
+/// per-job suffix, inserted before each path's own extension.
 pub fn try_run_prepared(
     prepared: &PreparedScene,
     stack: StackConfig,
@@ -98,12 +104,35 @@ pub fn try_run_prepared(
     limits: &RunLimits,
 ) -> Result<RunResult, SimFault> {
     let config = SimConfig::new(gpu, stack, *render);
-    let mut sim = GpuSim::new(prepared, config).with_limits(*limits);
+    let mspec = MetricsSpec::from_env();
+    let mut sim =
+        GpuSim::new(prepared, config).with_limits(*limits).with_metrics_period(mspec.period);
     if let Some(spec) = TraceSpec::from_env() {
         sim = sim.with_trace(spec.for_job(&format!("{}.{}", prepared.scene.id, stack.label())));
     }
     let run = sim.try_run()?;
-    Ok(RunResult { scene: prepared.scene.id, stack, stats: run.stats, breakdown: run.breakdown })
+    if let Some(m) = &run.metrics {
+        let job = mspec.for_job(&format!("{}.{}", prepared.scene.id, stack.label()));
+        let write =
+            |path: &std::path::Path, text: String, var: &str| match std::fs::write(path, text) {
+                Ok(()) => eprintln!("{var}: wrote {}", path.display()),
+                Err(e) => eprintln!("warning: {var}: failed to write {}: {e}", path.display()),
+            };
+        if let Some(p) = &job.prom_out {
+            let reg = m.registry(&prepared.scene.id.to_string(), &stack.label(), &run.stats);
+            write(p, reg.render_prometheus(), "SMS_METRICS_OUT");
+        }
+        if let Some(p) = &job.csv_out {
+            write(p, m.series.to_csv(), "SMS_METRICS_CSV");
+        }
+    }
+    Ok(RunResult {
+        scene: prepared.scene.id,
+        stack,
+        stats: run.stats,
+        breakdown: run.breakdown,
+        metrics: run.metrics,
+    })
 }
 
 /// The scene list a harness should evaluate: all 16 by default, or the

@@ -35,6 +35,7 @@ pub mod analyze;
 pub mod config;
 pub mod driver;
 pub mod experiments;
+pub mod metrics;
 pub mod render;
 pub mod report;
 pub mod sim;
@@ -42,6 +43,7 @@ pub mod trace;
 
 pub use config::{RenderConfig, SimConfig};
 pub use experiments::RunResult;
+pub use metrics::{MetricsReport, MetricsSpec};
 pub use sim::{GpuSim, RunLimits, SimFault};
 pub use trace::TraceSpec;
 

@@ -6,8 +6,9 @@
 
 use crate::config::RenderConfig;
 use crate::driver::{self, PathState};
-use sms_bvh::{BuildParams, DepthRecorder, FlatBvh, Hit, TraversalScratch, WideBvh};
+use sms_bvh::{BuildParams, FlatBvh, Hit, TraversalScratch, WideBvh};
 use sms_geom::{Ray, Vec3};
+use sms_metrics::Histogram;
 use sms_scene::{Scene, SceneId, ScenePrimitive};
 use std::io::Write;
 
@@ -63,7 +64,7 @@ pub struct RenderOutput {
     /// Image height.
     pub height: u32,
     /// Stack depths recorded at every push/pop across all rays (Figs. 4/5).
-    pub depths: DepthRecorder,
+    pub depths: Histogram,
     /// Nearest-hit rays traced.
     pub rays: u64,
     /// Shadow rays traced.
@@ -75,7 +76,7 @@ pub fn render(prepared: &PreparedScene, config: &RenderConfig) -> RenderOutput {
     let scene = &prepared.scene;
     let (w, h, spp) = config.workload(scene.id);
     let mut image = vec![Vec3::ZERO; (w * h) as usize];
-    let mut depths = DepthRecorder::new();
+    let mut depths = Histogram::new();
     let mut rays = 0u64;
     let mut shadow_rays = 0u64;
     let mut scratch = TraversalScratch::new();
@@ -160,7 +161,7 @@ mod tests {
         let out = render(&prepared, &RenderConfig::tiny());
         assert_eq!(out.image.len(), 16 * 16);
         assert!(out.rays > 256, "at least one ray per pixel");
-        assert!(out.depths.ops() > 0, "traversal must exercise the stack");
+        assert!(out.depths.count() > 0, "traversal must exercise the stack");
         // Some pixel must be non-black (sky at minimum).
         assert!(out.image.iter().any(|p| p.length_squared() > 0.0));
         // All radiance finite.

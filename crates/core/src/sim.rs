@@ -24,12 +24,14 @@
 
 use crate::config::SimConfig;
 use crate::driver::{self, PathState, ACCUM_COST, RAYGEN_COST, SHADE_COST};
+use crate::metrics::{MetricsReport, SampleCounts, SeriesSampler};
 use crate::render::PreparedScene;
 use crate::trace::{SmCounters, TraceRecorder, TraceSpec};
-use sms_bvh::{DepthRecorder, TraverseBvh};
+use sms_bvh::TraverseBvh;
 use sms_geom::{Ray, Vec3};
 use sms_gpu::{SimStats, StallBreakdown, WarpId, WARP_SIZE};
 use sms_mem::{coalesce_lines, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1, SHADE_BASE_ADDR};
+use sms_metrics::Histogram;
 use sms_rtunit::{
     RayQuery, RtUnit, RtUnitConfig, StackViolation, ThreadTraceRecorder, TraceRequest, TraceResult,
 };
@@ -141,6 +143,10 @@ pub struct RunLimits {
     /// [`SimRun::breakdown`]). Pure observation like `validate`: no
     /// scheduling decision or [`SimStats`] counter changes.
     pub breakdown: bool,
+    /// Arm the metrics layer: stack/traversal distributions plus a
+    /// periodic time-series sampler (returned on [`SimRun::metrics`]).
+    /// Pure observation like `validate` and `breakdown`.
+    pub metrics: bool,
 }
 
 impl RunLimits {
@@ -149,16 +155,17 @@ impl RunLimits {
         RunLimits::default()
     }
 
-    /// Reads `SMS_MAX_CYCLES`, `SMS_STALL_CYCLES`, `SMS_VALIDATE` and
-    /// `SMS_BREAKDOWN` from the environment. Unparseable values are
-    /// reported on stderr (naming the variable and the offending value) and
-    /// treated as unset.
+    /// Reads `SMS_MAX_CYCLES`, `SMS_STALL_CYCLES`, `SMS_VALIDATE`,
+    /// `SMS_BREAKDOWN` and `SMS_METRICS` from the environment. Unparseable
+    /// values are reported on stderr (naming the variable and the
+    /// offending value) and treated as unset.
     pub fn from_env() -> Self {
         RunLimits {
             max_cycles: env_cycles("SMS_MAX_CYCLES"),
             stall_cycles: env_cycles("SMS_STALL_CYCLES"),
             validate: env_flag("SMS_VALIDATE"),
             breakdown: env_flag("SMS_BREAKDOWN"),
+            metrics: env_flag("SMS_METRICS"),
         }
     }
 
@@ -169,6 +176,7 @@ impl RunLimits {
             stall_cycles: self.stall_cycles.or(fallback.stall_cycles),
             validate: self.validate || fallback.validate,
             breakdown: self.breakdown || fallback.breakdown,
+            metrics: self.metrics || fallback.metrics,
         }
     }
 }
@@ -309,13 +317,16 @@ pub struct SimRun {
     /// Image height.
     pub height: u32,
     /// Stack-depth histogram (when `config.record_depths`).
-    pub depths: DepthRecorder,
+    pub depths: Histogram,
     /// Per-thread stack traces (when `config.trace_warp_limit > 0`).
     pub thread_traces: Vec<(WarpId, u8, u32, u16)>,
     /// Cycle attribution (when [`RunLimits::breakdown`] or a trace spec is
     /// armed): every resident warp/lane cycle charged to one bucket, with
     /// both conservation laws asserted before this is returned.
     pub breakdown: Option<StallBreakdown>,
+    /// Stack distributions and the sampled time series (when
+    /// [`RunLimits::metrics`] is armed).
+    pub metrics: Option<Box<MetricsReport>>,
 }
 
 /// The cycle-level GPU model.
@@ -327,6 +338,7 @@ pub struct GpuSim<'a> {
     use_flat: bool,
     limits: RunLimits,
     trace: Option<TraceSpec>,
+    metrics_period: Cycle,
 }
 
 impl<'a> GpuSim<'a> {
@@ -340,6 +352,7 @@ impl<'a> GpuSim<'a> {
             use_flat: true,
             limits: RunLimits::none(),
             trace: None,
+            metrics_period: crate::metrics::DEFAULT_PERIOD,
         }
     }
 
@@ -353,6 +366,14 @@ impl<'a> GpuSim<'a> {
     /// run writes a Chrome trace-event JSON file to `spec.path`.
     pub fn with_trace(mut self, spec: TraceSpec) -> Self {
         self.trace = Some(spec);
+        self
+    }
+
+    /// Sets the metrics time-series sampling period (cycles). Only
+    /// consulted when [`RunLimits::metrics`] is armed.
+    pub fn with_metrics_period(mut self, period: Cycle) -> Self {
+        assert!(period > 0, "sampling period must be positive");
+        self.metrics_period = period;
         self
     }
 
@@ -412,6 +433,7 @@ impl<'a> GpuSim<'a> {
             .trace
             .as_ref()
             .map(|spec| TraceRecorder::new(spec.clone(), gpu.num_sms, gpu.max_warps_per_rt_unit));
+        let mut msampler = self.limits.metrics.then(|| SeriesSampler::new(self.metrics_period));
 
         // Build all warps and distribute round-robin over SMs.
         let mut sms: Vec<Sm> = (0..gpu.num_sms)
@@ -423,6 +445,7 @@ impl<'a> GpuSim<'a> {
                 rt_cfg.record_depths = self.record_depths;
                 rt_cfg.validate = self.limits.validate;
                 rt_cfg.attribute = attribute;
+                rt_cfg.metrics = self.limits.metrics;
                 let mut rt = RtUnit::new(rt_cfg);
                 if recorder.is_some() {
                     rt.record_slices();
@@ -653,6 +676,28 @@ impl<'a> GpuSim<'a> {
                     );
                 }
             }
+            // Metrics time-series sampler: same pure-observation contract
+            // and jump-tolerant re-arming as the trace sampler above.
+            if let Some(s) = msampler.as_mut() {
+                if s.sample_due(now) {
+                    let l1: (u64, u64) = sms.iter().fold((0, 0), |(h, m), sm| {
+                        (h + sm.l1.stats.l1_hits, m + sm.l1.stats.l1_misses)
+                    });
+                    s.sample(
+                        now,
+                        SampleCounts {
+                            resident_warps: sms.iter().map(|sm| sm.warps.len()).sum(),
+                            rt_busy: sms.iter().map(|sm| sm.rt.busy_warps()).sum(),
+                            mem_queue: sms.iter().map(|sm| sm.mem_events.len()).sum(),
+                            instructions: stats.instructions(),
+                            l1_hits: l1.0,
+                            l1_misses: l1.1,
+                            l2_hits: global.stats.l2_hits,
+                            l2_misses: global.stats.l2_misses,
+                        },
+                    );
+                }
+            }
             if sms.iter().all(|sm| sm.done_warps == sm.total_warps) {
                 break;
             }
@@ -733,13 +778,17 @@ impl<'a> GpuSim<'a> {
         }
 
         stats.cycles = now;
-        let mut depths = DepthRecorder::new();
+        let mut depths = Histogram::new();
         let mut thread_traces = Vec::new();
+        let mut stack_metrics = sms_rtunit::StackMetrics::default();
         for (i, mut sm) in sms.into_iter().enumerate() {
             stats.mem.merge(&sm.l1.stats);
             depths.merge(&sm.rt.depth_recorder);
             if attribute {
                 breakdown.merge(sm.rt.breakdown());
+            }
+            if let Some(m) = &sm.rt.stack_metrics {
+                stack_metrics.merge(m);
             }
             if let Some(rec) = recorder.as_mut() {
                 rec.add_slices(i, &sm.rt.take_slices());
@@ -770,14 +819,26 @@ impl<'a> GpuSim<'a> {
             );
             breakdown
         });
-        if let Some(rec) = recorder {
+        let metrics = self.limits.metrics.then(|| {
+            Box::new(MetricsReport {
+                stacks: stack_metrics,
+                series: msampler.map(SeriesSampler::into_series).unwrap_or_default(),
+                period: self.metrics_period,
+            })
+        });
+        if let Some(mut rec) = recorder {
+            // With both layers armed, the sampled metrics series rides
+            // along as a counter track in the trace file.
+            if let Some(m) = &metrics {
+                rec.add_counter_series(&m.series);
+            }
             let b = breakdown.expect("tracing arms attribution");
             match rec.finish(now, &b) {
                 Ok(path) => eprintln!("SMS_TRACE: wrote {}", path.display()),
                 Err(e) => eprintln!("warning: SMS_TRACE: failed to write trace: {e}"),
             }
         }
-        Ok(SimRun { stats, image, width: w, height: h, depths, thread_traces, breakdown })
+        Ok(SimRun { stats, image, width: w, height: h, depths, thread_traces, breakdown, metrics })
     }
 
     /// Consumes a trace result: shading (main) or shadow application.

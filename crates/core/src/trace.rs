@@ -149,6 +149,25 @@ impl TraceRecorder {
         self.next_sample = (now / self.spec.period + 1) * self.spec.period;
     }
 
+    /// Merges the metrics layer's sampled fleet-wide series as one
+    /// `ph:"C"` counter track (one event per sample, all columns as args),
+    /// so a trace taken with `SMS_METRICS` armed carries the occupancy /
+    /// hit-rate / IPC series alongside the per-SM queue counters.
+    pub fn add_counter_series(&mut self, series: &sms_metrics::SeriesRecorder) {
+        for (cycle, values) in series.rows() {
+            let args: Vec<String> = series
+                .columns()
+                .iter()
+                .zip(values)
+                .map(|(c, v)| format!("\"{c}\":{}", crate::metrics::json_num(*v)))
+                .collect();
+            self.events.push(format!(
+                r#"{{"name":"GPU metrics","ph":"C","ts":{cycle},"pid":0,"tid":0,"args":{{{}}}}}"#,
+                args.join(",")
+            ));
+        }
+    }
+
     /// Records one `ph:"X"` residency slice per retired warp of SM `sm`.
     pub fn add_slices(&mut self, sm: usize, slices: &[RtSlice]) {
         for s in slices {

@@ -86,8 +86,8 @@ fn depth_recording_in_sim_matches_functional() {
     let sim = sms_sim::GpuSim::new(&prepared, SimConfig::with_stack(StackConfig::FullOnChip, cfg))
         .record_depths(true)
         .run();
-    assert_eq!(sim.depths.ops(), functional.ops());
-    assert_eq!(sim.depths.max_depth(), functional.max_depth());
+    assert_eq!(sim.depths.count(), functional.count());
+    assert_eq!(sim.depths.max(), functional.max());
     assert_eq!(sim.depths, functional);
 }
 

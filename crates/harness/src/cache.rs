@@ -376,6 +376,50 @@ pub fn breakdown_to_json(b: &StallBreakdown) -> Json {
     ])
 }
 
+/// Serializes a batch metrics digest (journal `batch_end` payload).
+/// Field-exhaustive like [`breakdown_to_json`].
+pub fn metrics_to_json(m: &crate::BatchMetrics) -> Json {
+    let crate::BatchMetrics { stack_depth, ray_latency, spills, reloads } = *m;
+    let hist = |s: sms_metrics::HistSummary| {
+        let sms_metrics::HistSummary { count, sum, p50, p95, p99, max } = s;
+        Json::Obj(vec![
+            ("count".to_owned(), Json::U64(count)),
+            ("sum".to_owned(), Json::U64(sum)),
+            ("p50".to_owned(), Json::U64(p50)),
+            ("p95".to_owned(), Json::U64(p95)),
+            ("p99".to_owned(), Json::U64(p99)),
+            ("max".to_owned(), Json::U64(max)),
+        ])
+    };
+    Json::Obj(vec![
+        ("stack_depth".to_owned(), hist(stack_depth)),
+        ("ray_latency".to_owned(), hist(ray_latency)),
+        ("spills".to_owned(), Json::U64(spills)),
+        ("reloads".to_owned(), Json::U64(reloads)),
+    ])
+}
+
+/// Deserializes a batch metrics digest; `None` if any field is missing or
+/// mistyped.
+pub fn metrics_from_json(doc: &Json) -> Option<crate::BatchMetrics> {
+    let hist = |doc: &Json| {
+        Some(sms_metrics::HistSummary {
+            count: doc.u64_field("count")?,
+            sum: doc.u64_field("sum")?,
+            p50: doc.u64_field("p50")?,
+            p95: doc.u64_field("p95")?,
+            p99: doc.u64_field("p99")?,
+            max: doc.u64_field("max")?,
+        })
+    };
+    Some(crate::BatchMetrics {
+        stack_depth: hist(doc.get("stack_depth")?)?,
+        ray_latency: hist(doc.get("ray_latency")?)?,
+        spills: doc.u64_field("spills")?,
+        reloads: doc.u64_field("reloads")?,
+    })
+}
+
 /// Deserializes a stall breakdown; `None` if any bucket is missing or
 /// mistyped.
 pub fn breakdown_from_json(doc: &Json) -> Option<StallBreakdown> {
@@ -445,6 +489,32 @@ mod tests {
         };
         pairs.retain(|(k, _)| k != "rt_idle");
         assert_eq!(breakdown_from_json(&Json::Obj(pairs)), None);
+    }
+
+    #[test]
+    fn metrics_roundtrip() {
+        let m = crate::BatchMetrics {
+            stack_depth: sms_metrics::HistSummary {
+                count: 10,
+                sum: 55,
+                p50: 5,
+                p95: 9,
+                p99: 10,
+                max: 10,
+            },
+            spills: 9_007_199_254_740_997, // > 2^53: u64 fidelity
+            ..Default::default()
+        };
+        assert_eq!(metrics_from_json(&metrics_to_json(&m)), Some(m));
+    }
+
+    #[test]
+    fn metrics_missing_field_is_rejected() {
+        let Json::Obj(mut pairs) = metrics_to_json(&crate::BatchMetrics::default()) else {
+            unreachable!()
+        };
+        pairs.retain(|(k, _)| k != "ray_latency");
+        assert_eq!(metrics_from_json(&Json::Obj(pairs)), None);
     }
 
     #[test]

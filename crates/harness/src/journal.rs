@@ -18,8 +18,9 @@
 //! self-sufficient for crash-safe resume (`SMS_RESUME=<journal>`): a new
 //! sweep replays completed runs from it and re-executes only the rest.
 
-use crate::cache::{breakdown_to_json, stats_to_json};
+use crate::cache::{breakdown_to_json, metrics_to_json, stats_to_json};
 use crate::json::Json;
+use crate::BatchMetrics;
 use sms_sim::gpu::{SimStats, StallBreakdown};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -130,6 +131,9 @@ pub enum Event {
         sim_cycles: u64,
         /// Aggregated stall attribution over the jobs that produced one.
         breakdown: Option<StallBreakdown>,
+        /// Batch-wide stack-telemetry digest over the metrics-armed jobs
+        /// (`SMS_METRICS`): merged-histogram percentiles, not averages.
+        metrics: Option<BatchMetrics>,
     },
 }
 
@@ -204,6 +208,7 @@ impl Event {
                 duration_us,
                 sim_cycles,
                 breakdown,
+                metrics,
             } => {
                 // Aggregate throughput is derived at serialization time so
                 // the event itself stays integral (and `Eq`).
@@ -220,6 +225,7 @@ impl Event {
                     (own("runs_per_sec"), Json::F64(rate(*jobs as u64))),
                     (own("sim_cycles_per_sec"), Json::F64(rate(*sim_cycles))),
                     (own("breakdown"), breakdown.as_ref().map_or(Json::Null, breakdown_to_json)),
+                    (own("metrics"), metrics.as_ref().map_or(Json::Null, metrics_to_json)),
                 ])
             }
         }
@@ -329,6 +335,7 @@ mod tests {
             duration_us: 0,
             sim_cycles: 1_000,
             breakdown: None,
+            metrics: None,
         };
         let doc = crate::json::parse(&e.to_json().to_string()).unwrap();
         assert_eq!(doc.get("runs_per_sec").unwrap().as_f64(), Some(0.0));
@@ -348,6 +355,7 @@ mod tests {
             duration_us: 5,
             sim_cycles: 42,
             breakdown: None,
+            metrics: None,
         });
         j.record(Event::BatchStart { jobs: 2, unique: 2, workers: 1 });
         let last = j.last_batch();

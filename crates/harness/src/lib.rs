@@ -56,13 +56,16 @@ pub use pool::JobPanic;
 pub use resume::ResumeState;
 pub use sms_sim::sim::{RunLimits, SimFault};
 
+use sms_metrics::HistSummary;
 use sms_sim::config::RenderConfig;
 use sms_sim::experiments::{try_run_prepared, RunResult};
 use sms_sim::gpu::{GpuConfig, StallBreakdown};
 use sms_sim::render::PreparedScene;
 use sms_sim::rtunit::StackConfig;
+use sms_sim::rtunit::StackMetrics;
 use sms_sim::scene::SceneId;
 use sms_sim::trace::TraceSpec;
+use sms_sim::MetricsReport;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
@@ -184,6 +187,10 @@ impl HarnessConfig {
     /// * `SMS_VALIDATE=1` — enable the stack invariant validator.
     /// * `SMS_BREAKDOWN=1` — arm stall attribution on every run (armed
     ///   jobs always simulate; see [`Harness::try_run_batch`]).
+    /// * `SMS_METRICS=1` — arm histogram/time-series telemetry on every
+    ///   run (armed jobs always simulate, like `SMS_BREAKDOWN`); with
+    ///   `SMS_METRICS_OUT` / `SMS_METRICS_CSV` each job also writes its
+    ///   Prometheus / CSV export.
     /// * `SMS_RETRIES=N` — bounded retries for transient cache I/O.
     /// * `SMS_RESUME=path` — resume completed runs from a prior journal.
     ///
@@ -245,6 +252,40 @@ pub struct BatchSummary {
     /// (`SMS_BREAKDOWN` / `SMS_TRACE`, or per-request limits). `None` when
     /// no job was armed.
     pub breakdown: Option<StallBreakdown>,
+    /// Aggregated stack-telemetry digest over the jobs that produced a
+    /// metrics report (`SMS_METRICS`, or per-request limits). Per-job
+    /// histograms are merged first, then summarized — so the percentiles
+    /// are batch-wide, not averages of per-job percentiles. `None` when no
+    /// job was armed.
+    pub metrics: Option<BatchMetrics>,
+}
+
+/// Batch-wide digest of the merged [`StackMetrics`] histograms: the
+/// distributional headlines (`p50`/`p95`/`p99`) that make a journal line
+/// or summary printout useful without shipping full bucket vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchMetrics {
+    /// Traversal-stack depth observed at every push.
+    pub stack_depth: HistSummary,
+    /// Per-ray RT-unit residency latency in cycles.
+    pub ray_latency: HistSummary,
+    /// Total stack entries spilled to the global backing stack.
+    pub spills: u64,
+    /// Total stack entries reloaded from the global backing stack.
+    pub reloads: u64,
+}
+
+impl BatchMetrics {
+    /// Digests merged per-job stack metrics into the batch summary form.
+    pub fn from_stacks(stacks: &StackMetrics) -> Self {
+        let total = |h: &sms_metrics::Histogram| u64::try_from(h.sum()).unwrap_or(u64::MAX);
+        BatchMetrics {
+            stack_depth: stacks.depth_at_push.summary(),
+            ray_latency: stacks.ray_latency.summary(),
+            spills: total(&stacks.ray_spills),
+            reloads: total(&stacks.ray_reloads),
+        }
+    }
 }
 
 impl BatchSummary {
@@ -406,16 +447,21 @@ impl Harness {
         }
 
         // Jobs whose effective limits (or a process-wide `SMS_TRACE`) arm
-        // stall attribution must actually *run*: the cache and resume state
-        // store only `SimStats` — byte-identical with attribution on or off
-        // — so a hit could not supply the breakdown (or write the trace
-        // file). Such jobs skip the probe and the replay below; their stats
-        // still land in the cache afterwards for unarmed future sweeps.
+        // stall attribution or metrics telemetry must actually *run*: the
+        // cache and resume state store only `SimStats` — byte-identical
+        // with observation on or off — so a hit could not supply the
+        // breakdown or metrics report (or write the trace file). Such jobs
+        // skip the probe and the replay below; their stats still land in
+        // the cache afterwards for unarmed future sweeps.
         let trace_armed = TraceSpec::from_env().is_some();
-        let armed = |req: &RunRequest| trace_armed || req.limits.or(self.limits).breakdown;
+        let armed = |req: &RunRequest| {
+            let limits = req.limits.or(self.limits);
+            trace_armed || limits.breakdown || limits.metrics
+        };
 
         // 2. Probe the cache on the scheduler thread (tiny JSON reads).
-        type JobOutcome = (sms_sim::gpu::SimStats, Option<StallBreakdown>);
+        type JobOutcome =
+            (sms_sim::gpu::SimStats, Option<StallBreakdown>, Option<Box<MetricsReport>>);
         let mut slots: Vec<Option<Result<JobOutcome, RunError>>> = vec![None; jobs.len()];
         let mut hits = 0usize;
         if let Some(cache) = &self.cache {
@@ -435,7 +481,7 @@ impl Harness {
                         stats: Some(stats),
                         breakdown: None,
                     });
-                    slots[j] = Some(Ok((stats, None)));
+                    slots[j] = Some(Ok((stats, None, None)));
                 }
             }
         }
@@ -454,7 +500,7 @@ impl Harness {
                         if let Some(cache) = &self.cache {
                             cache.store(key, &stats);
                         }
-                        slots[j] = Some(Ok((stats, None)));
+                        slots[j] = Some(Ok((stats, None, None)));
                     }
                 }
             }
@@ -525,7 +571,7 @@ impl Harness {
                         stats: Some(result.stats),
                         breakdown: result.breakdown,
                     });
-                    Ok((result.stats, result.breakdown))
+                    Ok((result.stats, result.breakdown, result.metrics))
                 }
                 Err(fault) => {
                     let err = RunError::from_fault(fault);
@@ -573,13 +619,18 @@ impl Harness {
 
         let failed = slots.iter().flatten().filter(|r| r.is_err()).count();
         let sim_cycles: u64 =
-            slots.iter().flatten().filter_map(|r| r.as_ref().ok()).map(|(s, _)| s.cycles).sum();
+            slots.iter().flatten().filter_map(|r| r.as_ref().ok()).map(|(s, _, _)| s.cycles).sum();
         let mut batch_breakdown: Option<StallBreakdown> = None;
-        for (_, b) in slots.iter().flatten().filter_map(|r| r.as_ref().ok()) {
+        let mut batch_stacks: Option<StackMetrics> = None;
+        for (_, b, m) in slots.iter().flatten().filter_map(|r| r.as_ref().ok()) {
             if let Some(b) = b {
                 batch_breakdown.get_or_insert_with(StallBreakdown::default).merge(b);
             }
+            if let Some(m) = m {
+                batch_stacks.get_or_insert_with(StackMetrics::default).merge(&m.stacks);
+            }
         }
+        let batch_metrics = batch_stacks.as_ref().map(BatchMetrics::from_stacks);
         let summary = BatchSummary {
             jobs: requests.len(),
             unique_jobs: jobs.len(),
@@ -591,6 +642,7 @@ impl Harness {
             wall: t0.elapsed(),
             sim_cycles,
             breakdown: batch_breakdown,
+            metrics: batch_metrics,
         };
         self.journal.record(Event::BatchEnd {
             jobs: jobs.len(),
@@ -600,17 +652,19 @@ impl Harness {
             duration_us: summary.wall.as_micros() as u64,
             sim_cycles,
             breakdown: batch_breakdown,
+            metrics: batch_metrics,
         });
 
         let results = requests
             .iter()
             .zip(&job_of_request)
             .map(|(req, &j)| match &slots[j] {
-                Some(Ok((stats, breakdown))) => Ok(RunResult {
+                Some(Ok((stats, breakdown, metrics))) => Ok(RunResult {
                     scene: req.scene,
                     stack: req.stack,
                     stats: *stats,
                     breakdown: *breakdown,
+                    metrics: metrics.clone(),
                 }),
                 Some(Err(e)) => Err(e.clone()),
                 // Every job is a hit, a resumed replay, or a miss that step

@@ -93,8 +93,13 @@ fn injected_panic_is_isolated_and_journalled() {
 
 #[test]
 fn cycle_budget_watchdog_aborts_with_snapshot() {
-    let limits =
-        RunLimits { max_cycles: Some(50), stall_cycles: None, validate: false, breakdown: false };
+    let limits = RunLimits {
+        max_cycles: Some(50),
+        stall_cycles: None,
+        validate: false,
+        breakdown: false,
+        metrics: false,
+    };
     let reqs = [
         good(SceneId::Wknd, StackConfig::baseline8()).with_limits(limits),
         good(SceneId::Wknd, StackConfig::sms_default()),
@@ -133,8 +138,13 @@ fn cycle_budget_watchdog_aborts_with_snapshot() {
 fn stall_watchdog_aborts_livelocked_run() {
     // A 1-cycle stall tolerance treats the first memory-latency bubble as
     // a livelock — exactly the forward-progress detector firing.
-    let limits =
-        RunLimits { max_cycles: None, stall_cycles: Some(1), validate: false, breakdown: false };
+    let limits = RunLimits {
+        max_cycles: None,
+        stall_cycles: Some(1),
+        validate: false,
+        breakdown: false,
+        metrics: false,
+    };
     let reqs = [
         good(SceneId::Wknd, StackConfig::baseline8()).with_limits(limits),
         good(SceneId::Wknd, StackConfig::baseline8()),
@@ -168,6 +178,7 @@ fn tight_stall_window_survives_long_but_live_run() {
         stall_cycles: Some(2_000),
         validate: false,
         breakdown: false,
+        metrics: false,
     };
     let reqs = [good(SceneId::Ship, StackConfig::Baseline { rb_entries: 2 }).with_limits(limits)];
     let harness = quiet_harness(1, None);

@@ -8,7 +8,8 @@
 //! examples in `journal.rs`'s module docs.
 
 use sms_harness::json::{parse, Json};
-use sms_harness::{cache, Event};
+use sms_harness::{cache, BatchMetrics, Event};
+use sms_metrics::HistSummary;
 use sms_sim::gpu::{SimStats, StallBreakdown};
 
 /// Serializes, checks against the golden line, parses the line back, and
@@ -152,13 +153,43 @@ fn batch_end_line_with_breakdown() {
         duration_us: 2_000_000,
         sim_cycles: 100,
         breakdown: Some(breakdown),
+        metrics: None,
     };
     let doc = golden(
         &e,
         concat!(
             r#"{"event":"batch_end","jobs":2,"cache_hits":1,"cache_misses":1,"failed":0,"duration_us":2000000,"sim_cycles":100,"runs_per_sec":1,"sim_cycles_per_sec":50,"#,
-            r#""breakdown":{"compute":1,"mem_wait":0,"rt_admit":0,"in_rt":0,"warp_cycles":1,"rt_sched_wait":0,"fetch_wait_l1":0,"fetch_wait_l2":0,"fetch_wait_dram":0,"op_wait":0,"stack_wait_rb_sh":0,"stack_wait_sh_global":0,"stack_wait_flush":0,"bank_conflict_replay":0,"rt_idle":0,"rt_lane_cycles":0}}"#,
+            r#""breakdown":{"compute":1,"mem_wait":0,"rt_admit":0,"in_rt":0,"warp_cycles":1,"rt_sched_wait":0,"fetch_wait_l1":0,"fetch_wait_l2":0,"fetch_wait_dram":0,"op_wait":0,"stack_wait_rb_sh":0,"stack_wait_sh_global":0,"stack_wait_flush":0,"bank_conflict_replay":0,"rt_idle":0,"rt_lane_cycles":0},"#,
+            r#""metrics":null}"#,
         ),
     );
     assert_eq!(cache::breakdown_from_json(doc.get("breakdown").unwrap()), Some(breakdown));
+}
+
+#[test]
+fn batch_end_line_with_metrics() {
+    let metrics = BatchMetrics {
+        stack_depth: HistSummary { count: 640, sum: 3200, p50: 5, p95: 11, p99: 14, max: 19 },
+        ray_latency: HistSummary { count: 256, sum: 51200, p50: 180, p95: 420, p99: 504, max: 611 },
+        spills: 12,
+        reloads: 12,
+    };
+    let e = Event::BatchEnd {
+        jobs: 1,
+        cache_hits: 0,
+        cache_misses: 1,
+        failed: 0,
+        duration_us: 1_000_000,
+        sim_cycles: 50,
+        breakdown: None,
+        metrics: Some(metrics),
+    };
+    let doc = golden(
+        &e,
+        concat!(
+            r#"{"event":"batch_end","jobs":1,"cache_hits":0,"cache_misses":1,"failed":0,"duration_us":1000000,"sim_cycles":50,"runs_per_sec":1,"sim_cycles_per_sec":50,"breakdown":null,"#,
+            r#""metrics":{"stack_depth":{"count":640,"sum":3200,"p50":5,"p95":11,"p99":14,"max":19},"ray_latency":{"count":256,"sum":51200,"p50":180,"p95":420,"p99":504,"max":611},"spills":12,"reloads":12}}"#,
+        ),
+    );
+    assert_eq!(cache::metrics_from_json(doc.get("metrics").unwrap()), Some(metrics));
 }

@@ -40,6 +40,7 @@ fn full_sweep_validates_clean_and_stats_match_unvalidated() {
             stall_cycles: None,
             validate: true,
             breakdown: false,
+            metrics: false,
         },
         ..HarnessConfig::default()
     });
@@ -73,8 +74,13 @@ fn per_request_validation_composes_with_harness_limits() {
         journal_path: None,
         ..HarnessConfig::default()
     });
-    let limits =
-        RunLimits { max_cycles: None, stall_cycles: None, validate: true, breakdown: false };
+    let limits = RunLimits {
+        max_cycles: None,
+        stall_cycles: None,
+        validate: true,
+        breakdown: false,
+        metrics: false,
+    };
     let req = RunRequest::new(SceneId::Wknd, StackConfig::sms_default(), RenderConfig::tiny())
         .with_limits(limits);
     let plain = RunRequest::new(SceneId::Wknd, StackConfig::sms_default(), RenderConfig::tiny());

@@ -1,0 +1,45 @@
+//! Zero-dependency telemetry: histograms, counters, gauges, time series.
+//!
+//! The simulator's end-of-run [`SimStats`]-style scalars answer *how much*;
+//! this crate answers *how distributed* and *when*. It provides:
+//!
+//! * [`Histogram`] — a log-bucketed (HDR-style) value histogram: exact
+//!   unit-width buckets below [`hist::LINEAR_CUTOFF`] (stack depths,
+//!   occupancies and chain lengths land here and stay exact), eight
+//!   sub-buckets per power-of-two octave above it (latencies). Mergeable,
+//!   with exact count/sum/min/max and quantiles.
+//! * [`Registry`] — an ordered, typed registry of named counters, gauges
+//!   and histograms, rendered to Prometheus text format by
+//!   [`Registry::render_prometheus`] and strict-parsed back by
+//!   [`prom::validate`].
+//! * [`SeriesRecorder`] — a fixed-column time series (one row per sampling
+//!   period) with CSV export, plus the generic [`series::Table`] CSV writer
+//!   and [`series::validate_csv`] strict parser.
+//!
+//! The crate deliberately depends on nothing — not even the workspace's own
+//! simulator crates — so every layer (bvh, rtunit, core, harness, bench)
+//! can record into it without dependency cycles, and the export formats can
+//! be golden-tested in isolation.
+//!
+//! [`SimStats`]: https://en.wikipedia.org/wiki/Hardware_performance_counter
+
+pub mod hist;
+pub mod prom;
+pub mod registry;
+pub mod series;
+
+pub use hist::{HistSummary, Histogram};
+pub use registry::{Metric, Registry};
+pub use series::{SeriesRecorder, Table};
+
+/// Deterministic shortest-roundtrip rendering for exported floats; the one
+/// formatting used by both the Prometheus and CSV writers so goldens cannot
+/// drift between them. Non-finite values render as `NaN` (accepted by the
+/// strict parsers), never as `inf` spellings that differ across platforms.
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "NaN".to_owned()
+    }
+}

@@ -1,0 +1,263 @@
+//! Strict parser for the Prometheus text exposition format.
+//!
+//! Used by the golden schema tests and the CI smoke step: a dump produced
+//! by [`crate::Registry::render_prometheus`] must round-trip through
+//! [`validate`] with zero diagnostics. The parser is deliberately strict —
+//! unknown line shapes, samples without a preceding `# TYPE`, non-monotone
+//! histogram buckets or a `+Inf` bucket disagreeing with `_count` are all
+//! hard errors, so a malformed export fails CI instead of silently
+//! producing an unusable dump.
+
+use crate::registry::valid_metric_name;
+use std::collections::HashMap;
+
+/// Per-histogram accumulation while scanning samples.
+#[derive(Debug, Default)]
+struct HistCheck {
+    /// `(le, cumulative count)` in file order.
+    buckets: Vec<(f64, f64)>,
+    sum: Option<f64>,
+    count: Option<f64>,
+}
+
+/// Strictly parses a text-format dump; returns the number of sample lines.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut hists: HashMap<String, HistCheck> = HashMap::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _help) =
+                rest.split_once(' ').ok_or_else(|| format!("line {n}: HELP without text"))?;
+            if !valid_metric_name(name) {
+                return Err(format!("line {n}: invalid metric name `{name}` in HELP"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) =
+                rest.split_once(' ').ok_or_else(|| format!("line {n}: TYPE without a type"))?;
+            if !valid_metric_name(name) {
+                return Err(format!("line {n}: invalid metric name `{name}` in TYPE"));
+            }
+            if !matches!(ty, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {n}: unsupported metric type `{ty}`"));
+            }
+            if types.insert(name.to_owned(), ty.to_owned()).is_some() {
+                return Err(format!("line {n}: duplicate TYPE for `{name}`"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {n}: unknown comment directive"));
+        }
+        // A sample line: name[{labels}] value
+        let (name_labels, value) =
+            line.rsplit_once(' ').ok_or_else(|| format!("line {n}: sample without a value"))?;
+        let value: f64 =
+            value.parse().map_err(|_| format!("line {n}: unparseable sample value `{value}`"))?;
+        let (name, labels) = split_labels(name_labels, n)?;
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: invalid metric name `{name}`"));
+        }
+        let base = base_name(name, &types);
+        let Some(ty) = base.and_then(|b| types.get(b)) else {
+            return Err(format!("line {n}: sample `{name}` has no preceding # TYPE"));
+        };
+        let base = base.expect("checked above");
+        if ty == "histogram" {
+            let check = hists.entry(base.to_owned()).or_default();
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("line {n}: histogram bucket without `le`"))?;
+                let le = parse_le(&le.1)
+                    .ok_or_else(|| format!("line {n}: unparseable le `{}`", le.1))?;
+                check.buckets.push((le, value));
+            } else if name.ends_with("_sum") {
+                if check.sum.replace(value).is_some() {
+                    return Err(format!("line {n}: duplicate `{name}`"));
+                }
+            } else if name.ends_with("_count") {
+                if check.count.replace(value).is_some() {
+                    return Err(format!("line {n}: duplicate `{name}`"));
+                }
+            } else {
+                return Err(format!("line {n}: bare sample `{name}` for a histogram"));
+            }
+        } else if name != base {
+            return Err(format!("line {n}: suffixed sample `{name}` for a {ty}"));
+        }
+        samples += 1;
+    }
+    for (name, check) in &hists {
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_cum = 0.0f64;
+        if check.buckets.is_empty() {
+            return Err(format!("histogram `{name}` has no buckets"));
+        }
+        for &(le, cum) in &check.buckets {
+            if le <= last_le {
+                return Err(format!("histogram `{name}`: le bounds not increasing"));
+            }
+            if cum < last_cum {
+                return Err(format!("histogram `{name}`: cumulative counts decrease"));
+            }
+            last_le = le;
+            last_cum = cum;
+        }
+        let (inf_le, inf_cum) = *check.buckets.last().expect("non-empty");
+        if inf_le != f64::INFINITY {
+            return Err(format!("histogram `{name}`: last bucket must be le=\"+Inf\""));
+        }
+        let count = check.count.ok_or_else(|| format!("histogram `{name}` missing _count"))?;
+        if check.sum.is_none() {
+            return Err(format!("histogram `{name}` missing _sum"));
+        }
+        if inf_cum != count {
+            return Err(format!("histogram `{name}`: +Inf bucket {inf_cum} != _count {count}"));
+        }
+    }
+    Ok(samples)
+}
+
+/// `name_bucket`/`name_sum`/`name_count` resolve to `name` when that base
+/// is a declared histogram; otherwise the sample name is its own base.
+fn base_name<'a>(name: &'a str, types: &HashMap<String, String>) -> Option<&'a str> {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).is_some_and(|t| t == "histogram") {
+                return Some(base);
+            }
+        }
+    }
+    if types.contains_key(name) {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Parses a bucket bound: a float or the canonical `+Inf`.
+fn parse_le(s: &str) -> Option<f64> {
+    if s == "+Inf" {
+        Some(f64::INFINITY)
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Splits `name{k="v",...}` into the name and decoded label pairs.
+#[allow(clippy::type_complexity)]
+fn split_labels(s: &str, lineno: usize) -> Result<(&str, Vec<(String, String)>), String> {
+    let Some(open) = s.find('{') else {
+        return Ok((s, Vec::new()));
+    };
+    let name = &s[..open];
+    let rest = &s[open + 1..];
+    let body =
+        rest.strip_suffix('}').ok_or_else(|| format!("line {lineno}: unterminated label block"))?;
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if !valid_metric_name(&key) {
+            return Err(format!("line {lineno}: invalid label name `{key}`"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("line {lineno}: label value must be quoted"));
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err(format!("line {lineno}: bad escape in label value")),
+                },
+                _ => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("line {lineno}: unterminated label value"));
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => break,
+            Some(',') => continue,
+            Some(c) => return Err(format!("line {lineno}: unexpected `{c}` after label")),
+        }
+    }
+    Ok((name, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Histogram, Registry};
+
+    #[test]
+    fn rendered_registry_round_trips() {
+        let mut reg = Registry::new();
+        reg.set_base_labels(&[("scene", "SHIP"), ("config", "RB_8+SH_8+SK+RA")]);
+        reg.counter("sms_spills_total", "Global spills", 7);
+        reg.gauge("sms_ipc", "IPC", 1.25);
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 4, 90] {
+            h.record(v);
+        }
+        reg.histogram("sms_stack_depth", "Depth at push", h);
+        let text = reg.render_prometheus();
+        // 2 scalar samples + 3 non-empty buckets + Inf + sum + count.
+        assert_eq!(validate(&text), Ok(8));
+    }
+
+    #[test]
+    fn rejects_sample_without_type() {
+        assert!(validate("orphan 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_non_monotone_buckets() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\n\
+                    h_bucket{le=\"2\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 3\n\
+                    h_sum 4\n\
+                    h_count 3\n";
+        assert!(validate(text).unwrap_err().contains("cumulative counts decrease"));
+    }
+
+    #[test]
+    fn rejects_inf_count_mismatch() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 3\n\
+                    h_sum 4\n\
+                    h_count 4\n";
+        assert!(validate(text).unwrap_err().contains("+Inf bucket"));
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        assert!(validate("!!!\n").is_err());
+        assert!(validate("# FROB x y\n").is_err());
+        assert!(validate("# TYPE x sparkline\n").is_err());
+    }
+}

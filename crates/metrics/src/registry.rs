@@ -1,0 +1,224 @@
+//! The typed metric registry and its Prometheus text rendering.
+
+use crate::fmt_f64;
+use crate::hist::Histogram;
+
+/// One registered metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically accumulated count.
+    Counter(u64),
+    /// An instantaneous (last-written) value.
+    Gauge(f64),
+    /// A value distribution.
+    Histogram(Histogram),
+}
+
+impl Metric {
+    /// The Prometheus `# TYPE` keyword for this metric.
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    name: String,
+    help: String,
+    /// Pre-rendered `key="value",...` label pairs (may be empty).
+    labels: String,
+    metric: Metric,
+}
+
+/// An ordered collection of named metrics.
+///
+/// Registration order is preserved in the rendered output, so exports are
+/// deterministic and golden-testable. Names must match the Prometheus
+/// metric-name grammar; label values are escaped on registration.
+///
+/// # Example
+///
+/// ```
+/// use sms_metrics::{Histogram, Metric, Registry};
+///
+/// let mut reg = Registry::new();
+/// reg.counter("sms_rays_traced_total", "Primary rays traced", 42);
+/// reg.gauge("sms_ipc", "Instructions per cycle", 1.5);
+/// let mut h = Histogram::new();
+/// h.record(3);
+/// reg.histogram("sms_stack_depth", "Depth at push", h);
+/// let text = reg.render_prometheus();
+/// assert!(text.contains("sms_rays_traced_total 42"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    entries: Vec<Entry>,
+    /// Labels applied to every subsequently registered metric.
+    base_labels: String,
+}
+
+/// `true` iff `name` matches `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else { return false };
+    let head = |c: char| c.is_ascii_alphabetic() || c == '_' || c == ':';
+    head(first) && chars.all(|c| head(c) || c.is_ascii_digit())
+}
+
+impl Registry {
+    /// An empty registry with no base labels.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Sets label pairs stamped onto every metric registered afterwards
+    /// (e.g. `scene="SHIP"`, `config="RB_8+SH_8+SK+RA"`).
+    pub fn set_base_labels(&mut self, pairs: &[(&str, &str)]) {
+        self.base_labels = pairs
+            .iter()
+            .map(|(k, v)| {
+                assert!(valid_metric_name(k), "invalid label name `{k}`");
+                format!("{k}=\"{}\"", escape_label(v))
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+    }
+
+    fn push(&mut self, name: &str, help: &str, metric: Metric) {
+        assert!(valid_metric_name(name), "invalid metric name `{name}`");
+        assert!(self.entries.iter().all(|e| e.name != name), "metric `{name}` registered twice");
+        self.entries.push(Entry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            labels: self.base_labels.clone(),
+            metric,
+        });
+    }
+
+    /// Registers a counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.push(name, help, Metric::Counter(value));
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.push(name, help, Metric::Gauge(value));
+    }
+
+    /// Registers a histogram.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: Histogram) {
+        self.push(name, help, Metric::Histogram(hist));
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.iter().find(|e| e.name == name).map(|e| &e.metric)
+    }
+
+    /// Renders the registry in Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` headers, then samples, in registration order).
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+            let _ = writeln!(out, "# TYPE {} {}", e.name, e.metric.type_name());
+            let braces =
+                if e.labels.is_empty() { String::new() } else { format!("{{{}}}", e.labels) };
+            match &e.metric {
+                Metric::Counter(v) => {
+                    let _ = writeln!(out, "{}{braces} {v}", e.name);
+                }
+                Metric::Gauge(v) => {
+                    let _ = writeln!(out, "{}{braces} {}", e.name, fmt_f64(*v));
+                }
+                Metric::Histogram(h) => h.render_prometheus(&e.name, &e.labels, &mut out),
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a label value per the exposition format (`\`, `"`, newline).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_in_registration_order_with_labels() {
+        let mut reg = Registry::new();
+        reg.set_base_labels(&[("scene", "SHIP"), ("config", "RB_8+SH_8")]);
+        reg.counter("sms_spills_total", "Global spills", 7);
+        reg.gauge("sms_ipc", "IPC", 0.5);
+        let text = reg.render_prometheus();
+        let expected = "# HELP sms_spills_total Global spills\n\
+                        # TYPE sms_spills_total counter\n\
+                        sms_spills_total{scene=\"SHIP\",config=\"RB_8+SH_8\"} 7\n\
+                        # HELP sms_ipc IPC\n\
+                        # TYPE sms_ipc gauge\n\
+                        sms_ipc{scene=\"SHIP\",config=\"RB_8+SH_8\"} 0.5\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let mut reg = Registry::new();
+        let mut h = Histogram::new();
+        h.record_n(2, 3);
+        h.record(5);
+        reg.histogram("sms_depth", "Depth", h);
+        let text = reg.render_prometheus();
+        let expected = "# HELP sms_depth Depth\n\
+                        # TYPE sms_depth histogram\n\
+                        sms_depth_bucket{le=\"2\"} 3\n\
+                        sms_depth_bucket{le=\"5\"} 4\n\
+                        sms_depth_bucket{le=\"+Inf\"} 4\n\
+                        sms_depth_sum 11\n\
+                        sms_depth_count 4\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_metric_name("sms_ipc"));
+        assert!(valid_metric_name("_x:y9"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("9x"));
+        assert!(!valid_metric_name("a-b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_rejected() {
+        let mut reg = Registry::new();
+        reg.counter("x", "one", 1);
+        reg.counter("x", "two", 2);
+    }
+}

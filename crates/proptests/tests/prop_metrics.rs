@@ -1,0 +1,131 @@
+//! Property tests for the `sms-metrics` histogram: the aggregation laws
+//! the harness relies on (merging per-job histograms batch-wide must be
+//! order-independent) and the accuracy contract of the bucket layout
+//! (exact below `LINEAR_CUTOFF`, bounded relative error above).
+
+use proptest::prelude::*;
+use sms_metrics::Histogram;
+
+/// Value mix matching real telemetry: mostly small (stack depths,
+/// occupancies — the exact linear region) with occasional large outliers
+/// (ray latencies — the log region).
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![4 => 0u64..64, 2 => 64u64..10_000, 1 => any::<u64>()],
+        0..200,
+    )
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in arb_values(), b in arb_values(), c in arb_values()
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba, "merge must be commutative");
+
+        let mut ab_c = ab;
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "merge must be associative");
+
+        // Merging equals recording the concatenation directly.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&ab_c, &hist_of(&all));
+    }
+
+    #[test]
+    fn moments_match_naive_reference(values in arb_values()) {
+        let h = hist_of(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
+        prop_assert_eq!(h.min(), values.iter().copied().min().unwrap_or(0));
+        prop_assert_eq!(h.max(), values.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn buckets_partition_the_recorded_set(values in arb_values()) {
+        let h = hist_of(&values);
+        // Every bucket's count is the number of recorded values inside its
+        // [lo, hi] range — buckets tile the value space without overlap.
+        let mut total = 0u64;
+        for (lo, hi, count) in h.buckets() {
+            let expect = values.iter().filter(|&&v| lo <= v && v <= hi).count() as u64;
+            prop_assert_eq!(count, expect, "bucket [{}, {}]", lo, hi);
+            total += count;
+        }
+        prop_assert_eq!(total, h.count());
+    }
+
+    #[test]
+    fn linear_region_is_value_exact(values in prop::collection::vec(0u64..64, 0..200)) {
+        let h = hist_of(&values);
+        for v in 0..64u64 {
+            let expect = values.iter().filter(|&&x| x == v).count() as u64;
+            prop_assert_eq!(h.count_at(v), expect);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(values in arb_values(), qs in prop::collection::vec(0.0f64..=1.0, 2..8)) {
+        let h = hist_of(&values);
+        let mut sorted = qs;
+        sorted.sort_by(f64::total_cmp);
+        let quantiles: Vec<u64> = sorted.iter().map(|&q| h.quantile(q)).collect();
+        for w in quantiles.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantile must be monotone: {:?}", quantiles);
+        }
+        prop_assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn median_matches_textbook_on_linear_data(values in prop::collection::vec(0u64..64, 1..200)) {
+        let h = hist_of(&values);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        // "Smallest value with cumulative count >= ceil(q*n)" — exact in
+        // the unit-width linear region.
+        let rank = (sorted.len() + 1) / 2; // ceil(n/2)
+        prop_assert_eq!(h.quantile(0.5), sorted[rank - 1]);
+        prop_assert_eq!(h.quantile(1.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn log_region_relative_error_is_bounded(values in prop::collection::vec(64u64..u64::MAX, 1..50)) {
+        let h = hist_of(&values);
+        // Each value lands in a bucket whose width is at most lo/8 — the
+        // 1/SUB_BUCKETS relative-error contract of the log region.
+        for (lo, hi, _) in h.buckets() {
+            prop_assert!(hi.saturating_sub(lo).saturating_add(1) as f64 / lo as f64 <= 0.125 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn summary_is_consistent(values in arb_values()) {
+        let h = hist_of(&values);
+        let s = h.summary();
+        prop_assert_eq!(s.count, h.count());
+        prop_assert_eq!(s.sum, u64::try_from(h.sum()).unwrap_or(u64::MAX));
+        prop_assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+}

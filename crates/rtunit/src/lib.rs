@@ -24,6 +24,7 @@
 //! kernel the functional renderer uses, so results are bit-identical to the
 //! reference and traversal *work* is identical across stack configurations.
 
+pub mod metrics;
 pub mod microop;
 pub mod overhead;
 pub mod stack;
@@ -31,6 +32,7 @@ pub mod trace;
 pub mod unit;
 pub mod validator;
 
+pub use metrics::StackMetrics;
 pub use microop::{MicroOp, Space, StackLevel};
 pub use overhead::OverheadReport;
 pub use stack::{SmsParams, StackConfig, WarpStacks};

@@ -25,14 +25,16 @@
 //! contexts — the transitions themselves are unchanged, so timing is
 //! cycle-identical to the scanning implementation.
 
+use crate::metrics::{SlotMetrics, StackMetrics};
 use crate::microop::{MicroOp, Space, StackLevel};
 use crate::stack::{StackConfig, WarpStacks};
 use crate::trace::{RayQuery, TraceRequest, TraceResult};
 use crate::validator::StackViolation;
 use sms_bvh::traverse::{NodeStep, TraverseBvh};
-use sms_bvh::{BvhLayout, DepthRecorder, Hit, NodeId, Primitive};
+use sms_bvh::{BvhLayout, Hit, NodeId, Primitive};
 use sms_gpu::{GtoScheduler, SimStats, StallBreakdown, WarpId, WARP_SIZE};
 use sms_mem::{coalesce_lines_into, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1};
+use sms_metrics::Histogram;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -57,6 +59,9 @@ pub struct RtUnitConfig {
     /// Pure observation, like `validate`: no counter, micro-op or timing
     /// decision changes whether this is on or off.
     pub attribute: bool,
+    /// Record stack/traversal distributions into [`crate::StackMetrics`].
+    /// Pure observation, like `validate` and `attribute`.
+    pub metrics: bool,
 }
 
 impl RtUnitConfig {
@@ -70,6 +75,7 @@ impl RtUnitConfig {
             record_depths: false,
             validate: false,
             attribute: false,
+            metrics: false,
         }
     }
 }
@@ -244,6 +250,8 @@ struct WarpSlot {
     issuable: u32,
     /// Cycle-attribution state; `None` unless `RtUnitConfig::attribute`.
     attr: Option<Box<SlotAttr>>,
+    /// Metrics accumulation state; `None` unless `RtUnitConfig::metrics`.
+    mstate: Option<Box<SlotMetrics>>,
 }
 
 impl WarpSlot {
@@ -355,7 +363,9 @@ pub struct RtUnit {
     scratch: IssueScratch,
     op_buf: Vec<MicroOp>,
     /// Stack-depth histogram across all rays (when `record_depths`).
-    pub depth_recorder: DepthRecorder,
+    pub depth_recorder: Histogram,
+    /// Stack/traversal distributions (when [`RtUnitConfig::metrics`]).
+    pub stack_metrics: Option<Box<StackMetrics>>,
     /// Optional per-thread traces (Fig. 10).
     pub thread_traces: Option<ThreadTraceRecorder>,
     /// First invariant violation observed by any warp's validator.
@@ -380,10 +390,11 @@ impl RtUnit {
             shared_stride: config.stack.shared_bytes_per_warp(),
             slots: (0..config.max_warps).map(|_| None).collect(),
             sched: GtoScheduler::new(),
+            stack_metrics: config.metrics.then(Box::default),
             config,
             scratch: IssueScratch::default(),
             op_buf: Vec::new(),
-            depth_recorder: DepthRecorder::new(),
+            depth_recorder: Histogram::new(),
             thread_traces: None,
             violation: None,
             breakdown: StallBreakdown::default(),
@@ -513,6 +524,7 @@ impl RtUnit {
         }
         // Inactive lanes release their SH stacks to the idle pool at once.
         let attr = self.config.attribute.then(|| Box::new(SlotAttr::new(now, &threads)));
+        let mstate = self.config.metrics.then(|| Box::new(SlotMetrics::new(now)));
         let mut slot = WarpSlot {
             warp: req.warp,
             stacks,
@@ -522,6 +534,7 @@ impl RtUnit {
             events: BinaryHeap::new(),
             issuable: active as u32,
             attr,
+            mstate,
         };
         for lane in 0..WARP_SIZE {
             if slot.threads[lane].done {
@@ -570,6 +583,7 @@ impl RtUnit {
                     stats,
                     &self.config,
                     &mut self.depth_recorder,
+                    &mut self.stack_metrics,
                     &mut self.thread_traces,
                     &mut op_buf,
                     &mut self.progress,
@@ -656,7 +670,8 @@ impl RtUnit {
         prims: &[P],
         stats: &mut SimStats,
         config: &RtUnitConfig,
-        depths: &mut DepthRecorder,
+        depths: &mut Histogram,
+        metrics: &mut Option<Box<StackMetrics>>,
         traces: &mut Option<ThreadTraceRecorder>,
         op_buf: &mut Vec<MicroOp>,
         progress: &mut u64,
@@ -689,7 +704,7 @@ impl RtUnit {
                         stats.node_visits += 1;
                         *progress += 1; // node operation committed
                         Self::commit_step(
-                            slot, now, lane, step, stats, config, depths, traces, op_buf,
+                            slot, now, lane, step, stats, config, depths, metrics, traces, op_buf,
                         );
                         // commit_step set the next state; keep draining in
                         // case it is already complete (e.g. empty op list).
@@ -729,7 +744,8 @@ impl RtUnit {
         step: NodeStep,
         stats: &mut SimStats,
         config: &RtUnitConfig,
-        depths: &mut DepthRecorder,
+        depths: &mut Histogram,
+        metrics: &mut Option<Box<StackMetrics>>,
         traces: &mut Option<ThreadTraceRecorder>,
         new_ops: &mut Vec<MicroOp>,
     ) {
@@ -737,8 +753,7 @@ impl RtUnit {
         let mut record = |slot: &mut WarpSlot, lane: usize| {
             let d = slot.stacks.depth(lane);
             if config.record_depths {
-                use sms_bvh::traverse::StackObserver;
-                depths.on_push(d); // record() is symmetric for push/pop
+                depths.record(d as u64);
             }
             if let Some(tr) = traces {
                 if slot.warp < tr.warp_limit {
@@ -760,8 +775,15 @@ impl RtUnit {
                 } else {
                     // Push the non-nearest intersected children far-to-near.
                     for i in (1..hits.len()).rev() {
+                        let pre = slot
+                            .mstate
+                            .is_some()
+                            .then(|| (slot.stacks.global_len(lane), stats.ra_flushes));
                         slot.stacks.push(lane, hits.get(i).1, stats, new_ops);
                         record(slot, lane);
+                        if let Some((pre_global, pre_flushes)) = pre {
+                            Self::observe_push(slot, lane, pre_global, pre_flushes, stats, metrics);
+                        }
                     }
                     Next::Visit(hits.get(0).1)
                 }
@@ -777,6 +799,7 @@ impl RtUnit {
                         t.current = None;
                         slot.stacks.clear_lane(lane);
                         slot.done_count += 1;
+                        Self::observe_lane_done(slot, lane, now, metrics);
                         let next = Self::after_ops_state(&slot.threads[lane]);
                         slot.transition(now, lane, next);
                         return;
@@ -801,9 +824,15 @@ impl RtUnit {
                     t.current = None;
                     slot.done_count += 1;
                     slot.stacks.mark_done(lane);
+                    Self::observe_lane_done(slot, lane, now, metrics);
                 } else {
+                    let pre_global = slot.stacks.global_len(lane);
                     let v = slot.stacks.pop(lane, stats, new_ops);
                     record(slot, lane);
+                    if let Some(ms) = slot.mstate.as_deref_mut() {
+                        ms.reloads[lane] +=
+                            pre_global.saturating_sub(slot.stacks.global_len(lane)) as u32;
+                    }
                     slot.threads[lane].current = Some(v);
                 }
             }
@@ -811,6 +840,50 @@ impl RtUnit {
         slot.threads[lane].ops.extend(new_ops.drain(..));
         let next = Self::after_ops_state(&slot.threads[lane]);
         slot.transition(now, lane, next);
+    }
+
+    /// Records the armed distributions for one completed push: depth and
+    /// SH occupancy/chain state after the push, the lane's spill delta,
+    /// and — when the push forced a reallocation flush — the evicted
+    /// segment's consecutive-flush run. Spills land in the pushing lane's
+    /// own global stack (both the baseline RB overflow and every SMS
+    /// variant), so the `global_len` delta is exactly this push's spills.
+    fn observe_push(
+        slot: &mut WarpSlot,
+        lane: usize,
+        pre_global: usize,
+        pre_flushes: u64,
+        stats: &SimStats,
+        metrics: &mut Option<Box<StackMetrics>>,
+    ) {
+        let (Some(m), Some(ms)) = (metrics.as_deref_mut(), slot.mstate.as_deref_mut()) else {
+            return;
+        };
+        m.depth_at_push.record(slot.stacks.depth(lane) as u64);
+        m.sh_occupancy.record(slot.stacks.sh_count(lane) as u64);
+        m.borrow_chain.record(slot.stacks.chain_len(lane) as u64);
+        ms.spills[lane] += slot.stacks.global_len(lane).saturating_sub(pre_global) as u32;
+        if stats.ra_flushes > pre_flushes {
+            // make_room rotates the flushed segment to the chain's tail.
+            if let Some(&seg) = slot.stacks.chain(lane).last() {
+                m.flush_runs.record(slot.stacks.segment_flushes(seg as usize) as u64);
+            }
+        }
+    }
+
+    /// Folds one finished ray (lane) into the per-ray distributions.
+    fn observe_lane_done(
+        slot: &mut WarpSlot,
+        lane: usize,
+        now: Cycle,
+        metrics: &mut Option<Box<StackMetrics>>,
+    ) {
+        let (Some(m), Some(ms)) = (metrics.as_deref_mut(), slot.mstate.as_deref_mut()) else {
+            return;
+        };
+        m.ray_latency.record(now - ms.admitted_at);
+        m.ray_spills.record(ms.spills[lane] as u64);
+        m.ray_reloads.record(ms.reloads[lane] as u64);
     }
 
     /// Ranks fetch classes so a lane waiting on several lines is charged

@@ -254,6 +254,6 @@ fn depth_recorder_sees_pushes() {
         now += 1;
         assert!(now < 20_000_000);
     }
-    assert!(unit.depth_recorder.ops() > 0);
-    assert!(unit.depth_recorder.max_depth() > 2);
+    assert!(unit.depth_recorder.count() > 0);
+    assert!(unit.depth_recorder.max() > 2);
 }

@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             out.height,
             out.rays,
             out.shadow_rays,
-            out.depths.max_depth(),
+            out.depths.max(),
             path.display(),
             t0.elapsed(),
         );

@@ -6,7 +6,7 @@
 //! SMS_SCENES=SHIP,PARTY cargo run --release --example stack_depth
 //! ```
 
-use sms_sim::analyze::measure_all;
+use sms_sim::analyze::{depth_buckets, measure_all};
 use sms_sim::config::RenderConfig;
 use sms_sim::experiments::scene_list;
 use sms_sim::report::{fmt_pct, Table};
@@ -20,26 +20,26 @@ fn main() {
     let mut table =
         Table::new(["scene", "ops", "max", "mean", "median", "<=4", "5-8", "9-16", ">16"]);
     for r in &rows {
-        let b = r.recorder.buckets();
+        let b = depth_buckets(&r.recorder);
         table.row([
             r.id.name().to_owned(),
-            r.recorder.ops().to_string(),
-            r.recorder.max_depth().to_string(),
-            format!("{:.2}", r.recorder.mean_depth()),
-            r.recorder.median_depth().to_string(),
+            r.recorder.count().to_string(),
+            r.recorder.max().to_string(),
+            format!("{:.2}", r.recorder.mean()),
+            r.recorder.quantile(0.5).to_string(),
             fmt_pct(b[0]),
             fmt_pct(b[1]),
             fmt_pct(b[2]),
             fmt_pct(b[3]),
         ]);
     }
-    let b = total.buckets();
+    let b = depth_buckets(&total);
     table.row([
         "ALL".to_owned(),
-        total.ops().to_string(),
-        total.max_depth().to_string(),
-        format!("{:.2}", total.mean_depth()),
-        total.median_depth().to_string(),
+        total.count().to_string(),
+        total.max().to_string(),
+        format!("{:.2}", total.mean()),
+        total.quantile(0.5).to_string(),
         fmt_pct(b[0]),
         fmt_pct(b[1]),
         fmt_pct(b[2]),

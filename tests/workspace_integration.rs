@@ -120,7 +120,7 @@ fn sah_builder_traverses_fewer_nodes() {
     let visits = |bvh: &WideBvh| {
         let flat = sms_sim::bvh::FlatBvh::from_wide(bvh);
         let prepared = PreparedScene { scene: scene.clone(), bvh: bvh.clone(), flat };
-        render(&prepared, &cfg).depths.ops()
+        render(&prepared, &cfg).depths.count()
     };
     let vm = visits(&median);
     let vs = visits(&sah);
