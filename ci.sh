@@ -57,6 +57,35 @@ SMS_VALIDATE=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP \
   SMS_BENCH_OUT=target/BENCH_validate.json \
   cargo run --release -q -p sms-bench --bin perf_baseline > /dev/null
 
+echo "==> serve smoke (ephemeral port, client sweep, /metrics + /healthz, graceful drain)"
+rm -f target/serve-addr target/serve-smoke.jsonl
+rm -rf target/serve-smoke-cache
+SMS_SERVE_JOURNAL=target/serve-smoke.jsonl SMS_CACHE_DIR=target/serve-smoke-cache \
+  cargo run --release -q -p sms-serve --bin sms-serve -- \
+  --addr 127.0.0.1:0 --addr-file target/serve-addr --workers 2 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -s target/serve-addr ] && break
+  kill -0 "$serve_pid" 2> /dev/null || { echo "sms-serve died before binding"; exit 1; }
+  sleep 0.1
+done
+[ -s target/serve-addr ] || { echo "sms-serve never wrote its address"; exit 1; }
+serve_addr=$(cat target/serve-addr)
+serve_client() { cargo run --release -q -p sms-serve --bin sms-client -- --addr "$serve_addr" "$@"; }
+serve_client sweep --scenes WKND,SHIP --configs RB_8,RB_8+SH_8+SK+RA
+serve_client probe WKND RB_8 > /dev/null
+serve_client health | grep -q ok
+serve_client metrics > target/serve-metrics.prom
+grep -q '^sms_serve_jobs_total 4$' target/serve-metrics.prom
+cargo run --release -q -p sms-bench --bin promlint -- target/serve-metrics.prom
+serve_client drain
+wait "$serve_pid" || { echo "sms-serve did not drain cleanly"; exit 1; }
+
+echo "==> serve_loadtest smoke (4 concurrent clients, cold then warm)"
+# $PWD: cargo bench processes run with the package dir as cwd.
+time SMS_BENCH_SERVE_OUT="$PWD/target/BENCH_serve.json" \
+  cargo bench --bench serve_loadtest
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf"
 cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf
 

@@ -235,6 +235,9 @@ impl Event {
 struct Inner {
     events: Vec<Event>,
     sink: Option<File>,
+    /// `SMS_JOURNAL_SYNC=1`: fsync after every line (crash-safe against
+    /// power loss, not just process death).
+    sync: bool,
 }
 
 /// Thread-safe event collector; workers record through a shared reference.
@@ -247,16 +250,40 @@ impl Journal {
     /// path disables the file sink (the in-memory journal still works).
     pub fn new(path: Option<PathBuf>) -> Self {
         let sink = path.and_then(|p| OpenOptions::new().create(true).append(true).open(p).ok());
-        Journal { inner: Mutex::new(Inner { events: Vec::new(), sink }) }
+        let sync = std::env::var("SMS_JOURNAL_SYNC").is_ok_and(|v| v == "1");
+        Journal { inner: Mutex::new(Inner { events: Vec::new(), sink, sync }) }
     }
 
     /// Records one event (and writes its JSONL line, if a sink is set).
+    ///
+    /// The line is rendered first and written with a single `write_all`
+    /// (one syscall on the happy path, line + newline together), so a
+    /// process killed mid-sweep loses at most the line being written —
+    /// never interleaved fragments of two lines, and never a line sitting
+    /// in a userspace buffer. With `SMS_JOURNAL_SYNC=1` each line is also
+    /// fsynced before `record` returns.
     pub fn record(&self, event: Event) {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let sync = inner.sync;
         if let Some(f) = inner.sink.as_mut() {
-            let _ = writeln!(f, "{}", event.to_json());
+            let line = format!("{}\n", event.to_json());
+            let _ = f.write_all(line.as_bytes());
+            let _ = f.flush();
+            if sync {
+                let _ = f.sync_data();
+            }
         }
         inner.events.push(event);
+    }
+
+    /// Forces the sink to stable storage (drain/shutdown path). A no-op
+    /// without a file sink.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(f) = inner.sink.as_mut() {
+            let _ = f.flush();
+            let _ = f.sync_data();
+        }
     }
 
     /// Snapshot of all events recorded so far.

@@ -125,4 +125,52 @@ mod tests {
         let state = ResumeState::load(Path::new("/nonexistent/journal.jsonl"));
         assert!(state.is_empty());
     }
+
+    #[test]
+    fn journal_written_through_sink_survives_truncated_tail() {
+        // The durability contract end to end: events written through the
+        // real `Journal` file sink (one flushed `write_all` per line), the
+        // process is then "killed" mid-write — simulated by truncating the
+        // file inside the final line — and the replayer must still recover
+        // every fully-written event.
+        use crate::journal::{Event, Journal};
+        use sms_sim::gpu::SimStats;
+
+        let dir = std::env::temp_dir().join(format!("sms-durab-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        {
+            let j = Journal::new(Some(path.clone()));
+            j.record(Event::BatchStart { jobs: 2, unique: 2, workers: 1 });
+            for (job, key) in [(0usize, "k0"), (1, "k1")] {
+                j.record(Event::JobQueued {
+                    job,
+                    scene: "A".to_owned(),
+                    config: "c".to_owned(),
+                    workload: "w".to_owned(),
+                    key: key.to_owned(),
+                });
+                j.record(Event::JobFinished {
+                    job,
+                    worker: Some(0),
+                    cache_hit: false,
+                    cycles: 5,
+                    duration_us: 1,
+                    stats: Some(SimStats { cycles: 5, ..Default::default() }),
+                    breakdown: None,
+                });
+            }
+            j.flush();
+        }
+        // SIGKILL mid-line: chop the file 20 bytes into the last line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let last_line_start = text.trim_end().rfind('\n').unwrap() + 1;
+        std::fs::write(&path, &text.as_bytes()[..last_line_start + 20]).unwrap();
+
+        let state = ResumeState::load(&path);
+        assert_eq!(state.len(), 1, "only the truncated line may be lost");
+        assert_eq!(state.lookup(&key("k0")).map(|s| s.cycles), Some(5));
+        assert_eq!(state.lookup(&key("k1")), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -1,0 +1,100 @@
+//! The resident sweep server.
+//!
+//! ```text
+//! sms-serve [--addr HOST:PORT] [--addr-file PATH] [--workers N]
+//! ```
+//!
+//! Configuration comes from `SMS_SERVE_*` (and the usual `SMS_CACHE_DIR`
+//! etc.; see `ServeConfig::from_env`); the flags override the
+//! environment. `--addr-file` writes the actually-bound address to a file
+//! once listening — the CI smoke test binds port 0 and discovers the
+//! ephemeral port this way.
+//!
+//! SIGTERM (or `POST /v1/drain`) triggers a graceful drain: stop
+//! accepting, finish in-flight requests, flush the journal, exit 0.
+
+use sms_serve::server::{signal_drain_flag, ServeConfig, Server};
+use std::sync::atomic::Ordering;
+
+/// Registers a SIGTERM handler that flips the drain flag. Pure-libc FFI:
+/// the handler only does an atomic store, which is async-signal-safe.
+#[cfg(unix)]
+fn install_sigterm() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigterm(_signum: i32) {
+        signal_drain_flag().store(true, Ordering::SeqCst);
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm() {}
+
+fn main() {
+    let mut config = ServeConfig::from_env();
+    let mut addr_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("sms-serve: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--addr-file" => addr_file = Some(value("--addr-file")),
+            "--workers" => {
+                let raw = value("--workers");
+                match raw.parse::<usize>() {
+                    Ok(n) if n > 0 => config.workers = n,
+                    _ => {
+                        eprintln!("sms-serve: --workers needs a positive integer, got `{raw}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: sms-serve [--addr HOST:PORT] [--addr-file PATH] [--workers N]");
+                return;
+            }
+            other => {
+                eprintln!("sms-serve: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    install_sigterm();
+    let server = Server::bind(config.clone()).unwrap_or_else(|e| {
+        eprintln!("sms-serve: cannot bind {}: {e}", config.addr);
+        std::process::exit(1);
+    });
+    let addr = server.local_addr().unwrap_or_else(|e| {
+        eprintln!("sms-serve: cannot read bound address: {e}");
+        std::process::exit(1);
+    });
+    if let Some(path) = &addr_file {
+        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+            eprintln!("sms-serve: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "sms-serve: listening on {addr} ({} workers, cache {})",
+        config.workers,
+        config.cache_dir.as_deref().map_or("off".to_owned(), |p| p.display().to_string()),
+    );
+    match server.run() {
+        Ok(()) => eprintln!("sms-serve: drained, exiting"),
+        Err(e) => {
+            eprintln!("sms-serve: accept loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,832 @@
+//! The resident sweep server.
+//!
+//! One process holds the warm state a fleet of one-shot CLI sweeps keeps
+//! rebuilding: prepared scenes (BVH included), the shared on-disk result
+//! cache, the JSONL journal, and a live metrics registry. Requests are
+//! split into `(scene, config, render)` jobs, deduplicated two ways —
+//! within a request (like `Harness::try_run_batch`) and *across* requests
+//! via a single-flight table, so two clients sweeping the same cell share
+//! one execution — then run on the `sms-harness` worker pool with global
+//! admission permits bounding concurrent simulations.
+//!
+//! Failure containment mirrors the harness: a panicking or
+//! watchdog-aborted job becomes a structured `run_failed`/`run_timeout`
+//! stream record, never a dropped connection; a stalled peer hits the
+//! per-connection socket timeouts; an overloaded server sheds connections
+//! and over-quota job batches with `503` + `Retry-After` instead of
+//! queueing unboundedly.
+//!
+//! Shutdown is a drain: `POST /v1/drain` (or SIGTERM in the binary) stops
+//! the accept loop, lets in-flight connections finish, flushes the
+//! journal, and returns from [`Server::run`] — the process exits 0. An
+//! abrupt kill instead leaves the journal replayable via `SMS_RESUME`
+//! (each job's `job_queued`/`job_finished` lines are flushed as written).
+
+use crate::http::{self, ChunkedWriter, HttpError, Limits, Request};
+use crate::metrics::ServerMetrics;
+use crate::protocol::{self, parse_render, parse_stack_config};
+use sms_harness::json::Json;
+use sms_harness::{pool, CacheKey, Event, Journal, ResultCache, RunError};
+use sms_sim::config::RenderConfig;
+use sms_sim::experiments::try_run_prepared;
+use sms_sim::gpu::SimStats;
+use sms_sim::render::PreparedScene;
+use sms_sim::sim::RunLimits;
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Process-wide drain request flag, for the binary's SIGTERM handler
+/// (a signal handler cannot reach into an [`Arc`]). The accept loop polls
+/// it alongside the server's own flag.
+static SIGNAL_DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// The flag a signal handler may set to request a graceful drain.
+pub fn signal_drain_flag() -> &'static AtomicBool {
+    &SIGNAL_DRAIN
+}
+
+/// Construction-time server knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads per sweep request *and* the global cap on
+    /// concurrently executing simulations across all requests.
+    pub workers: usize,
+    /// Active-connection bound; connections beyond it are shed with 503.
+    pub max_conns: usize,
+    /// Per-request job cap (`scenes × configs`); larger sweeps get a 400.
+    pub max_jobs_per_request: usize,
+    /// Global in-flight job bound; sweeps that would exceed it are shed
+    /// with 503 + `Retry-After`.
+    pub max_inflight_jobs: usize,
+    /// HTTP parsing limits and socket timeouts.
+    pub limits: Limits,
+    /// Shared result-cache directory; `None` disables the warm disk tier.
+    pub cache_dir: Option<PathBuf>,
+    /// JSONL journal path; `None` keeps the journal in memory only.
+    pub journal_path: Option<PathBuf>,
+    /// Watchdog limits applied to every served run. The observation
+    /// arms (`breakdown`/`metrics`) are ignored: served streams carry
+    /// `SimStats` only, byte-identical either way.
+    pub run_limits: RunLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            max_conns: 64,
+            max_jobs_per_request: 256,
+            max_inflight_jobs: (workers * 8).max(64),
+            limits: Limits::default(),
+            cache_dir: Some(default_cache_dir()),
+            journal_path: None,
+            run_limits: RunLimits::none(),
+        }
+    }
+}
+
+fn default_cache_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/sms-cache"))
+}
+
+fn env_positive(var: &str) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!("warning: {var}: expected a positive integer, got `{raw}` — ignoring");
+            None
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the environment knobs:
+    ///
+    /// * `SMS_SERVE_ADDR` — bind address (default `127.0.0.1:7745`).
+    /// * `SMS_SERVE_WORKERS` — worker threads / concurrent simulations.
+    /// * `SMS_SERVE_MAX_CONNS` — active-connection bound.
+    /// * `SMS_SERVE_MAX_JOBS` — per-request job cap.
+    /// * `SMS_SERVE_MAX_INFLIGHT` — global in-flight job bound.
+    /// * `SMS_SERVE_TIMEOUT_MS` — socket read timeout.
+    /// * `SMS_SERVE_MAX_BODY` — request-body byte cap.
+    /// * `SMS_CACHE_DIR` / `SMS_NO_CACHE=1` — shared cache directory.
+    /// * `SMS_SERVE_JOURNAL` (or `SMS_JOURNAL`) — journal path.
+    /// * `SMS_MAX_CYCLES` / `SMS_STALL_CYCLES` / `SMS_VALIDATE` — per-run
+    ///   watchdogs, exactly as in the CLI harness.
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig {
+            addr: std::env::var("SMS_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7745".to_owned()),
+            ..ServeConfig::default()
+        };
+        if let Some(n) = env_positive("SMS_SERVE_WORKERS") {
+            cfg.workers = n;
+        }
+        if let Some(n) = env_positive("SMS_SERVE_MAX_CONNS") {
+            cfg.max_conns = n;
+        }
+        if let Some(n) = env_positive("SMS_SERVE_MAX_JOBS") {
+            cfg.max_jobs_per_request = n;
+        }
+        if let Some(n) = env_positive("SMS_SERVE_MAX_INFLIGHT") {
+            cfg.max_inflight_jobs = n;
+        }
+        if let Some(ms) = env_positive("SMS_SERVE_TIMEOUT_MS") {
+            cfg.limits.read_timeout = Duration::from_millis(ms as u64);
+        }
+        if let Some(n) = env_positive("SMS_SERVE_MAX_BODY") {
+            cfg.limits.max_body = n;
+        }
+        if std::env::var("SMS_NO_CACHE").is_ok_and(|v| v == "1") {
+            cfg.cache_dir = None;
+        } else if let Ok(dir) = std::env::var("SMS_CACHE_DIR") {
+            cfg.cache_dir = Some(PathBuf::from(dir));
+        }
+        if let Ok(path) =
+            std::env::var("SMS_SERVE_JOURNAL").or_else(|_| std::env::var("SMS_JOURNAL"))
+        {
+            cfg.journal_path = Some(PathBuf::from(path));
+        }
+        let mut limits = RunLimits::from_env();
+        limits.breakdown = false;
+        limits.metrics = false;
+        cfg.run_limits = limits;
+        cfg
+    }
+}
+
+/// How a job's result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Served {
+    /// Loaded from the shared on-disk cache.
+    Hit,
+    /// Simulated by this request.
+    Miss,
+    /// Attached to another request's in-flight execution (single-flight).
+    Shared,
+}
+
+impl Served {
+    fn label(self) -> &'static str {
+        match self {
+            Served::Hit => "hit",
+            Served::Miss => "miss",
+            Served::Shared => "shared",
+        }
+    }
+}
+
+/// A single-flight cell: the leader publishes exactly once, followers
+/// block on the condvar.
+#[derive(Default)]
+struct JobCell {
+    done: Mutex<Option<Result<SimStats, RunError>>>,
+    cv: Condvar,
+}
+
+impl JobCell {
+    fn publish(&self, result: Result<SimStats, RunError>) {
+        let mut slot = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        *slot = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<SimStats, RunError> {
+        let mut slot = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Counting semaphore bounding concurrent simulations server-wide.
+struct SimPermits {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl SimPermits {
+    fn new(n: usize) -> Self {
+        SimPermits { free: Mutex::new(n.max(1)), cv: Condvar::new() }
+    }
+
+    fn acquire(&self) {
+        let mut free = self.free.lock().unwrap_or_else(PoisonError::into_inner);
+        while *free == 0 {
+            free = self.cv.wait(free).unwrap_or_else(PoisonError::into_inner);
+        }
+        *free -= 1;
+    }
+
+    fn release(&self) {
+        *self.free.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// Everything the handler threads share.
+struct ServerState {
+    config: ServeConfig,
+    cache: Option<ResultCache>,
+    /// Key computation even when the disk cache is off.
+    keyer: ResultCache,
+    journal: Journal,
+    metrics: ServerMetrics,
+    /// Warm prepared-scene tier, keyed by `(scene, render)` debug string.
+    scenes: Mutex<HashMap<String, Arc<PreparedScene>>>,
+    /// Single-flight table, keyed by canonical cache key.
+    inflight: Mutex<HashMap<String, Arc<JobCell>>>,
+    permits: SimPermits,
+    /// Server-unique job ids for the journal (stream ids are per-request).
+    job_seq: AtomicU64,
+    jobs_in_flight: AtomicU64,
+    draining: AtomicBool,
+    active_conns: AtomicU64,
+}
+
+impl ServerState {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || SIGNAL_DRAIN.load(Ordering::SeqCst)
+    }
+
+    /// Fetches (building and retaining on first use) a prepared scene.
+    /// Build panics surface as a structured error, and a failed build is
+    /// *not* retained, so a later request retries it.
+    fn prepared_scene(
+        &self,
+        scene: sms_sim::scene::SceneId,
+        render: &RenderConfig,
+    ) -> Result<Arc<PreparedScene>, RunError> {
+        let key = format!("{scene:?}|{render:?}");
+        if let Some(found) = self.scenes.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
+            return Ok(Arc::clone(found));
+        }
+        let built =
+            catch_unwind(AssertUnwindSafe(|| Arc::new(PreparedScene::build(scene, render))))
+                .map_err(|payload| RunError::Panicked {
+                    worker: 0,
+                    message: format!("scene preparation panicked: {}", panic_text(payload)),
+                })?;
+        let mut table = self.scenes.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(Arc::clone(table.entry(key).or_insert(built)))
+    }
+
+    /// Runs one job through cache, single-flight table and simulator.
+    /// Never panics outward; always publishes to followers.
+    fn execute(
+        &self,
+        req: &sms_harness::RunRequest,
+        key: &CacheKey,
+    ) -> (Result<SimStats, RunError>, Served) {
+        // Single-flight: first requester of a key becomes the leader.
+        let cell = {
+            let mut table = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+            match table.get(&key.canonical) {
+                Some(cell) => {
+                    let cell = Arc::clone(cell);
+                    drop(table);
+                    ServerMetrics::inc(&self.metrics.singleflight_shared);
+                    return (cell.wait(), Served::Shared);
+                }
+                None => {
+                    let cell = Arc::new(JobCell::default());
+                    table.insert(key.canonical.clone(), Arc::clone(&cell));
+                    cell
+                }
+            }
+        };
+
+        // Leader path. The catch_unwind turns any panic below into a
+        // structured error so followers can never be left waiting.
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.execute_leader(req, key)))
+            .unwrap_or_else(|payload| {
+                (Err(RunError::Panicked { worker: 0, message: panic_text(payload) }), Served::Miss)
+            });
+        cell.publish(outcome.0.clone());
+        self.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&key.canonical);
+        outcome
+    }
+
+    fn execute_leader(
+        &self,
+        req: &sms_harness::RunRequest,
+        key: &CacheKey,
+    ) -> (Result<SimStats, RunError>, Served) {
+        if let Some(cache) = &self.cache {
+            if let Some(stats) = cache.load(key) {
+                return (Ok(stats), Served::Hit);
+            }
+        }
+        let scene = match self.prepared_scene(req.scene, &req.render) {
+            Ok(scene) => scene,
+            Err(e) => return (Err(e), Served::Miss),
+        };
+        self.permits.acquire();
+        let limits = req.limits.or(self.config.run_limits);
+        let result = try_run_prepared(&scene, req.stack, req.gpu, &req.render, &limits);
+        self.permits.release();
+        match result {
+            Ok(run) => {
+                if let Some(cache) = &self.cache {
+                    cache.store(key, &run.stats);
+                }
+                (Ok(run.stats), Served::Miss)
+            }
+            Err(fault) => (Err(RunError::from_fault(fault)), Served::Miss),
+        }
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// A running (or ready-to-run) sweep server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// A cloneable remote control for a server: request a drain, read the
+/// bound address, inspect metrics.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    addr: std::net::SocketAddr,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain: stop accepting, finish in-flight work.
+    pub fn request_drain(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.state.draining()
+    }
+
+    /// Renders the live Prometheus metrics (same payload as `/metrics`).
+    pub fn render_metrics(&self) -> String {
+        self.state.metrics.render()
+    }
+}
+
+impl Server {
+    /// Binds the listener and prepares the shared state. The server does
+    /// not accept connections until [`Server::run`] is called.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let cache = config.cache_dir.clone().map(ResultCache::new);
+        let keyer = ResultCache::new(PathBuf::new());
+        let journal = Journal::new(config.journal_path.clone());
+        let workers = config.workers.max(1);
+        let state = Arc::new(ServerState {
+            cache,
+            keyer,
+            journal,
+            metrics: ServerMetrics::new(),
+            scenes: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            permits: SimPermits::new(workers),
+            job_seq: AtomicU64::new(0),
+            jobs_in_flight: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            active_conns: AtomicU64::new(0),
+            config,
+        });
+        // One batch_start at process scope: every later job_queued /
+        // job_finished pair keys the journal for SMS_RESUME replay.
+        state.journal.record(Event::BatchStart { jobs: 0, unique: 0, workers });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful with `addr = 127.0.0.1:0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A remote control handle for this server.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle { state: Arc::clone(&self.state), addr: self.local_addr()? })
+    }
+
+    /// Accepts connections until a drain is requested, then waits for all
+    /// in-flight connections, flushes the journal, and returns. Each
+    /// connection is handled on its own thread, one request per
+    /// connection.
+    pub fn run(self) -> std::io::Result<()> {
+        loop {
+            if self.state.draining() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let active = self.state.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
+                    if active > self.state.config.max_conns as u64 {
+                        // Load shed at the door: bounded accept queue.
+                        ServerMetrics::inc(&self.state.metrics.shed);
+                        let mut stream = stream;
+                        http::write_error(
+                            &mut stream,
+                            &HttpError {
+                                status: 503,
+                                message: "server at connection capacity; retry".to_owned(),
+                            },
+                        );
+                        self.state.active_conns.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || {
+                        handle_connection(&state, stream);
+                        state.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: finish in-flight connections, then flush the journal.
+        while self.state.active_conns.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.state.journal.record(Event::BatchEnd {
+            jobs: self.state.job_seq.load(Ordering::SeqCst) as usize,
+            cache_hits: self.state.metrics.cache_hits.load(Ordering::Relaxed) as usize,
+            cache_misses: self.state.metrics.cache_misses.load(Ordering::Relaxed) as usize,
+            failed: self.state.metrics.jobs_failed.load(Ordering::Relaxed) as usize,
+            duration_us: 0,
+            sim_cycles: 0,
+            breakdown: None,
+            metrics: None,
+        });
+        self.state.journal.flush();
+        Ok(())
+    }
+
+    /// Binds, then runs the accept loop on a background thread. Returns
+    /// the handle plus the join handle whose `Ok(())` is the drained exit.
+    pub fn spawn(
+        config: ServeConfig,
+    ) -> std::io::Result<(ServerHandle, std::thread::JoinHandle<std::io::Result<()>>)> {
+        let server = Server::bind(config)?;
+        let handle = server.handle()?;
+        let join = std::thread::spawn(move || server.run());
+        Ok((handle, join))
+    }
+}
+
+/// Routes one connection's single request.
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let t0 = Instant::now();
+    let request = match http::read_request(&mut stream, &state.config.limits) {
+        Ok(req) => req,
+        Err(e) => {
+            if (400..500).contains(&e.status) {
+                ServerMetrics::inc(&state.metrics.bad_requests);
+            }
+            http::write_error(&mut stream, &e);
+            return;
+        }
+    };
+    ServerMetrics::inc(&state.metrics.requests);
+    let outcome = route(state, &request, &mut stream);
+    if let Err(e) = outcome {
+        if (400..500).contains(&e.status) {
+            ServerMetrics::inc(&state.metrics.bad_requests);
+        }
+        http::write_error(&mut stream, &e);
+    }
+    state.metrics.observe_request(t0.elapsed().as_micros() as u64);
+}
+
+fn route(
+    state: &Arc<ServerState>,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> Result<(), HttpError> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            if state.draining() {
+                Err(HttpError { status: 503, message: "draining".to_owned() })
+            } else {
+                write_ok(stream, "text/plain", b"ok\n")
+            }
+        }
+        ("GET", "/metrics") => {
+            let text = state.metrics.render();
+            write_ok(stream, "text/plain; version=0.0.4", text.as_bytes())
+        }
+        ("POST", "/v1/drain") => {
+            state.draining.store(true, Ordering::SeqCst);
+            write_ok(stream, "text/plain", b"draining\n")
+        }
+        ("POST", "/v1/sweep") => handle_sweep(state, request, stream),
+        ("GET", path) if path.starts_with("/v1/jobs/") => handle_probe(state, request, stream),
+        _ => Err(HttpError {
+            status: 404,
+            message: format!("no route for {} {}", request.method, request.path),
+        }),
+    }
+}
+
+fn write_ok(stream: &mut TcpStream, content_type: &str, body: &[u8]) -> Result<(), HttpError> {
+    http::write_response(stream, 200, content_type, &[], body)
+        .map_err(|e| HttpError { status: 500, message: e.to_string() })
+}
+
+/// `GET /v1/jobs/<scene>/<config>[?render=<mode>]` — a pure cache probe:
+/// never simulates, answers 200 with the cached stats or 404.
+fn handle_probe(
+    state: &Arc<ServerState>,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> Result<(), HttpError> {
+    let bad = |message: String| HttpError { status: 400, message };
+    let rest = request.path.trim_start_matches("/v1/jobs/");
+    let (scene, config) = rest
+        .split_once('/')
+        .ok_or_else(|| bad("probe path must be /v1/jobs/<scene>/<config>".to_owned()))?;
+    let scene = scene.parse::<sms_sim::scene::SceneId>().map_err(|e| bad(e.to_string()))?;
+    let stack = parse_stack_config(config).map_err(bad)?;
+    let mut render_name = "fast".to_owned();
+    for pair in request.query.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("render", mode)) => render_name = mode.to_owned(),
+            _ => return Err(bad(format!("unknown query parameter `{pair}`"))),
+        }
+    }
+    let render = parse_render(&render_name).map_err(bad)?;
+    let req = sms_harness::RunRequest::new(scene, stack, render);
+    let key = state.keyer.key(&req);
+    let cached = state.cache.as_ref().and_then(|c| c.load(&key));
+    match cached {
+        Some(stats) => {
+            let doc = Json::Obj(vec![
+                ("key".to_owned(), Json::Str(key.canonical.clone())),
+                ("scene".to_owned(), Json::Str(scene.name().to_owned())),
+                ("config".to_owned(), Json::Str(stack.label())),
+                ("render".to_owned(), Json::Str(render_name)),
+                ("stats".to_owned(), sms_harness::cache::stats_to_json(&stats)),
+            ]);
+            write_ok(stream, "application/json", format!("{doc}\n").as_bytes())
+        }
+        None => Err(HttpError { status: 404, message: format!("no cached result for {rest}") }),
+    }
+}
+
+/// `POST /v1/sweep` — admit, dedupe, execute, stream.
+fn handle_sweep(
+    state: &Arc<ServerState>,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> Result<(), HttpError> {
+    if state.draining() {
+        ServerMetrics::inc(&state.metrics.shed);
+        return Err(HttpError {
+            status: 503,
+            message: "draining; not accepting sweeps".to_owned(),
+        });
+    }
+    let sweep = protocol::parse_sweep(&request.body, state.config.max_jobs_per_request)
+        .map_err(|message| HttpError { status: 400, message })?;
+
+    // Request-level dedup on the canonical key (same identity as the
+    // cache and the single-flight table); duplicate cells coalesce into
+    // one streamed job, exactly like `Harness::try_run_batch`.
+    let mut jobs: Vec<(sms_harness::RunRequest, CacheKey)> = Vec::new();
+    for req in &sweep.requests {
+        let key = state.keyer.key(req);
+        if !jobs.iter().any(|(_, k)| k.canonical == key.canonical) {
+            jobs.push((*req, key));
+        }
+    }
+
+    // Global admission: shed rather than queue unboundedly.
+    let admitted = loop {
+        let current = state.jobs_in_flight.load(Ordering::SeqCst);
+        let next = current + jobs.len() as u64;
+        if next > state.config.max_inflight_jobs as u64 {
+            break false;
+        }
+        if state
+            .jobs_in_flight
+            .compare_exchange(current, next, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            break true;
+        }
+    };
+    if !admitted {
+        ServerMetrics::inc(&state.metrics.shed);
+        return Err(HttpError {
+            status: 503,
+            message: format!(
+                "{} jobs in flight; retry later",
+                state.jobs_in_flight.load(Ordering::SeqCst)
+            ),
+        });
+    }
+    state
+        .metrics
+        .jobs_in_flight
+        .store(state.jobs_in_flight.load(Ordering::SeqCst), Ordering::Relaxed);
+
+    let t0 = Instant::now();
+    let mut writer = ChunkedWriter::start(stream, 200, "application/jsonl")
+        .map_err(|e| HttpError { status: 500, message: e.to_string() })?;
+
+    // Announce every admitted job on the stream and in the journal. The
+    // stream uses request-local ids (a self-contained journal fragment);
+    // the process journal uses server-unique ids so concurrent requests
+    // cannot collide in SMS_RESUME replay.
+    let journal_base = state.job_seq.fetch_add(jobs.len() as u64, Ordering::SeqCst);
+    for (local, (req, key)) in jobs.iter().enumerate() {
+        ServerMetrics::inc(&state.metrics.jobs);
+        let line = protocol::job_queued_event(local, req, &key.canonical).to_json().to_string();
+        let _ = writer.chunk(format!("{line}\n").as_bytes());
+        state.journal.record(protocol::job_queued_event(
+            journal_base as usize + local,
+            req,
+            &key.canonical,
+        ));
+    }
+
+    // Execute on the pool; stream each record the moment its job settles.
+    // The sender sits behind a mutex because the pool shares the closure
+    // across workers (`mpsc::Sender` is not `Sync` on older toolchains);
+    // one uncontended lock per finished job is noise next to a simulation.
+    let (tx, rx) = mpsc::channel::<(String, Served, bool)>();
+    let runner = Arc::clone(state);
+    let jobs_ref = &jobs;
+    let counts = std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let tx = Mutex::new(tx);
+            pool::try_run_indexed(runner.config.workers, jobs_ref.len(), |i, worker| {
+                let (req, key) = &jobs_ref[i];
+                runner.journal.record(Event::JobStarted { job: journal_base as usize + i, worker });
+                let job_start = Instant::now();
+                let (outcome, served) = runner.execute(req, key);
+                let duration_us = job_start.elapsed().as_micros() as u64;
+                runner.metrics.observe_job(duration_us);
+                let line = render_job_line(
+                    &runner,
+                    i,
+                    journal_base as usize + i,
+                    worker,
+                    &outcome,
+                    served,
+                    duration_us,
+                );
+                let _ = tx.lock().unwrap_or_else(PoisonError::into_inner).send((
+                    line,
+                    served,
+                    outcome.is_err(),
+                ));
+            })
+            // The sender (inside `tx`) drops here, ending the rx loop.
+        });
+        // Stream lines in completion order; each is flushed as one chunk.
+        let mut sim_cycles = 0u64;
+        let mut hits = 0usize;
+        let mut misses = 0usize;
+        let mut failed = 0usize;
+        for (line, served, is_err) in rx {
+            // A closed peer is not an error: keep executing so the cache
+            // and journal still warm up for the next request.
+            let _ = writer.chunk(line.as_bytes());
+            if is_err {
+                failed += 1;
+            } else if served == Served::Miss {
+                misses += 1;
+                sim_cycles += cycles_of(&line);
+            } else {
+                hits += 1;
+            }
+        }
+        (hits, misses, failed, sim_cycles)
+    });
+    state.jobs_in_flight.fetch_sub(jobs.len() as u64, Ordering::SeqCst);
+    state
+        .metrics
+        .jobs_in_flight
+        .store(state.jobs_in_flight.load(Ordering::SeqCst), Ordering::Relaxed);
+
+    let (hits, misses, failed, sim_cycles) = counts;
+    let summary = Event::BatchEnd {
+        jobs: jobs.len(),
+        cache_hits: hits,
+        cache_misses: misses,
+        failed,
+        duration_us: t0.elapsed().as_micros() as u64,
+        sim_cycles,
+        breakdown: None,
+        metrics: None,
+    };
+    state.journal.record(summary.clone());
+    let _ = writer.chunk(format!("{}\n", summary.to_json()).as_bytes());
+    let _ = writer.finish();
+    Ok(())
+}
+
+/// Pulls the `cycles` field back out of a finished-job line (the line was
+/// just rendered from a well-formed event, so a parse miss means 0).
+fn cycles_of(line: &str) -> u64 {
+    sms_harness::json::parse(line.trim()).ok().and_then(|doc| doc.u64_field("cycles")).unwrap_or(0)
+}
+
+/// Builds one stream line (journal codec, with the single-flight `shared`
+/// marker patched into the `cache` field) and mirrors it into the process
+/// journal under the server-unique job id.
+fn render_job_line(
+    state: &Arc<ServerState>,
+    local_job: usize,
+    journal_job: usize,
+    worker: usize,
+    outcome: &Result<SimStats, RunError>,
+    served: Served,
+    duration_us: u64,
+) -> String {
+    match outcome {
+        Ok(stats) => {
+            match served {
+                Served::Hit => ServerMetrics::inc(&state.metrics.cache_hits),
+                Served::Miss => ServerMetrics::inc(&state.metrics.cache_misses),
+                Served::Shared => {}
+            }
+            let event = |job: usize| Event::JobFinished {
+                job,
+                worker: Some(worker),
+                cache_hit: served != Served::Miss,
+                cycles: stats.cycles,
+                duration_us,
+                stats: Some(*stats),
+                breakdown: None,
+            };
+            state.journal.record(event(journal_job));
+            let mut doc = event(local_job).to_json();
+            if served == Served::Shared {
+                if let Json::Obj(pairs) = &mut doc {
+                    for (k, v) in pairs.iter_mut() {
+                        if k == "cache" {
+                            *v = Json::Str(Served::Shared.label().to_owned());
+                        }
+                    }
+                }
+            }
+            format!("{doc}\n")
+        }
+        Err(e) => {
+            ServerMetrics::inc(&state.metrics.jobs_failed);
+            let event = |job: usize| {
+                if e.is_timeout() {
+                    Event::RunTimeout {
+                        job,
+                        worker,
+                        kind: e.kind().to_owned(),
+                        error: e.to_string(),
+                        duration_us,
+                    }
+                } else {
+                    Event::RunFailed {
+                        job,
+                        worker,
+                        kind: e.kind().to_owned(),
+                        error: e.to_string(),
+                        duration_us,
+                    }
+                }
+            };
+            state.journal.record(event(journal_job));
+            format!("{}\n", event(local_job).to_json())
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! End-to-end contract of the sweep service over real sockets.
+//!
+//! Every test binds an ephemeral loopback port and drives a full server
+//! through the public client (or a raw socket, for the fuzz cases):
+//! lifecycle with graceful drain, stats byte-identity with the direct
+//! simulation path, single-flight coalescing of concurrent identical
+//! sweeps, structured per-job failures, malformed-request handling, and
+//! two server processes sharing one cache directory.
+
+use sms_serve::client::{Client, ClientConfig};
+use sms_serve::server::{ServeConfig, Server};
+use sms_sim::config::RenderConfig;
+use sms_sim::experiments::try_run_prepared;
+use sms_sim::gpu::GpuConfig;
+use sms_sim::render::PreparedScene;
+use sms_sim::rtunit::StackConfig;
+use sms_sim::scene::SceneId;
+use sms_sim::sim::RunLimits;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sms-serve-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn test_config(cache_dir: Option<PathBuf>) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        cache_dir,
+        journal_path: None,
+        ..ServeConfig::default()
+    }
+}
+
+fn quick_client(addr: std::net::SocketAddr) -> Client {
+    Client::with_config(ClientConfig {
+        addr: addr.to_string(),
+        retries: 2,
+        base_backoff: Duration::from_millis(10),
+        deadline: Duration::from_secs(120),
+        ..ClientConfig::default()
+    })
+}
+
+/// Full lifecycle: sweep → cache-probe → metrics → drain → clean exit,
+/// with served stats byte-identical to a direct simulation, and the
+/// journal left replayable.
+#[test]
+fn lifecycle_sweep_probe_metrics_drain() {
+    let dir = temp_dir("lifecycle");
+    let journal = dir.join("journal.jsonl");
+    let config =
+        ServeConfig { journal_path: Some(journal.clone()), ..test_config(Some(dir.join("cache"))) };
+    let (handle, join) = Server::spawn(config).unwrap();
+    let client = quick_client(handle.addr());
+
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    let outcome = client.sweep(&["WKND", "SHIP"], &["RB_8", "RB_8+SH_8"], "tiny").unwrap();
+    assert_eq!(outcome.records.len(), 4);
+    for rec in &outcome.records {
+        let stats = rec.outcome.as_ref().expect("all jobs must succeed");
+        assert!(stats.cycles > 0);
+        assert_eq!(rec.cache, "miss", "cold server must simulate");
+    }
+    let summary = outcome.summary.as_ref().expect("stream must close with batch_end");
+    assert_eq!(summary.u64_field("jobs"), Some(4));
+    assert_eq!(summary.u64_field("failed"), Some(0));
+
+    // Byte identity: the served counters equal a direct in-process run.
+    let render = RenderConfig::tiny();
+    let prepared = PreparedScene::build(SceneId::Wknd, &render);
+    let direct = try_run_prepared(
+        &prepared,
+        StackConfig::baseline8(),
+        GpuConfig::default(),
+        &render,
+        &RunLimits::none(),
+    )
+    .unwrap();
+    let served = *outcome
+        .records
+        .iter()
+        .find(|r| r.scene == "WKND" && r.config == "RB_8")
+        .unwrap()
+        .outcome
+        .as_ref()
+        .unwrap();
+    assert_eq!(served, direct.stats, "served stats must be byte-identical to a direct run");
+
+    // Warm pass: every cell now comes from the shared cache.
+    let warm = client.sweep(&["WKND", "SHIP"], &["RB_8", "RB_8+SH_8"], "tiny").unwrap();
+    assert!(warm.records.iter().all(|r| r.cache == "hit"), "second sweep must be all cache hits");
+    let warm_wknd = warm.records.iter().find(|r| r.scene == "WKND" && r.config == "RB_8");
+    assert_eq!(*warm_wknd.unwrap().outcome.as_ref().unwrap(), direct.stats);
+
+    // Cache probe answers without simulating; unknown cells 404.
+    let probe = client.get("/v1/jobs/WKND/RB_8?render=tiny").unwrap();
+    assert_eq!(probe.status, 200);
+    assert!(probe.text().contains("\"stats\""));
+    assert_eq!(client.get("/v1/jobs/WKND/RB_X?render=tiny").unwrap().status, 400);
+    assert_eq!(client.get("/v1/jobs/WKND/RB_4?render=tiny").unwrap().status, 404);
+
+    // Live metrics parse strictly and reflect the work done.
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    sms_metrics::prom::validate(&text).expect("/metrics must parse strictly");
+    assert!(text.contains("sms_serve_jobs_total 8"), "8 jobs served:\n{text}");
+    assert!(text.contains("sms_serve_cache_hits_total 4"));
+    assert!(text.contains("sms_serve_cache_misses_total 4"));
+
+    // Graceful drain: 200, then the accept loop exits cleanly.
+    assert_eq!(client.post("/v1/drain", &[]).unwrap().status, 200);
+    join.join().unwrap().expect("drained server must exit cleanly");
+
+    // The journal the server left behind is a valid resume source: all 4
+    // unique cells are recoverable.
+    let resumed = sms_harness::ResumeState::load(&journal);
+    assert_eq!(resumed.len(), 4, "journal must replay every completed cell");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A drain requested while a sweep is in flight lets that sweep finish —
+/// the response stream still closes with `batch_end` — before the process
+/// exits.
+#[test]
+fn drain_finishes_in_flight_sweeps() {
+    let dir = temp_dir("drain");
+    let (handle, join) = Server::spawn(test_config(Some(dir.join("cache")))).unwrap();
+    let addr = handle.addr();
+
+    let sweeper = std::thread::spawn(move || {
+        quick_client(addr).sweep(&["WKND"], &["RB_8", "RB_8+SH_8", "RB_FULL"], "tiny")
+    });
+    // Let the sweep get admitted, then drain mid-flight.
+    std::thread::sleep(Duration::from_millis(30));
+    let _ = quick_client(addr).post("/v1/drain", &[]);
+
+    let outcome = sweeper.join().unwrap().expect("in-flight sweep must complete across a drain");
+    assert_eq!(outcome.records.len(), 3);
+    assert!(outcome.records.iter().all(|r| r.outcome.is_ok()));
+    assert!(outcome.summary.is_some(), "stream must close with batch_end even while draining");
+    join.join().unwrap().unwrap();
+
+    // Once drained the listener is gone: connects fail or are reset.
+    assert!(quick_client(addr).get("/healthz").is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent identical sweeps coalesce: with the disk cache off, N
+/// clients asking for the same cell must not run N simulations.
+#[test]
+fn single_flight_coalesces_identical_in_flight_sweeps() {
+    let (handle, join) = Server::spawn(test_config(None)).unwrap();
+    let addr = handle.addr();
+    const CLIENTS: usize = 4;
+
+    let sweeps: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || quick_client(addr).sweep(&["SHIP"], &["RB_8+SH_8"], "tiny"))
+        })
+        .collect();
+    let outcomes: Vec<_> =
+        sweeps.into_iter().map(|t| t.join().unwrap().expect("sweep must succeed")).collect();
+
+    let mut misses = 0usize;
+    let mut shared = 0usize;
+    let mut cycles = Vec::new();
+    for outcome in &outcomes {
+        assert_eq!(outcome.records.len(), 1);
+        let rec = &outcome.records[0];
+        match rec.cache.as_str() {
+            "miss" => misses += 1,
+            "shared" => shared += 1,
+            other => panic!("cache-less server cannot serve `{other}`"),
+        }
+        cycles.push(rec.outcome.as_ref().unwrap().cycles);
+    }
+    assert_eq!(misses + shared, CLIENTS);
+    assert!(misses >= 1, "someone must have simulated");
+    assert!(shared >= 1, "concurrent identical sweeps must coalesce (got {misses} simulations)");
+    cycles.dedup();
+    assert_eq!(cycles.len(), 1, "every client must see the same result");
+
+    // The metrics agree with the stream.
+    let text = handle.render_metrics();
+    assert!(text.contains(&format!("sms_serve_singleflight_shared_total {shared}")), "{text}");
+
+    handle.request_drain();
+    join.join().unwrap().unwrap();
+}
+
+/// A watchdog-aborted run comes back as a structured `run_timeout` stream
+/// record — the connection survives, the other jobs finish, and the
+/// server stays healthy.
+#[test]
+fn watchdog_abort_is_a_structured_stream_error() {
+    let config = ServeConfig {
+        run_limits: RunLimits { max_cycles: Some(50), ..RunLimits::none() },
+        ..test_config(None)
+    };
+    let (handle, join) = Server::spawn(config).unwrap();
+    let client = quick_client(handle.addr());
+
+    let outcome = client.sweep(&["WKND"], &["RB_8"], "tiny").unwrap();
+    assert_eq!(outcome.records.len(), 1);
+    let err = outcome.records[0].outcome.as_ref().unwrap_err();
+    assert!(err.contains("cycle budget"), "diagnostic must survive the wire: {err}");
+    assert_eq!(outcome.summary.as_ref().unwrap().u64_field("failed"), Some(1));
+
+    assert_eq!(client.get("/healthz").unwrap().status, 200, "server must survive job failures");
+    let text = handle.render_metrics();
+    assert!(text.contains("sms_serve_jobs_failed_total 1"), "{text}");
+
+    handle.request_drain();
+    join.join().unwrap().unwrap();
+}
+
+/// Raw-socket fuzz: malformed requests get 4xx responses, never a hang or
+/// a dead server.
+#[test]
+fn malformed_requests_get_4xx_not_panic() {
+    let (handle, join) = Server::spawn(test_config(None)).unwrap();
+    let addr = handle.addr();
+
+    let exchange = |payload: &[u8]| -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(payload).unwrap();
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        String::from_utf8_lossy(&out).into_owned()
+    };
+    let status = |resp: &str| -> u16 {
+        resp.split(' ').nth(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            panic!("no status line in response: {resp:?}");
+        })
+    };
+
+    // (payload, expected status class or exact status)
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        (b"BLAH /v1/sweep HTTP/1.1\r\n\r\n".to_vec(), 400),
+        (b"DELETE /v1/sweep HTTP/1.1\r\n\r\n".to_vec(), 405),
+        (b"POST /v1/sweep HTTP/1.1\r\nContent-Length: nope\r\n\r\n".to_vec(), 400),
+        (b"POST /v1/sweep HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n".to_vec(), 413),
+        (b"POST /v1/sweep HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(), 501),
+        (b"POST /v1/sweep HTTP/1.1\r\nContent-Length: 8\r\n\r\nnot json".to_vec(), 400),
+        (
+            {
+                let body = br#"{"scenes":[],"configs":["RB_8"]}"#;
+                let mut req =
+                    format!("POST /v1/sweep HTTP/1.1\r\nContent-Length: {}\r\n\r\n", body.len())
+                        .into_bytes();
+                req.extend_from_slice(body);
+                req
+            },
+            400,
+        ),
+        (b"GET /v1/nope HTTP/1.1\r\n\r\n".to_vec(), 404),
+        (b"GET /v1/jobs/NOPE/RB_8 HTTP/1.1\r\n\r\n".to_vec(), 400),
+        (b"\xff\xfe\x00garbage\r\n\r\n".to_vec(), 400),
+    ];
+    for (payload, expected) in &cases {
+        let resp = exchange(payload);
+        assert_eq!(
+            status(&resp),
+            *expected,
+            "payload {:?} must answer {expected}",
+            String::from_utf8_lossy(payload)
+        );
+    }
+
+    // An oversized sweep (beyond the per-request job cap) is a 400.
+    let config =
+        SceneId::ALL.iter().map(|s| format!("\"{}\"", s.name())).collect::<Vec<_>>().join(",");
+    let configs: Vec<String> = (1..=64).map(|n| format!("\"RB_{n}\"")).collect();
+    let body = format!("{{\"scenes\":[{config}],\"configs\":[{}]}}", configs.join(","));
+    let oversized =
+        format!("POST /v1/sweep HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+    let resp = exchange(oversized.as_bytes());
+    assert_eq!(status(&resp), 400);
+    assert!(resp.contains("exceeds"), "{resp}");
+
+    // After all that abuse the server still works.
+    assert_eq!(quick_client(addr).get("/healthz").unwrap().status, 200);
+    let text = handle.render_metrics();
+    assert!(text.contains("sms_serve_bad_requests_total"), "{text}");
+
+    handle.request_drain();
+    join.join().unwrap().unwrap();
+}
+
+/// Two server instances sharing one cache directory: a cell simulated by
+/// the first is a disk hit for the second (the locked first-writer-wins
+/// cache is the shared tier).
+#[test]
+fn two_servers_share_one_cache_dir() {
+    let dir = temp_dir("shared-cache");
+    let cache = dir.join("cache");
+
+    let (handle_a, join_a) = Server::spawn(test_config(Some(cache.clone()))).unwrap();
+    let cold = quick_client(handle_a.addr()).sweep(&["WKND"], &["RB_8"], "tiny").unwrap();
+    assert_eq!(cold.records[0].cache, "miss");
+    let stats_a = *cold.records[0].outcome.as_ref().unwrap();
+    handle_a.request_drain();
+    join_a.join().unwrap().unwrap();
+
+    let (handle_b, join_b) = Server::spawn(test_config(Some(cache))).unwrap();
+    let client_b = quick_client(handle_b.addr());
+    let warm = client_b.sweep(&["WKND"], &["RB_8"], "tiny").unwrap();
+    assert_eq!(warm.records[0].cache, "hit", "second instance must hit the shared cache");
+    assert_eq!(*warm.records[0].outcome.as_ref().unwrap(), stats_a);
+    // And its probe endpoint sees the other instance's work too.
+    assert_eq!(client_b.get("/v1/jobs/WKND/RB_8?render=tiny").unwrap().status, 200);
+    handle_b.request_drain();
+    join_b.join().unwrap().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
