@@ -21,6 +21,10 @@ cargo test -q -p sms-harness --test journal_schema
 cargo test -q -p sms-harness --lib json::
 cargo test -q -p sms-harness --lib journal::
 
+echo "==> HLBVH suite (builder unit tests, golden vs binned SAH, worker determinism)"
+cargo test -q -p sms-bvh --lib hlbvh
+cargo test -q -p sms-sim --test hlbvh_golden
+
 echo "==> SMS_TRACE smoke (well-formed Chrome-trace JSON, Σ buckets == cycles)"
 cargo test -q -p sms-harness --test trace_export
 cargo test -q -p sms-sim --test attribution
@@ -33,7 +37,7 @@ cargo test -q -p sms-harness --test metrics_byte_identity
 
 echo "==> SMS_METRICS smoke (armed sweep; per-job Prometheus/CSV dumps strictly parsed)"
 rm -f target/metrics.*.prom target/metrics.*.csv
-SMS_METRICS=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP \
+SMS_METRICS=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP SMS_BUILD_BENCH=0 \
   SMS_METRICS_OUT=target/metrics.prom SMS_METRICS_CSV=target/metrics.csv \
   SMS_BENCH_OUT=target/BENCH_smoke.json SMS_BENCH_METRICS_OUT=target/BENCH_metrics.json \
   cargo run --release -q -p sms-bench --bin perf_baseline > /dev/null
@@ -44,6 +48,7 @@ echo "==> proptest suite (opt-in: needs crates.io; skipped when offline)"
 if cargo metadata --offline --manifest-path crates/proptests/Cargo.toml \
      --format-version 1 > /dev/null 2>&1; then
   cargo test -q --manifest-path crates/proptests/Cargo.toml --test prop_metrics
+  cargo test -q --manifest-path crates/proptests/Cargo.toml --test prop_hlbvh
 else
   echo "    (skipped: proptest registry deps unavailable offline)"
 fi
@@ -53,8 +58,13 @@ SMS_BREAKDOWN=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP \
   cargo bench --bench breakdown_stalls > /dev/null
 
 echo "==> validator-on sweep smoke (SMS_VALIDATE=1, cache bypassed)"
-SMS_VALIDATE=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP \
+SMS_VALIDATE=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP SMS_BUILD_BENCH=0 \
   SMS_BENCH_OUT=target/BENCH_validate.json \
+  cargo run --release -q -p sms-bench --bin perf_baseline > /dev/null
+
+echo "==> SMS_HLBVH sweep smoke (HLBVH-built trees, cache bypassed both directions)"
+SMS_HLBVH=1 SMS_SCENES=WKND,SHIP SMS_BUILD_BENCH=0 \
+  SMS_BENCH_OUT=target/BENCH_hlbvh.json \
   cargo run --release -q -p sms-bench --bin perf_baseline > /dev/null
 
 echo "==> serve smoke (ephemeral port, client sweep, /metrics + /healthz, graceful drain)"
@@ -98,7 +108,8 @@ cargo clippy -p sms-harness --lib -- -D warnings
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
-echo "==> perf_baseline smoke (throughput is informational, no threshold)"
+echo "==> perf_baseline + HLBVH build-throughput smoke (timed; includes the"
+echo "    SAH-vs-HLBVH build matrix on the paper-scale scaled scenes)"
 time SMS_SCENES=WKND,SHIP SMS_BENCH_OUT=target/BENCH_core.json \
   cargo run --release -q -p sms-bench --bin perf_baseline
 

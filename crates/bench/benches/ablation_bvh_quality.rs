@@ -30,7 +30,7 @@ fn main() {
             let params = BuildParams { split, ..BuildParams::default() };
             let bvh = WideBvh::build(&scene.prims, &params);
             let flat = sms_sim::bvh::FlatBvh::from_wide(&bvh);
-            let prepared = PreparedScene { scene, bvh, flat };
+            let prepared = PreparedScene { scene, bvh, flat, build_us: 0 };
 
             // Depth statistics from the functional renderer.
             let out = sms_sim::render::render(&prepared, &render);

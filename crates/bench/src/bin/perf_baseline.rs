@@ -20,15 +20,68 @@
 
 use sms_harness::json::Json;
 use sms_harness::{cache, BatchMetrics, Event, Harness, HarnessConfig};
+use sms_sim::bvh::{BuildParams, SplitMethod, WideBvh};
 use sms_sim::config::RenderConfig;
 use sms_sim::experiments;
 use sms_sim::rtunit::StackConfig;
+use sms_sim::scene::{Scene, SceneId};
 
 fn unix_timestamp() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0)
+}
+
+/// Times one `WideBvh` build over the scene's primitives, in microseconds.
+fn time_build(scene: &Scene, params: &BuildParams) -> u64 {
+    let start = std::time::Instant::now();
+    std::hint::black_box(WideBvh::build(&scene.prims, params));
+    start.elapsed().as_micros() as u64
+}
+
+/// BVH build-throughput matrix: binned SAH vs parallel HLBVH on scenes
+/// scaled to paper-class triangle counts (`Scene::build_scaled`). Returns
+/// one JSON row per scene with wall times and tris/s for both builders.
+/// Skipped when `SMS_BUILD_BENCH=0` (CI smokes that only exercise the
+/// sweep path set it, keeping those steps fast).
+fn build_bench() -> Vec<Json> {
+    let own = |s: &str| s.to_owned();
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // SHIP at detail 20 crosses one million triangles; ROBOT at detail 3
+    // doubles that — both paper-scale anchors, ROBOT the largest.
+    let matrix = [(SceneId::Ship, 20u32), (SceneId::Robot, 3u32)];
+    let mut rows = Vec::new();
+    for (id, detail) in matrix {
+        let scene = Scene::build_scaled(id, detail);
+        let tris = scene.prims.len() as u64;
+        let sah = BuildParams { split: SplitMethod::BinnedSah, ..BuildParams::default() };
+        let sah_us = time_build(&scene, &sah).max(1);
+        let hlbvh_us = time_build(&scene, &BuildParams::hlbvh(workers)).max(1);
+        let per_sec = |us: u64| tris as f64 / (us as f64 / 1.0e6);
+        let speedup = sah_us as f64 / hlbvh_us as f64;
+        println!(
+            "build {:>5} detail {detail:>2}: {tris:>8} tris | sah {:>9} us ({:>12.0} tris/s) | \
+             hlbvh {:>9} us ({:>12.0} tris/s) | {speedup:.1}x",
+            id.name(),
+            sah_us,
+            per_sec(sah_us),
+            hlbvh_us,
+            per_sec(hlbvh_us),
+        );
+        rows.push(Json::Obj(vec![
+            (own("scene"), Json::Str(id.name().to_owned())),
+            (own("detail"), Json::U64(detail as u64)),
+            (own("tris"), Json::U64(tris)),
+            (own("workers"), Json::U64(workers as u64)),
+            (own("sah_build_us"), Json::U64(sah_us)),
+            (own("hlbvh_build_us"), Json::U64(hlbvh_us)),
+            (own("sah_tris_per_sec"), Json::F64(per_sec(sah_us))),
+            (own("hlbvh_tris_per_sec"), Json::F64(per_sec(hlbvh_us))),
+            (own("speedup"), Json::F64(speedup)),
+        ]));
+    }
+    rows
 }
 
 fn quiet_config() -> HarnessConfig {
@@ -91,6 +144,13 @@ fn main() {
         }
     }
 
+    let builds = if std::env::var("SMS_BUILD_BENCH").as_deref() == Ok("0") {
+        Vec::new()
+    } else {
+        println!("\n--- BVH build throughput (binned SAH vs HLBVH, scaled scenes) ---");
+        build_bench()
+    };
+
     let timestamp = unix_timestamp();
     let doc = Json::Obj(vec![
         (own("bench"), Json::Str(own("perf_baseline"))),
@@ -104,6 +164,7 @@ fn main() {
         (own("runs_per_sec"), Json::F64(summary.runs_per_sec())),
         (own("sim_cycles_per_sec"), Json::F64(summary.sim_cycles_per_sec())),
         (own("runs"), Json::Arr(runs)),
+        (own("builds"), Json::Arr(builds)),
     ]);
     let out = std::env::var("SMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_core.json".to_owned());
     let mut history =
@@ -114,6 +175,18 @@ fn main() {
             Some(obj @ Json::Obj(_)) => vec![obj],
             _ => Vec::new(),
         };
+    // History hygiene: every entry must be a timestamped object so the
+    // series stays sortable. Non-objects are rejected; early entries
+    // written before the timestamp field existed are repaired in place
+    // with epoch 0 (visibly "before history began").
+    history.retain(|e| matches!(e, Json::Obj(_)));
+    for entry in &mut history {
+        if let Json::Obj(fields) = entry {
+            if !fields.iter().any(|(k, _)| k == "timestamp") {
+                fields.insert(1.min(fields.len()), (own("timestamp"), Json::U64(0)));
+            }
+        }
+    }
     history.push(doc);
     std::fs::write(&out, format!("{}\n", Json::Arr(history))).expect("write benchmark output");
     println!("\nappended entry to {out}");

@@ -20,6 +20,12 @@ pub enum SplitMethod {
     /// several children per node and traversal stacks go deeper — matching
     /// the stack-depth distributions the paper reports (Figs. 4/5).
     Median,
+    /// Parallel HLBVH: Morton-code the centroids, radix-sort in linear
+    /// time, emit treelets bottom-up and collapse the upper levels with
+    /// binned SAH (see [`crate::hlbvh`]). Linear-time and fanned out over
+    /// [`BuildParams::workers`] threads — the builder for paper-scale
+    /// (multi-million-triangle) scenes.
+    Hlbvh,
 }
 
 /// Parameters controlling BVH construction.
@@ -34,6 +40,10 @@ pub struct BuildParams {
     pub branching_factor: usize,
     /// Split strategy.
     pub split: SplitMethod,
+    /// Worker threads for parallel builders ([`SplitMethod::Hlbvh`]); the
+    /// serial builders ignore it. Any worker count produces byte-identical
+    /// trees, so this is purely a wall-clock knob.
+    pub workers: usize,
 }
 
 impl Default for BuildParams {
@@ -45,6 +55,7 @@ impl Default for BuildParams {
             traversal_cost: 1.0,
             branching_factor: 6,
             split: SplitMethod::Median,
+            workers: 1,
         }
     }
 }
@@ -53,6 +64,11 @@ impl BuildParams {
     /// A high-quality binned-SAH configuration (for BVH-quality ablations).
     pub fn sah() -> Self {
         BuildParams { split: SplitMethod::BinnedSah, ..BuildParams::default() }
+    }
+
+    /// The parallel HLBVH configuration fanned out over `workers` threads.
+    pub fn hlbvh(workers: usize) -> Self {
+        BuildParams { split: SplitMethod::Hlbvh, workers, ..BuildParams::default() }
     }
 }
 
@@ -103,6 +119,9 @@ impl BinaryBvh {
     /// An empty primitive list yields a single empty leaf so that traversal
     /// code never needs a special case.
     pub fn build<P: Primitive>(prims: &[P], params: &BuildParams) -> Self {
+        if params.split == SplitMethod::Hlbvh {
+            return crate::hlbvh::build_hlbvh(prims, params);
+        }
         let mut info: Vec<PrimInfo> = prims
             .iter()
             .enumerate()
@@ -139,11 +158,12 @@ impl BinaryBvh {
     }
 }
 
+/// Per-primitive build record shared by every builder in this crate.
 #[derive(Debug, Clone, Copy)]
-struct PrimInfo {
-    index: u32,
-    centroid: sms_geom::Vec3,
-    aabb: Aabb,
+pub(crate) struct PrimInfo {
+    pub(crate) index: u32,
+    pub(crate) centroid: sms_geom::Vec3,
+    pub(crate) aabb: Aabb,
 }
 
 /// Builds the subtree for `info[first..first+count]` into `nodes[node_id]`.
@@ -170,6 +190,8 @@ fn build_recursive(
     }
 
     let split = match params.split {
+        // `build` dispatches HLBVH to its own module before recursing.
+        SplitMethod::Hlbvh => unreachable!("HLBVH never reaches build_recursive"),
         SplitMethod::BinnedSah => {
             find_best_split(&info[first..first + count], &centroid_bounds, &bounds, params)
         }
@@ -223,7 +245,7 @@ fn build_recursive(
 const MEDIAN_SPLIT: (usize, f32) = (usize::MAX, 0.0);
 
 /// Deterministically orders primitives along the widest centroid axis.
-fn sort_along_widest_axis(slice: &mut [PrimInfo], centroid_bounds: &Aabb) {
+pub(crate) fn sort_along_widest_axis(slice: &mut [PrimInfo], centroid_bounds: &Aabb) {
     let axis = centroid_bounds.extent().max_axis();
     slice.sort_by(|a, b| {
         a.centroid[axis]
@@ -234,7 +256,7 @@ fn sort_along_widest_axis(slice: &mut [PrimInfo], centroid_bounds: &Aabb) {
 }
 
 /// Finds the best binned SAH split; `None` when all centroids coincide.
-fn find_best_split(
+pub(crate) fn find_best_split(
     slice: &[PrimInfo],
     centroid_bounds: &Aabb,
     _bounds: &Aabb,
@@ -294,7 +316,7 @@ fn find_best_split(
 
 /// Partitions `slice` so primitives with `centroid[axis] < plane` come first;
 /// returns the partition point.
-fn partition(slice: &mut [PrimInfo], axis: usize, plane: f32) -> usize {
+pub(crate) fn partition(slice: &mut [PrimInfo], axis: usize, plane: f32) -> usize {
     let mut mid = 0;
     for i in 0..slice.len() {
         if slice[i].centroid[axis] < plane {

@@ -16,19 +16,27 @@
 //!   vectors (`min_x .. max_z`) — one node visit reads one contiguous run;
 //! * the leaf primitive permutation, copied verbatim from the source.
 //!
-//! The ray-box test reconstructs each child [`Aabb`] from the plane arrays
-//! and calls the *same* [`Aabb::intersect`] on the *same* `f32` values the
-//! wide traversal reads, so traversal order — and therefore every simulator
-//! statistic — is bit-identical between the two layouts (asserted by
-//! `crates/core/tests/flat_golden.rs`).
+//! The ray-box test evaluates a full [`MAX_WIDTH`]-lane batch of child
+//! AABBs per node visit straight from the plane arrays: fixed-width local
+//! arrays, no branches inside the lane loop, exactly the shape the
+//! autovectorizer lowers to SIMD. Each lane performs the *same* operations
+//! in the *same* order on the *same* `f32` values as [`Aabb::intersect`] on
+//! the wide layout, and lanes beyond the node's child count are masked out
+//! of the [`ChildHits`] insertion, so traversal order — and therefore every
+//! simulator statistic — is bit-identical between the two layouts (asserted
+//! by `crates/core/tests/flat_golden.rs`).
 
-use crate::traverse::{ChildHits, NodeStep, TraverseBvh};
+use crate::traverse::{ChildHits, NodeStep, TraverseBvh, MAX_WIDTH};
 use crate::wide::{NodeId, WideBvh, WideNode};
 use crate::{PrimHit, Primitive};
-use sms_geom::{Aabb, Vec3};
+use sms_geom::Aabb;
 
 /// Leaf flag in [`FlatNode::count_kind`]; low bits hold the count.
 const LEAF_BIT: u32 = 1 << 31;
+
+/// Trailing padding entries on the child pool so a node's batch load of
+/// [`MAX_WIDTH`] lanes is always in bounds; pad lanes are masked out.
+const CHILD_PAD: usize = MAX_WIDTH;
 
 /// One node of a [`FlatBvh`]: 32 bytes, cache-line friendly.
 ///
@@ -104,15 +112,16 @@ impl FlatBvh {
                 WideNode::Leaf { .. } => 0,
             })
             .sum();
+        let padded = child_total + CHILD_PAD;
         let mut flat = FlatBvh {
             nodes: Vec::with_capacity(n),
-            child_node: Vec::with_capacity(child_total),
-            child_min_x: Vec::with_capacity(child_total),
-            child_min_y: Vec::with_capacity(child_total),
-            child_min_z: Vec::with_capacity(child_total),
-            child_max_x: Vec::with_capacity(child_total),
-            child_max_y: Vec::with_capacity(child_total),
-            child_max_z: Vec::with_capacity(child_total),
+            child_node: Vec::with_capacity(padded),
+            child_min_x: Vec::with_capacity(padded),
+            child_min_y: Vec::with_capacity(padded),
+            child_min_z: Vec::with_capacity(padded),
+            child_max_x: Vec::with_capacity(padded),
+            child_max_y: Vec::with_capacity(padded),
+            child_max_z: Vec::with_capacity(padded),
             prim_order: wide.prim_order.clone(),
             root_aabb: wide.root_aabb,
         };
@@ -158,13 +167,27 @@ impl FlatBvh {
             };
             flat.nodes.push(rec);
         }
+        // Pad the child pool so every inner node can load a full
+        // MAX_WIDTH-lane batch; pad lanes never reach ChildHits (masked by
+        // the child count) so their values are arbitrary-but-fixed.
+        for _ in 0..CHILD_PAD {
+            flat.child_node.push(0);
+            flat.child_min_x.push(0.0);
+            flat.child_min_y.push(0.0);
+            flat.child_min_z.push(0.0);
+            flat.child_max_x.push(0.0);
+            flat.child_max_y.push(0.0);
+            flat.child_max_z.push(0.0);
+        }
         flat
     }
 
-    /// Total size of the flat arrays in host bytes (node pool + child pool).
+    /// Total size of the flat arrays in host bytes (node pool + child pool,
+    /// excluding the fixed batch padding).
     pub fn host_bytes(&self) -> usize {
+        let children = self.child_node.len().saturating_sub(CHILD_PAD);
         self.nodes.len() * std::mem::size_of::<FlatNode>()
-            + self.child_node.len() * (std::mem::size_of::<NodeId>() + 6 * 4)
+            + children * (std::mem::size_of::<NodeId>() + 6 * 4)
             + self.prim_order.len() * 4
     }
 }
@@ -193,17 +216,45 @@ impl TraverseBvh for FlatBvh {
             }
             NodeStep::Leaf(best)
         } else {
+            // Batched slab test: evaluate all MAX_WIDTH lanes branch-free
+            // over the padded SoA planes (the fixed-width arrays below are
+            // what the autovectorizer lowers to SIMD), then mask lanes
+            // beyond the child count at insertion. Per lane this performs
+            // exactly the operations of `Aabb::intersect`, in the same
+            // order, on the same f32 values the wide layout stores — so
+            // ChildHits, and therefore traversal order, is bit-identical
+            // to the scalar one-box-at-a-time loop.
+            let first = n.first as usize;
+            let count = n.count() as usize;
+            let load = |v: &[f32]| -> [f32; MAX_WIDTH] {
+                let mut out = [0.0; MAX_WIDTH];
+                out.copy_from_slice(&v[first..first + MAX_WIDTH]);
+                out
+            };
+            let (min_x, min_y, min_z) =
+                (load(&self.child_min_x), load(&self.child_min_y), load(&self.child_min_z));
+            let (max_x, max_y, max_z) =
+                (load(&self.child_max_x), load(&self.child_max_y), load(&self.child_max_z));
+            let (o, inv) = (ray.origin, ray.inv_dir);
+            let mut enter = [0.0f32; MAX_WIDTH];
+            let mut exit = [0.0f32; MAX_WIDTH];
+            for lane in 0..MAX_WIDTH {
+                // Aabb::intersect per lane: t0/t1 slabs, near = min(t0,t1),
+                // far = max(t0,t1), enter = max(near*, t_min),
+                // exit = min(far*, t_max).
+                let t0x = (min_x[lane] - o.x) * inv.x;
+                let t1x = (max_x[lane] - o.x) * inv.x;
+                let t0y = (min_y[lane] - o.y) * inv.y;
+                let t1y = (max_y[lane] - o.y) * inv.y;
+                let t0z = (min_z[lane] - o.z) * inv.z;
+                let t1z = (max_z[lane] - o.z) * inv.z;
+                enter[lane] = t0x.min(t1x).max(t0y.min(t1y)).max(t0z.min(t1z)).max(t_min);
+                exit[lane] = t0x.max(t1x).min(t0y.max(t1y)).min(t0z.max(t1z)).min(t_max);
+            }
             let mut hits = ChildHits::empty();
-            for i in n.first as usize..(n.first + n.count()) as usize {
-                // Reconstruct the child box from the SoA planes; these are
-                // the exact f32 values the wide layout stores, so
-                // `Aabb::intersect` returns bit-identical results.
-                let aabb = Aabb::new(
-                    Vec3::new(self.child_min_x[i], self.child_min_y[i], self.child_min_z[i]),
-                    Vec3::new(self.child_max_x[i], self.child_max_y[i], self.child_max_z[i]),
-                );
-                if let Some(t) = aabb.intersect(ray, t_min, t_max) {
-                    hits.insert(t, self.child_node[i]);
+            for lane in 0..count {
+                if enter[lane] <= exit[lane] {
+                    hits.insert(enter[lane], self.child_node[first + lane]);
                 }
             }
             NodeStep::Inner(hits)
@@ -232,7 +283,7 @@ mod tests {
     use super::*;
     use crate::builder::BuildParams;
     use crate::traverse::{intersect_any_with, intersect_nearest_with, TraversalScratch};
-    use sms_geom::{Ray, Triangle};
+    use sms_geom::{Ray, Triangle, Vec3};
 
     struct Tri(Triangle);
     impl Primitive for Tri {

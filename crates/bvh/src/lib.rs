@@ -4,6 +4,9 @@
 //! evaluation rests on (§II-A):
 //!
 //! * [`builder`] — a binned-SAH *binary* BVH builder.
+//! * [`hlbvh`] — a parallel linear-time HLBVH builder (Morton codes +
+//!   radix sort + treelets with a binned-SAH upper tree) for paper-scale
+//!   scenes; deterministic in the worker count.
 //! * [`wide`] — collapse of the binary BVH into a *wide* BVH ("BVHk", the
 //!   paper traverses BVH6: up to six children per internal node).
 //! * [`flat`] — the same tree flattened into contiguous 32-byte node
@@ -54,14 +57,16 @@
 
 pub mod builder;
 pub mod flat;
+pub mod hlbvh;
 pub mod layout;
 pub mod restart;
 pub mod stats;
 pub mod traverse;
 pub mod wide;
 
-pub use builder::{BinaryBvh, BuildParams};
+pub use builder::{BinaryBvh, BuildParams, SplitMethod};
 pub use flat::{FlatBvh, FlatNode};
+pub use hlbvh::{morton_decode, morton_encode, radix_sort_pairs};
 pub use layout::{BvhLayout, NODE_BASE_ADDR, NODE_STRIDE, PRIM_BASE_ADDR, PRIM_STRIDE};
 pub use restart::{intersect_nearest_restart, RestartStats};
 pub use stats::BvhStats;

@@ -22,15 +22,28 @@ pub struct PreparedScene {
     /// The same tree flattened to the cache-friendly layout hot host
     /// paths traverse (identical node numbering and visit order).
     pub flat: FlatBvh,
+    /// Wall time of the BVH build (binary build + collapse + flatten) in
+    /// microseconds — pure observation for build-throughput reporting.
+    pub build_us: u64,
 }
 
 impl PreparedScene {
-    /// Builds the named scene and its BVH.
+    /// Builds the named scene and its BVH with the default (median-split)
+    /// build parameters — the bit-identical legacy path.
     pub fn build(id: SceneId, render: &RenderConfig) -> Self {
+        Self::build_with(id, render, &BuildParams::default())
+    }
+
+    /// Builds the named scene and its BVH with explicit build parameters —
+    /// the harness routes `SMS_HLBVH=1` here with
+    /// [`sms_bvh::SplitMethod::Hlbvh`] and its worker count.
+    pub fn build_with(id: SceneId, render: &RenderConfig, params: &BuildParams) -> Self {
         let scene = render.apply(Scene::build(id));
-        let bvh = WideBvh::build(&scene.prims, &BuildParams::default());
+        let start = std::time::Instant::now();
+        let bvh = WideBvh::build(&scene.prims, params);
         let flat = FlatBvh::from_wide(&bvh);
-        PreparedScene { scene, bvh, flat }
+        let build_us = start.elapsed().as_micros() as u64;
+        PreparedScene { scene, bvh, flat, build_us }
     }
 
     /// The scene's primitives.

@@ -420,6 +420,43 @@ pub fn metrics_from_json(doc: &Json) -> Option<crate::BatchMetrics> {
     })
 }
 
+/// Serializes per-scene build records for the journal's `batch_end` line.
+/// Field-exhaustive: destructuring [`crate::SceneBuild`] means a new field
+/// fails compilation here until the codec learns it.
+pub fn builds_to_json(builds: &[crate::SceneBuild]) -> Json {
+    Json::Arr(
+        builds
+            .iter()
+            .map(|b| {
+                let crate::SceneBuild { scene, prims, build_us } = b;
+                Json::Obj(vec![
+                    ("scene".to_owned(), Json::Str(scene.clone())),
+                    ("prims".to_owned(), Json::U64(*prims)),
+                    ("build_us".to_owned(), Json::U64(*build_us)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Deserializes per-scene build records; `None` if the document is not an
+/// array or any entry misses a field.
+pub fn builds_from_json(doc: &Json) -> Option<Vec<crate::SceneBuild>> {
+    let Json::Arr(items) = doc else {
+        return None;
+    };
+    items
+        .iter()
+        .map(|item| {
+            Some(crate::SceneBuild {
+                scene: item.get("scene")?.as_str()?.to_owned(),
+                prims: item.u64_field("prims")?,
+                build_us: item.u64_field("build_us")?,
+            })
+        })
+        .collect()
+}
+
 /// Deserializes a stall breakdown; `None` if any bucket is missing or
 /// mistyped.
 pub fn breakdown_from_json(doc: &Json) -> Option<StallBreakdown> {
@@ -515,6 +552,30 @@ mod tests {
         };
         pairs.retain(|(k, _)| k != "ray_latency");
         assert_eq!(metrics_from_json(&Json::Obj(pairs)), None);
+    }
+
+    #[test]
+    fn builds_roundtrip() {
+        let builds = vec![
+            crate::SceneBuild { scene: "SHIP".to_owned(), prims: 6_321, build_us: 480 },
+            crate::SceneBuild {
+                scene: "ROBOT".to_owned(),
+                prims: 9_007_199_254_740_997, // > 2^53: u64 fidelity
+                build_us: 1_250_000,
+            },
+        ];
+        assert_eq!(builds_from_json(&builds_to_json(&builds)), Some(builds));
+        assert_eq!(builds_from_json(&builds_to_json(&[])), Some(Vec::new()));
+    }
+
+    #[test]
+    fn builds_missing_field_is_rejected() {
+        let one = vec![crate::SceneBuild { scene: "CAR".to_owned(), prims: 9, build_us: 2 }];
+        let Json::Arr(items) = builds_to_json(&one) else { unreachable!() };
+        let Json::Obj(mut pairs) = items[0].clone() else { unreachable!() };
+        pairs.retain(|(k, _)| k != "build_us");
+        assert_eq!(builds_from_json(&Json::Arr(vec![Json::Obj(pairs)])), None);
+        assert_eq!(builds_from_json(&Json::U64(3)), None);
     }
 
     #[test]

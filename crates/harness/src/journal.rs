@@ -18,9 +18,9 @@
 //! self-sufficient for crash-safe resume (`SMS_RESUME=<journal>`): a new
 //! sweep replays completed runs from it and re-executes only the rest.
 
-use crate::cache::{breakdown_to_json, metrics_to_json, stats_to_json};
+use crate::cache::{breakdown_to_json, builds_to_json, metrics_to_json, stats_to_json};
 use crate::json::Json;
-use crate::BatchMetrics;
+use crate::{BatchMetrics, SceneBuild};
 use sms_sim::gpu::{SimStats, StallBreakdown};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -134,6 +134,9 @@ pub enum Event {
         /// Batch-wide stack-telemetry digest over the metrics-armed jobs
         /// (`SMS_METRICS`): merged-histogram percentiles, not averages.
         metrics: Option<BatchMetrics>,
+        /// Per-scene BVH build wall times for the scenes this batch
+        /// prepared (cache-only batches prepare none, so this is empty).
+        builds: Vec<SceneBuild>,
     },
 }
 
@@ -209,6 +212,7 @@ impl Event {
                 sim_cycles,
                 breakdown,
                 metrics,
+                builds,
             } => {
                 // Aggregate throughput is derived at serialization time so
                 // the event itself stays integral (and `Eq`).
@@ -226,6 +230,7 @@ impl Event {
                     (own("sim_cycles_per_sec"), Json::F64(rate(*sim_cycles))),
                     (own("breakdown"), breakdown.as_ref().map_or(Json::Null, breakdown_to_json)),
                     (own("metrics"), metrics.as_ref().map_or(Json::Null, metrics_to_json)),
+                    (own("builds"), builds_to_json(builds)),
                 ])
             }
         }
@@ -363,11 +368,16 @@ mod tests {
             sim_cycles: 1_000,
             breakdown: None,
             metrics: None,
+            builds: vec![SceneBuild { scene: "SHIP".to_owned(), prims: 6321, build_us: 480 }],
         };
         let doc = crate::json::parse(&e.to_json().to_string()).unwrap();
         assert_eq!(doc.get("runs_per_sec").unwrap().as_f64(), Some(0.0));
         assert_eq!(doc.get("sim_cycles_per_sec").unwrap().as_f64(), Some(0.0));
         assert_eq!(doc.get("breakdown"), Some(&Json::Null));
+        let builds = crate::cache::builds_from_json(doc.get("builds").unwrap()).unwrap();
+        assert_eq!(builds.len(), 1);
+        assert_eq!(builds[0].scene, "SHIP");
+        assert_eq!(builds[0].build_us, 480);
     }
 
     #[test]
@@ -383,6 +393,7 @@ mod tests {
             sim_cycles: 42,
             breakdown: None,
             metrics: None,
+            builds: Vec::new(),
         });
         j.record(Event::BatchStart { jobs: 2, unique: 2, workers: 1 });
         let last = j.last_batch();

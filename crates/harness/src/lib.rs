@@ -134,6 +134,12 @@ pub struct HarnessConfig {
     /// A prior run's journal to resume from; its completed runs are served
     /// without re-execution.
     pub resume: Option<PathBuf>,
+    /// Build scene BVHs with the parallel HLBVH builder (`SMS_HLBVH=1`)
+    /// instead of the default median-split builder. HLBVH trees differ
+    /// from the default trees, so HLBVH batches bypass the result cache
+    /// and resume replay in both directions (no probe, no store) — cached
+    /// default-path stats stay byte-identical.
+    pub hlbvh: bool,
 }
 
 impl Default for HarnessConfig {
@@ -146,6 +152,7 @@ impl Default for HarnessConfig {
             limits: RunLimits::none(),
             retries: cache::DEFAULT_RETRIES,
             resume: None,
+            hlbvh: false,
         }
     }
 }
@@ -193,6 +200,8 @@ impl HarnessConfig {
     ///   Prometheus / CSV export.
     /// * `SMS_RETRIES=N` — bounded retries for transient cache I/O.
     /// * `SMS_RESUME=path` — resume completed runs from a prior journal.
+    /// * `SMS_HLBVH=1` — build scene BVHs with the parallel HLBVH builder
+    ///   (bypasses the cache; see [`HarnessConfig::hlbvh`]).
     ///
     /// Malformed numeric values warn (naming the variable and value) and
     /// fall back to the default instead of panicking.
@@ -223,12 +232,39 @@ impl HarnessConfig {
                 cfg.resume = Some(PathBuf::from(path));
             }
         }
+        if std::env::var("SMS_HLBVH").is_ok_and(|v| v == "1") {
+            cfg.hlbvh = true;
+        }
         cfg
     }
 }
 
+/// Wall time spent building one scene's BVH during batch preparation —
+/// the build-throughput counterpart to the runs/s plumbing, carried on
+/// [`BatchSummary::builds`] and the journal's `batch_end` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SceneBuild {
+    /// Scene name (paper spelling, e.g. `SHIP`).
+    pub scene: String,
+    /// Primitive count the builder consumed.
+    pub prims: u64,
+    /// BVH build wall time (binary build + collapse + flatten), µs.
+    pub build_us: u64,
+}
+
+impl SceneBuild {
+    /// Build throughput in primitives per second (0 for a 0µs build).
+    pub fn prims_per_sec(&self) -> f64 {
+        if self.build_us > 0 {
+            self.prims as f64 / (self.build_us as f64 / 1e6)
+        } else {
+            0.0
+        }
+    }
+}
+
 /// End-of-batch accounting, also emitted as the journal's `batch_end`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchSummary {
     /// Requests submitted (before deduplication).
     pub jobs: usize,
@@ -258,6 +294,9 @@ pub struct BatchSummary {
     /// are batch-wide, not averages of per-job percentiles. `None` when no
     /// job was armed.
     pub metrics: Option<BatchMetrics>,
+    /// Per-scene BVH build wall times for the scenes this batch prepared
+    /// (empty when every job was a cache hit or resume replay).
+    pub builds: Vec<SceneBuild>,
 }
 
 /// Batch-wide digest of the merged [`StackMetrics`] histograms: the
@@ -338,6 +377,7 @@ pub struct Harness {
     journal: Journal,
     limits: RunLimits,
     resume: Option<ResumeState>,
+    hlbvh: bool,
 }
 
 impl Harness {
@@ -351,6 +391,7 @@ impl Harness {
             journal: Journal::new(config.journal_path),
             limits: config.limits,
             resume: config.resume.map(|p| ResumeState::load(&p)),
+            hlbvh: config.hlbvh,
         }
     }
 
@@ -454,9 +495,13 @@ impl Harness {
         // skip the probe and the replay below; their stats still land in
         // the cache afterwards for unarmed future sweeps.
         let trace_armed = TraceSpec::from_env().is_some();
+        // HLBVH batches traverse a different tree, so their stats must not
+        // mix with the default-path cache/resume state in either direction:
+        // no probe, no replay, and (below) no store.
+        let hlbvh = self.hlbvh;
         let armed = |req: &RunRequest| {
             let limits = req.limits.or(self.limits);
-            trace_armed || limits.breakdown || limits.metrics
+            trace_armed || limits.breakdown || limits.metrics || hlbvh
         };
 
         // 2. Probe the cache on the scheduler thread (tiny JSON reads).
@@ -521,11 +566,27 @@ impl Harness {
             });
             scene_of_miss.push(idx);
         }
+        let build_params = if self.hlbvh {
+            sms_sim::bvh::BuildParams::hlbvh(self.workers)
+        } else {
+            sms_sim::bvh::BuildParams::default()
+        };
         let prepared: Vec<Result<Arc<PreparedScene>, JobPanic>> =
             pool::try_run_indexed(self.workers, scene_keys.len(), |i, _| {
                 let (id, render) = scene_keys[i];
-                Arc::new(PreparedScene::build(id, &render))
+                Arc::new(PreparedScene::build_with(id, &render, &build_params))
             });
+        let builds: Vec<SceneBuild> = scene_keys
+            .iter()
+            .zip(&prepared)
+            .filter_map(|(&(id, _), result)| {
+                result.as_ref().ok().map(|p| SceneBuild {
+                    scene: id.name().to_owned(),
+                    prims: p.scene.prims.len() as u64,
+                    build_us: p.build_us,
+                })
+            })
+            .collect();
 
         // 4. Simulate the misses on the pool; slot by job id, so merge
         //    order is deterministic regardless of completion order. The
@@ -559,7 +620,8 @@ impl Harness {
             let limits = req.limits.or(self.limits);
             match try_run_prepared(scene, req.stack, req.gpu, &req.render, &limits) {
                 Ok(result) => {
-                    if let Some(cache) = cache {
+                    // HLBVH stats would poison the default-path cache.
+                    if let (Some(cache), false) = (cache, hlbvh) {
                         cache.store(key, &result.stats);
                     }
                     journal.record(Event::JobFinished {
@@ -643,6 +705,7 @@ impl Harness {
             sim_cycles,
             breakdown: batch_breakdown,
             metrics: batch_metrics,
+            builds,
         };
         self.journal.record(Event::BatchEnd {
             jobs: jobs.len(),
@@ -653,6 +716,7 @@ impl Harness {
             sim_cycles,
             breakdown: batch_breakdown,
             metrics: batch_metrics,
+            builds: summary.builds.clone(),
         });
 
         let results = requests

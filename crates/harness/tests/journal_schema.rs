@@ -8,7 +8,7 @@
 //! examples in `journal.rs`'s module docs.
 
 use sms_harness::json::{parse, Json};
-use sms_harness::{cache, BatchMetrics, Event};
+use sms_harness::{cache, BatchMetrics, Event, SceneBuild};
 use sms_metrics::HistSummary;
 use sms_sim::gpu::{SimStats, StallBreakdown};
 
@@ -154,16 +154,21 @@ fn batch_end_line_with_breakdown() {
         sim_cycles: 100,
         breakdown: Some(breakdown),
         metrics: None,
+        builds: vec![SceneBuild { scene: "SHIP".to_owned(), prims: 6321, build_us: 480 }],
     };
     let doc = golden(
         &e,
         concat!(
             r#"{"event":"batch_end","jobs":2,"cache_hits":1,"cache_misses":1,"failed":0,"duration_us":2000000,"sim_cycles":100,"runs_per_sec":1,"sim_cycles_per_sec":50,"#,
             r#""breakdown":{"compute":1,"mem_wait":0,"rt_admit":0,"in_rt":0,"warp_cycles":1,"rt_sched_wait":0,"fetch_wait_l1":0,"fetch_wait_l2":0,"fetch_wait_dram":0,"op_wait":0,"stack_wait_rb_sh":0,"stack_wait_sh_global":0,"stack_wait_flush":0,"bank_conflict_replay":0,"rt_idle":0,"rt_lane_cycles":0},"#,
-            r#""metrics":null}"#,
+            r#""metrics":null,"builds":[{"scene":"SHIP","prims":6321,"build_us":480}]}"#,
         ),
     );
     assert_eq!(cache::breakdown_from_json(doc.get("breakdown").unwrap()), Some(breakdown));
+    assert_eq!(
+        cache::builds_from_json(doc.get("builds").unwrap()),
+        Some(vec![SceneBuild { scene: "SHIP".to_owned(), prims: 6321, build_us: 480 }])
+    );
 }
 
 #[test]
@@ -183,12 +188,13 @@ fn batch_end_line_with_metrics() {
         sim_cycles: 50,
         breakdown: None,
         metrics: Some(metrics),
+        builds: Vec::new(),
     };
     let doc = golden(
         &e,
         concat!(
             r#"{"event":"batch_end","jobs":1,"cache_hits":0,"cache_misses":1,"failed":0,"duration_us":1000000,"sim_cycles":50,"runs_per_sec":1,"sim_cycles_per_sec":50,"breakdown":null,"#,
-            r#""metrics":{"stack_depth":{"count":640,"sum":3200,"p50":5,"p95":11,"p99":14,"max":19},"ray_latency":{"count":256,"sum":51200,"p50":180,"p95":420,"p99":504,"max":611},"spills":12,"reloads":12}}"#,
+            r#""metrics":{"stack_depth":{"count":640,"sum":3200,"p50":5,"p95":11,"p99":14,"max":19},"ray_latency":{"count":256,"sum":51200,"p50":180,"p95":420,"p99":504,"max":611},"spills":12,"reloads":12},"builds":[]}"#,
         ),
     );
     assert_eq!(cache::metrics_from_json(doc.get("metrics").unwrap()), Some(metrics));

@@ -215,6 +215,38 @@ pub fn tree(
     (wood, leaves)
 }
 
+/// Uniformly subdivides each triangle into a `detail × detail` barycentric
+/// grid (`detail²` coplanar sub-triangles), preserving the covered surface
+/// exactly. `detail <= 1` returns the input untouched — the default scene
+/// builds never pass through this function, keeping them bit-identical.
+///
+/// This is how [`crate::Scene::build_scaled`] lifts the ~1/100-scale
+/// stand-in meshes to paper-class triangle counts: the BVH gets genuinely
+/// deeper and wider (every sub-triangle has its own bounds) while the
+/// scene's silhouette, materials and camera stay the same.
+pub fn subdivide(tris: Vec<Triangle>, detail: u32) -> Vec<Triangle> {
+    if detail <= 1 {
+        return tris;
+    }
+    let s = detail as usize;
+    let mut out = Vec::with_capacity(tris.len() * s * s);
+    let inv = 1.0 / detail as f32;
+    for tri in &tris {
+        let e1 = (tri.v1 - tri.v0) * inv;
+        let e2 = (tri.v2 - tri.v0) * inv;
+        let p = |a: usize, b: usize| tri.v0 + e1 * a as f32 + e2 * b as f32;
+        for a in 0..s {
+            for b in 0..s - a {
+                out.push(Triangle::new(p(a, b), p(a + 1, b), p(a, b + 1)));
+                if a + b < s - 1 {
+                    out.push(Triangle::new(p(a + 1, b), p(a + 1, b + 1), p(a, b + 1)));
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +335,26 @@ mod tests {
         for tri in &c {
             assert!((tri.v0 - Vec3::new(1.0, 2.0, 3.0)).length() <= 2.0 + 1e-4);
         }
+    }
+
+    #[test]
+    fn subdivide_counts_and_area() {
+        let base =
+            vec![Triangle::new(Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 3.0))];
+        let area: f32 = base.iter().map(|t| t.area()).sum();
+        for detail in [1u32, 2, 3, 7] {
+            let sub = subdivide(base.clone(), detail);
+            assert_eq!(sub.len(), (detail * detail) as usize);
+            let sub_area: f32 = sub.iter().map(|t| t.area()).sum();
+            assert!((sub_area - area).abs() < 1e-3, "detail {detail}: area drifted");
+        }
+    }
+
+    #[test]
+    fn subdivide_detail_one_is_identity() {
+        let base = box_mesh(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(subdivide(base.clone(), 1), base);
+        assert_eq!(subdivide(base.clone(), 0), base);
     }
 
     #[test]

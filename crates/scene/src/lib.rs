@@ -198,6 +198,38 @@ impl Scene {
         scenes::build(id)
     }
 
+    /// Builds the named scene with every triangle uniformly subdivided into
+    /// a `detail × detail` grid ([`gen::subdivide`]) — `detail²` times the
+    /// base triangle count, same silhouette/materials/camera. `detail <= 1`
+    /// is exactly [`Scene::build`], and the default pipeline never calls
+    /// this, so existing renders and simulator statistics are untouched.
+    ///
+    /// This is the paper-scale path: SHIP at `detail = 20` crosses one
+    /// million triangles, ROBOT at `detail = 3` doubles that — matching
+    /// the Lumibench originals' order of magnitude for build-throughput
+    /// benchmarks.
+    pub fn build_scaled(id: SceneId, detail: u32) -> Scene {
+        let mut scene = scenes::build(id);
+        if detail <= 1 {
+            return scene;
+        }
+        scene.prims = scene
+            .prims
+            .into_iter()
+            .flat_map(|p| match p.shape {
+                Shape::Tri(t) => {
+                    let material = p.material;
+                    gen::subdivide(vec![t], detail)
+                        .into_iter()
+                        .map(move |t| ScenePrimitive { shape: Shape::Tri(t), material })
+                        .collect::<Vec<_>>()
+                }
+                _ => vec![p],
+            })
+            .collect();
+        scene
+    }
+
     /// Number of triangles (spheres excluded), as reported in Table II.
     pub fn triangle_count(&self) -> usize {
         self.prims.iter().filter(|p| matches!(p.shape, Shape::Tri(_))).count()
@@ -234,6 +266,25 @@ mod tests {
     fn reduced_resolution_matches_paper() {
         let reduced: Vec<_> = SceneId::ALL.iter().filter(|s| s.is_reduced_resolution()).collect();
         assert_eq!(reduced.len(), 3);
+    }
+
+    #[test]
+    fn build_scaled_multiplies_triangles_only() {
+        let base = Scene::build(SceneId::Ship);
+        let scaled = Scene::build_scaled(SceneId::Ship, 3);
+        assert_eq!(scaled.triangle_count(), base.triangle_count() * 9);
+        let spheres =
+            |s: &Scene| s.prims.iter().filter(|p| !matches!(p.shape, Shape::Tri(_))).count();
+        assert_eq!(spheres(&scaled), spheres(&base));
+        assert_eq!(scaled.camera.width, base.camera.width);
+    }
+
+    #[test]
+    fn build_scaled_detail_one_is_default_build() {
+        let base = Scene::build(SceneId::Bunny);
+        let scaled = Scene::build_scaled(SceneId::Bunny, 1);
+        assert_eq!(scaled.prims.len(), base.prims.len());
+        assert_eq!(scaled.prims[0], base.prims[0]);
     }
 
     #[test]

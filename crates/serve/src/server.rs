@@ -291,6 +291,14 @@ impl ServerState {
         req: &sms_harness::RunRequest,
         key: &CacheKey,
     ) -> (Result<SimStats, RunError>, Served) {
+        // Cached cells never need coalescing: probe before touching the
+        // single-flight table, so concurrent warm requests all report a
+        // plain hit instead of racing one of them into a leader slot.
+        if let Some(cache) = &self.cache {
+            if let Some(stats) = cache.load(key) {
+                return (Ok(stats), Served::Hit);
+            }
+        }
         // Single-flight: first requester of a key becomes the leader.
         let cell = {
             let mut table = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
@@ -487,6 +495,7 @@ impl Server {
             sim_cycles: 0,
             breakdown: None,
             metrics: None,
+            builds: Vec::new(),
         });
         self.state.journal.flush();
         Ok(())
@@ -750,6 +759,7 @@ fn handle_sweep(
         sim_cycles,
         breakdown: None,
         metrics: None,
+        builds: Vec::new(),
     };
     state.journal.record(summary.clone());
     let _ = writer.chunk(format!("{}\n", summary.to_json()).as_bytes());

@@ -119,7 +119,7 @@ fn sah_builder_traverses_fewer_nodes() {
     let sah = WideBvh::build(&scene.prims, &BuildParams::sah());
     let visits = |bvh: &WideBvh| {
         let flat = sms_sim::bvh::FlatBvh::from_wide(bvh);
-        let prepared = PreparedScene { scene: scene.clone(), bvh: bvh.clone(), flat };
+        let prepared = PreparedScene { scene: scene.clone(), bvh: bvh.clone(), flat, build_us: 0 };
         render(&prepared, &cfg).depths.count()
     };
     let vm = visits(&median);
