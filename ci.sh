@@ -16,6 +16,11 @@ cargo test -q
 echo "==> fault-injection suite"
 cargo test -q -p sms-harness --test fault_injection
 
+echo "==> fleet chaos suite (killed backend, torn journal, all-down degraded mode, hedging)"
+cargo test -q -p sms-serve --test fleet_chaos
+cargo test -q -p sms-serve --test fleet_e2e
+cargo test -q -p sms-harness --test cache_robustness
+
 echo "==> journal/json regression suite (schema goldens, non-finite floats, watchdog)"
 cargo test -q -p sms-harness --test journal_schema
 cargo test -q -p sms-harness --lib json::
@@ -91,10 +96,64 @@ cargo run --release -q -p sms-bench --bin promlint -- target/serve-metrics.prom
 serve_client drain
 wait "$serve_pid" || { echo "sms-serve did not drain cleanly"; exit 1; }
 
+echo "==> fleet smoke (2 backends, one injected kill, sweep survives, strict metrics)"
+rm -f target/fleet-addr target/fleet-a-addr target/fleet-b-addr target/fleet-journal.jsonl
+rm -rf target/fleet-smoke-cache
+# Backend A dies of a deterministic injected kill after its first
+# completed job; the fleet must finish the sweep on backend B alone.
+SMS_FAULT="kill:jobs=1" SMS_CACHE_DIR=target/fleet-smoke-cache \
+  cargo run --release -q -p sms-serve --bin sms-serve -- \
+  --addr 127.0.0.1:0 --addr-file target/fleet-a-addr --workers 1 &
+backend_a_pid=$!
+SMS_CACHE_DIR=target/fleet-smoke-cache \
+  cargo run --release -q -p sms-serve --bin sms-serve -- \
+  --addr 127.0.0.1:0 --addr-file target/fleet-b-addr --workers 2 &
+backend_b_pid=$!
+for f in target/fleet-a-addr target/fleet-b-addr; do
+  for _ in $(seq 1 100); do
+    [ -s "$f" ] && break
+    sleep 0.1
+  done
+  [ -s "$f" ] || { echo "fleet backend never wrote $f"; exit 1; }
+done
+SMS_FLEET_JOURNAL=target/fleet-journal.jsonl SMS_CACHE_DIR=target/fleet-smoke-cache \
+  SMS_FLEET_BACKENDS="$(cat target/fleet-a-addr),$(cat target/fleet-b-addr)" \
+  cargo run --release -q -p sms-serve --bin sms-fleet -- \
+  --addr 127.0.0.1:0 --addr-file target/fleet-addr &
+fleet_pid=$!
+for _ in $(seq 1 100); do
+  [ -s target/fleet-addr ] && break
+  kill -0 "$fleet_pid" 2> /dev/null || { echo "sms-fleet died before binding"; exit 1; }
+  sleep 0.1
+done
+[ -s target/fleet-addr ] || { echo "sms-fleet never wrote its address"; exit 1; }
+fleet_addr=$(cat target/fleet-addr)
+fleet_client() { cargo run --release -q -p sms-serve --bin sms-client -- --addr "$fleet_addr" "$@"; }
+fleet_client sweep --scenes WKND,SHIP --configs RB_8,RB_8+SH_8+SK+RA
+fleet_client health | grep -q ok
+fleet_client metrics > target/fleet-metrics.prom
+grep -q '^sms_fleet_cells_total 4$' target/fleet-metrics.prom
+grep -q '^sms_fleet_cells_failed_total 0$' target/fleet-metrics.prom
+cargo run --release -q -p sms-bench --bin promlint -- target/fleet-metrics.prom
+grep -q job_finished target/fleet-journal.jsonl
+fleet_client drain
+wait "$fleet_pid" || { echo "sms-fleet did not drain cleanly"; exit 1; }
+if wait "$backend_a_pid"; then
+  echo "backend A survived an injected kill that should have crashed it"
+  exit 1
+fi
+cargo run --release -q -p sms-serve --bin sms-client -- \
+  --addr "$(cat target/fleet-b-addr)" drain
+wait "$backend_b_pid" || { echo "fleet backend B did not drain cleanly"; exit 1; }
+
 echo "==> serve_loadtest smoke (4 concurrent clients, cold then warm)"
 # $PWD: cargo bench processes run with the package dir as cwd.
 time SMS_BENCH_SERVE_OUT="$PWD/target/BENCH_serve.json" \
   cargo bench --bench serve_loadtest
+
+echo "==> fleet_loadtest smoke (4 clients through the fleet, hedging past a straggler)"
+time SMS_BENCH_SERVE_OUT="$PWD/target/BENCH_serve.json" \
+  cargo bench --bench fleet_loadtest
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf"
 cargo clippy --workspace --all-targets -- -D warnings -D clippy::perf

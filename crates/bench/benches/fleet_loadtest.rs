@@ -1,0 +1,272 @@
+//! Fleet-path load test: concurrent clients against an in-process
+//! `sms-fleet` routing over two backends, one of which stalls every few
+//! responses (injected, seeded), so hedged dispatch does real work.
+//!
+//! This measures the *routing layer* — dispatch fan-out, hedging,
+//! breaker bookkeeping — on top of the serving layer `serve_loadtest`
+//! already covers. The cold pass pays for simulations once through the
+//! shared cache; the warm pass must be pure hits end to end. Reported
+//! alongside p50/p95: the hedge rate (hedges per settled cell), the
+//! chief tuning signal for `SMS_FLEET_HEDGE_MS`.
+//!
+//! Appends one timestamped `fleet_loadtest` entry to `BENCH_serve.json`
+//! (override with `SMS_BENCH_SERVE_OUT`). Knobs: `SMS_LOADTEST_CLIENTS`
+//! (default 4), `SMS_LOADTEST_ROUNDS` (default 3).
+
+use sms_harness::json::Json;
+use sms_harness::FaultPlan;
+use sms_serve::fleet::{FleetConfig, FleetServer};
+use sms_serve::{Client, ClientConfig, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SCENES: [&str; 2] = ["WKND", "BUNNY"];
+const CONFIGS: [&str; 2] = ["RB_8", "RB_8+SH_8+SK+RA"];
+const RENDER: &str = "fast";
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Nearest-rank percentile over an already-sorted slice.
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+#[derive(Debug, Default)]
+struct Phase {
+    durations_us: Vec<u64>,
+    wall_us: u64,
+    hits: u64,
+    misses: u64,
+    shared: u64,
+    failed: u64,
+}
+
+impl Phase {
+    fn req_per_sec(&self) -> f64 {
+        if self.wall_us == 0 {
+            return 0.0;
+        }
+        self.durations_us.len() as f64 / (self.wall_us as f64 / 1e6)
+    }
+
+    fn to_json(&self, name: &str) -> Json {
+        let own = |s: &str| s.to_owned();
+        let mut sorted = self.durations_us.clone();
+        sorted.sort_unstable();
+        Json::Obj(vec![
+            (own("phase"), Json::Str(name.to_owned())),
+            (own("requests"), Json::U64(sorted.len() as u64)),
+            (own("wall_us"), Json::U64(self.wall_us)),
+            (own("req_per_sec"), Json::F64(self.req_per_sec())),
+            (own("p50_us"), Json::U64(pct(&sorted, 0.50))),
+            (own("p95_us"), Json::U64(pct(&sorted, 0.95))),
+            (own("max_us"), Json::U64(sorted.last().copied().unwrap_or(0))),
+            (own("cache_hits"), Json::U64(self.hits)),
+            (own("cache_misses"), Json::U64(self.misses)),
+            (own("singleflight_shared"), Json::U64(self.shared)),
+            (own("failed"), Json::U64(self.failed)),
+        ])
+    }
+}
+
+/// `clients` threads each sweep the grid `rounds` times, concurrently,
+/// through the fleet.
+fn run_phase(addr: &str, clients: usize, rounds: usize) -> Phase {
+    let t0 = Instant::now();
+    let mut phase = Phase::default();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(move || {
+                    let client = Client::with_config(ClientConfig {
+                        addr: addr.to_owned(),
+                        retries: 0,
+                        deadline: Duration::from_secs(600),
+                        ..ClientConfig::default()
+                    });
+                    let mut local = Phase::default();
+                    for _ in 0..rounds {
+                        let r0 = Instant::now();
+                        let outcome = client
+                            .sweep(&SCENES, &CONFIGS, RENDER)
+                            .unwrap_or_else(|e| panic!("fleet sweep failed: {e:?}"));
+                        local.durations_us.push(r0.elapsed().as_micros() as u64);
+                        for rec in &outcome.records {
+                            match rec.cache.as_str() {
+                                "hit" => local.hits += 1,
+                                "miss" => local.misses += 1,
+                                "shared" => local.shared += 1,
+                                other => panic!("unknown cache tier `{other}`"),
+                            }
+                            if rec.outcome.is_err() {
+                                local.failed += 1;
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for w in workers {
+            let local = w.join().expect("client thread panicked");
+            phase.durations_us.extend(local.durations_us);
+            phase.hits += local.hits;
+            phase.misses += local.misses;
+            phase.shared += local.shared;
+            phase.failed += local.failed;
+        }
+    });
+    phase.wall_us = t0.elapsed().as_micros() as u64;
+    phase
+}
+
+/// Pulls one counter back out of the fleet's rendered metrics.
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let clients = env_usize("SMS_LOADTEST_CLIENTS", 4).max(4);
+    let rounds = env_usize("SMS_LOADTEST_ROUNDS", 3);
+
+    // A fresh cache directory guarantees the first phase is genuinely cold.
+    let cache_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+        .join(format!("sms-fleet-loadtest-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let backend = |faults: Option<Arc<FaultPlan>>| ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        cache_dir: Some(cache_dir.clone()),
+        journal_path: None,
+        faults,
+        ..ServeConfig::default()
+    };
+    // One backend stalls every 4th response by 300ms (seeded, so the
+    // stall schedule is reproducible): enough to trip hedging without
+    // dominating wall clock.
+    let straggle =
+        Arc::new(FaultPlan::parse("seed=1;delay:every=4,ms=300").expect("valid fault spec"));
+    let (slow, _join_slow) = Server::spawn(backend(Some(straggle))).expect("bind slow backend");
+    let (fast, join_fast) = Server::spawn(backend(None)).expect("bind fast backend");
+
+    let fleet_config = FleetConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        backends: vec![slow.addr().to_string(), fast.addr().to_string()],
+        workers: 8,
+        hedge_after: Some(Duration::from_millis(100)),
+        cache_dir: Some(cache_dir.clone()),
+        ..FleetConfig::default()
+    };
+    let (fleet, join_fleet) = FleetServer::spawn(fleet_config).expect("bind loadtest fleet");
+    let addr = fleet.addr().to_string();
+
+    println!("=== fleet_loadtest: {clients} clients x {rounds} rounds, cold then warm ===");
+    println!(
+        "grid: {} scenes x {} configs ({RENDER} mode), fleet at {addr}, \
+         2 backends (one stalling every 4th response)\n",
+        SCENES.len(),
+        CONFIGS.len()
+    );
+
+    let cold = run_phase(&addr, clients, rounds);
+    let warm = run_phase(&addr, clients, rounds);
+
+    let metrics_text = fleet.render_metrics();
+    let cells = metric(&metrics_text, "sms_fleet_cells_total");
+    let hedges = metric(&metrics_text, "sms_fleet_hedges_total");
+    let hedge_wins = metric(&metrics_text, "sms_fleet_hedge_wins_total");
+    let retries = metric(&metrics_text, "sms_fleet_retries_total");
+    let hedge_rate = if cells == 0 { 0.0 } else { hedges as f64 / cells as f64 };
+
+    fleet.request_drain();
+    join_fleet.join().expect("fleet thread panicked").expect("fleet accept loop failed");
+    fast.request_drain();
+    join_fast.join().expect("backend thread panicked").expect("backend accept loop failed");
+    // The straggler may hold a delayed in-flight response; don't let its
+    // drain gate the bench (the process exit reaps it).
+    slow.request_drain();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    for (name, phase) in [("cold", &cold), ("warm", &warm)] {
+        let mut sorted = phase.durations_us.clone();
+        sorted.sort_unstable();
+        println!(
+            "{name}: {} reqs in {:.2}s  ({:.1} req/s)  p50 {}us  p95 {}us  \
+             hit/miss/shared/failed {}/{}/{}/{}",
+            sorted.len(),
+            phase.wall_us as f64 / 1e6,
+            phase.req_per_sec(),
+            pct(&sorted, 0.50),
+            pct(&sorted, 0.95),
+            phase.hits,
+            phase.misses,
+            phase.shared,
+            phase.failed,
+        );
+    }
+    println!(
+        "routing: {cells} cells, {hedges} hedges ({hedge_wins} won), \
+         {retries} retry rounds, hedge rate {hedge_rate:.3}"
+    );
+
+    // The routing contract this bench exists to defend.
+    let unique = (SCENES.len() * CONFIGS.len()) as u64;
+    assert_eq!(cold.failed + warm.failed, 0, "no fleet-served cell may fail");
+    assert!(
+        cold.misses <= unique * 2,
+        "cold pass simulated {} cells for {unique} unique ones — hedge idempotency broken \
+         (hedges may at most double the miss labels, never the simulations)",
+        cold.misses
+    );
+    assert_eq!(warm.misses, 0, "warm pass must be pure cache hits");
+
+    let own = |s: &str| s.to_owned();
+    let doc = Json::Obj(vec![
+        (own("bench"), Json::Str(own("fleet_loadtest"))),
+        (own("timestamp"), Json::U64(unix_timestamp())),
+        (own("render"), Json::Str(own(RENDER))),
+        (own("clients"), Json::U64(clients as u64)),
+        (own("rounds"), Json::U64(rounds as u64)),
+        (own("jobs_per_sweep"), Json::U64(unique)),
+        (own("backends"), Json::U64(2)),
+        (own("cells"), Json::U64(cells)),
+        (own("hedges"), Json::U64(hedges)),
+        (own("hedge_wins"), Json::U64(hedge_wins)),
+        (own("retry_rounds"), Json::U64(retries)),
+        (own("hedge_rate"), Json::F64(hedge_rate)),
+        (own("phases"), Json::Arr(vec![cold.to_json("cold"), warm.to_json("warm")])),
+    ]);
+    // `cargo bench` runs with the package dir as cwd; the history file
+    // lives at the repo root next to BENCH_core.json.
+    let out = std::env::var("SMS_BENCH_SERVE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_owned()
+    });
+    let mut history =
+        match std::fs::read_to_string(&out).ok().and_then(|s| sms_harness::json::parse(&s).ok()) {
+            Some(Json::Arr(entries)) => entries,
+            Some(obj @ Json::Obj(_)) => vec![obj],
+            _ => Vec::new(),
+        };
+    history.push(doc);
+    std::fs::write(&out, format!("{}\n", Json::Arr(history))).expect("write benchmark output");
+    println!("\nappended entry to {out}");
+}

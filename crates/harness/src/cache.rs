@@ -20,6 +20,7 @@
 //! 2); a persistently unwritable directory (read-only mount, full disk)
 //! degrades the cache to a no-op with a single warning instead of a crash.
 
+use crate::faultinject::{CacheFault, FaultPlan};
 use crate::json::{parse, Json};
 use crate::RunRequest;
 use sms_sim::gpu::{SimStats, StallBreakdown};
@@ -66,6 +67,7 @@ pub const DEFAULT_RETRIES: u32 = 2;
 struct Degrade {
     disabled: AtomicBool,
     warned: AtomicBool,
+    corrupt_warned: AtomicBool,
 }
 
 /// The on-disk cache at one directory.
@@ -75,6 +77,7 @@ pub struct ResultCache {
     salt: u32,
     retries: u32,
     degrade: Arc<Degrade>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ResultCache {
@@ -91,12 +94,20 @@ impl ResultCache {
             salt,
             retries: DEFAULT_RETRIES,
             degrade: Arc::new(Degrade::default()),
+            faults: None,
         }
     }
 
     /// Sets the bounded-retry count for transient I/O failures.
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.retries = retries;
+        self
+    }
+
+    /// Attaches a fault-injection plan that may truncate or corrupt entries
+    /// as they are written (chaos testing only; `None` is a strict no-op).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -166,6 +177,12 @@ impl ResultCache {
 
     /// Loads a cached result; `None` on miss or on any malformed entry.
     /// Transient read errors are retried; persistent ones are misses.
+    ///
+    /// A *corrupt* entry (unparseable, missing fields, or failing its
+    /// checksum) is distinguished from a plain miss (different salt, hash
+    /// collision): corruption warns once per cache and deletes the file so
+    /// the next store self-heals it. Entries written before checksums were
+    /// introduced carry no `sum` field and still load.
     pub fn load(&self, key: &CacheKey) -> Option<SimStats> {
         if self.is_degraded() {
             return None;
@@ -179,14 +196,67 @@ impl ResultCache {
             })
             .ok()
             .flatten()?;
-        let doc = parse(&text).ok()?;
-        if doc.u64_field("salt")? != self.salt as u64 {
-            return None;
+        match self.validate_entry(key, &text) {
+            Loaded::Hit(stats) => Some(*stats),
+            Loaded::Miss => None,
+            Loaded::Corrupt(why) => {
+                self.quarantine(&path, why);
+                None
+            }
         }
-        if doc.get("key")?.as_str()? != key.canonical {
-            return None; // hash collision or stale schema
+    }
+
+    /// Classifies one entry's text against `key`.
+    fn validate_entry(&self, key: &CacheKey, text: &str) -> Loaded {
+        let Ok(doc) = parse(text) else {
+            return Loaded::Corrupt("unparseable JSON (torn write?)");
+        };
+        let Some(salt) = doc.u64_field("salt") else {
+            return Loaded::Corrupt("missing or mistyped `salt` field");
+        };
+        if salt != self.salt as u64 {
+            return Loaded::Miss; // stale simulator version, not damage
         }
-        stats_from_json(doc.get("stats")?)
+        let Some(canonical) = doc.get("key").and_then(Json::as_str) else {
+            return Loaded::Corrupt("missing or mistyped `key` field");
+        };
+        if canonical != key.canonical {
+            // The entry sits at the path this key hashes to, yet declares a
+            // different key: a genuine 64-bit FNV collision is astronomically
+            // less likely than bit rot in the key string, and deleting a
+            // colliding entry costs only a re-simulation — so quarantine.
+            return Loaded::Corrupt("key mismatch (bit rot, or a 1-in-2^64 hash collision)");
+        }
+        let Some(stats_doc) = doc.get("stats") else {
+            return Loaded::Corrupt("missing `stats` object");
+        };
+        let Some(stats) = stats_from_json(stats_doc) else {
+            return Loaded::Corrupt("malformed `stats` object");
+        };
+        // Entries predating checksums (no `sum`) are trusted as before;
+        // anything written going forward must verify.
+        if let Some(sum) = doc.get("sum") {
+            let Some(sum) = sum.as_str() else {
+                return Loaded::Corrupt("mistyped `sum` field");
+            };
+            if sum != entry_checksum(&key.canonical, &stats) {
+                return Loaded::Corrupt("checksum mismatch");
+            }
+        }
+        Loaded::Hit(Box::new(stats))
+    }
+
+    /// Deletes a corrupt entry so re-simulation's store self-heals it,
+    /// warning once per cache (shared across clones, like degradation).
+    fn quarantine(&self, path: &Path, why: &str) {
+        if !self.degrade.corrupt_warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: corrupt result cache entry {} ({why}); \
+                 deleting it and re-simulating",
+                path.display()
+            );
+        }
+        let _ = fs::remove_file(path);
     }
 
     /// Stores a result, best-effort (errors are swallowed: a cold cache is
@@ -199,6 +269,7 @@ impl ResultCache {
         let doc = Json::Obj(vec![
             ("salt".to_owned(), Json::U64(self.salt as u64)),
             ("key".to_owned(), Json::Str(key.canonical.clone())),
+            ("sum".to_owned(), Json::Str(entry_checksum(&key.canonical, stats))),
             ("stats".to_owned(), stats_to_json(stats)),
         ]);
         if let Err(e) = self.with_retry(|| fs::create_dir_all(&self.dir)) {
@@ -216,7 +287,10 @@ impl ResultCache {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        let body = doc.to_string();
+        let mut body = doc.to_string();
+        if let Some(fault) = self.faults.as_ref().and_then(|f| f.cache_write_fault()) {
+            apply_cache_fault(&mut body, fault);
+        }
         let entry = self.entry_path(key);
         let result = self.with_retry(|| {
             fs::write(&tmp, &body)?;
@@ -235,6 +309,42 @@ impl ResultCache {
         if let Err(e) = result {
             let _ = fs::remove_file(&tmp);
             self.degrade(&e);
+        }
+    }
+}
+
+/// Outcome of validating one on-disk entry.
+enum Loaded {
+    /// Entry is intact and matches the key (boxed: `SimStats` is large).
+    Hit(Box<SimStats>),
+    /// Entry is intact but for a different salt or key — leave it alone.
+    Miss,
+    /// Entry is damaged; delete it so it self-heals on the next store.
+    Corrupt(&'static str),
+}
+
+/// Checksum stored in each entry's `sum` field: FNV-1a over the canonical
+/// key and the deterministic stats serialization, rendered as 16 hex
+/// digits. Catches bit rot that still parses as valid JSON.
+pub fn entry_checksum(canonical: &str, stats: &SimStats) -> String {
+    let body = stats_to_json(stats).to_string();
+    format!("{:016x}", fnv1a64(format!("{canonical}|{body}").as_bytes()))
+}
+
+/// Damages an entry body in place per the injected fault. The body is
+/// ASCII JSON, so byte-level surgery cannot split a UTF-8 sequence.
+fn apply_cache_fault(body: &mut String, fault: CacheFault) {
+    match fault {
+        CacheFault::Truncate => {
+            body.truncate(body.len() / 2);
+        }
+        CacheFault::Corrupt => {
+            // Stomp a run of bytes in the middle; lands inside the entry
+            // and reliably breaks either the JSON or the checksum.
+            let mid = body.len() / 2;
+            let end = (mid + 8).min(body.len());
+            // SAFETY-free: replace_range keeps the string valid UTF-8.
+            body.replace_range(mid..end, &"X".repeat(end - mid));
         }
     }
 }

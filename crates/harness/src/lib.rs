@@ -44,6 +44,7 @@
 
 pub mod cache;
 pub mod error;
+pub mod faultinject;
 pub mod journal;
 pub mod json;
 pub mod pool;
@@ -51,6 +52,7 @@ pub mod resume;
 
 pub use cache::{CacheKey, ResultCache, SIM_VERSION_SALT};
 pub use error::RunError;
+pub use faultinject::{CacheFault, FaultPlan};
 pub use journal::{Event, Journal};
 pub use pool::JobPanic;
 pub use resume::ResumeState;

@@ -123,6 +123,106 @@ fn version_salt_bump_invalidates_stale_entries() {
 }
 
 #[test]
+fn corrupt_entries_are_deleted_on_load_so_they_self_heal() {
+    let dir = temp_dir("selfheal");
+    let cache = ResultCache::new(&dir);
+    let key = cache.key(&sample_request());
+    cache.store(&key, &SimStats { cycles: 42, ..Default::default() });
+    let path = cache.entry_path(&key);
+
+    std::fs::write(&path, "definitely not json").unwrap();
+    assert_eq!(cache.load(&key), None);
+    assert!(!path.exists(), "corrupt entry must be deleted so the next store heals it");
+
+    // A plain miss (no file) stays a plain miss.
+    assert_eq!(cache.load(&key), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tampered_stats_fail_the_checksum_and_are_quarantined() {
+    let dir = temp_dir("tamper");
+    let cache = ResultCache::new(&dir);
+    let key = cache.key(&sample_request());
+    cache.store(&key, &SimStats { cycles: 123_456, ..Default::default() });
+    let path = cache.entry_path(&key);
+
+    // Flip one digit of the stats payload: still valid JSON, still the
+    // right schema — only the checksum can catch it.
+    let body = std::fs::read_to_string(&path).unwrap();
+    let tampered = body.replace("123456", "123457");
+    assert_ne!(body, tampered, "tamper target must exist in the entry");
+    std::fs::write(&path, tampered).unwrap();
+
+    assert_eq!(cache.load(&key), None, "bit rot that parses must still miss");
+    assert!(!path.exists(), "checksum-failed entry must be deleted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_entries_without_checksum_still_load() {
+    let dir = temp_dir("legacy");
+    let cache = ResultCache::new(&dir);
+    let key = cache.key(&sample_request());
+    let stats = SimStats { cycles: 99, node_visits: 3, ..Default::default() };
+
+    // Forge a pre-checksum entry: same envelope, no `sum` field.
+    let body = format!(
+        "{{\"salt\":{SIM_VERSION_SALT},\"key\":{:?},\"stats\":{}}}",
+        key.canonical,
+        sms_harness::cache::stats_to_json(&stats)
+    );
+    std::fs::write(cache.entry_path(&key), body).unwrap();
+    assert_eq!(cache.load(&key), Some(stats), "legacy entries must stay readable");
+    assert!(cache.entry_path(&key).exists(), "a valid legacy entry must not be deleted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn salt_mismatches_are_misses_not_corruption() {
+    let dir = temp_dir("mismatch");
+    let req = sample_request();
+
+    // A stale-salt entry forged at the current path must miss but survive
+    // on disk (it is not damaged, just from another simulator version).
+    let old_cache = ResultCache::with_salt(&dir, SIM_VERSION_SALT.wrapping_sub(1));
+    let old_key = old_cache.key(&req);
+    old_cache.store(&old_key, &SimStats { cycles: 1, ..Default::default() });
+    let new_cache = ResultCache::with_salt(&dir, SIM_VERSION_SALT);
+    let new_key = new_cache.key(&req);
+    let forged = new_cache.entry_path(&new_key);
+    std::fs::copy(old_cache.entry_path(&old_key), &forged).unwrap();
+    assert_eq!(new_cache.load(&new_key), None);
+    assert!(forged.exists(), "salt mismatch is a miss, not corruption — no deletion");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_injected_cache_writes_self_heal_end_to_end() {
+    use sms_harness::FaultPlan;
+    use std::sync::Arc;
+
+    let dir = temp_dir("faultwrites");
+    // Every write is damaged: odd writes truncated, even writes corrupted.
+    let plan = Arc::new(FaultPlan::parse("cache_truncate:every=2;cache_corrupt:every=1").unwrap());
+    let faulty = ResultCache::new(&dir).with_faults(Some(plan));
+    let clean = ResultCache::new(&dir);
+    let key = clean.key(&sample_request());
+    let stats = SimStats { cycles: 7_777, ..Default::default() };
+
+    for _ in 0..4 {
+        faulty.store(&key, &stats);
+        assert_eq!(clean.load(&key), None, "damaged write must never read back as a hit");
+        assert!(!clean.entry_path(&key).exists(), "damaged entry must be quarantined");
+    }
+
+    // A clean writer heals the slot.
+    clean.store(&key, &stats);
+    assert_eq!(clean.load(&key), Some(stats));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn distinct_requests_have_distinct_keys() {
     let cache = ResultCache::new("unused");
     let render = RenderConfig::tiny();

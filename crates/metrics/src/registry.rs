@@ -99,6 +99,44 @@ impl Registry {
         });
     }
 
+    /// Registers one sample of a *labeled family*: the same name may be
+    /// registered repeatedly with distinct label sets (e.g. one sample per
+    /// backend), as long as every sample agrees on the metric type.
+    /// Rendering emits the family's `# HELP`/`# TYPE` header once; new
+    /// samples are inserted directly after their family so a family's
+    /// samples stay contiguous no matter when they were registered.
+    fn push_labeled(&mut self, name: &str, help: &str, extra: &[(&str, &str)], metric: Metric) {
+        assert!(valid_metric_name(name), "invalid metric name `{name}`");
+        let mut labels = self.base_labels.clone();
+        for (k, v) in extra {
+            assert!(valid_metric_name(k), "invalid label name `{k}`");
+            if !labels.is_empty() {
+                labels.push(',');
+            }
+            labels.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+        }
+        let mut insert_at = self.entries.len();
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.name == name {
+                assert!(
+                    e.metric.type_name() == metric.type_name(),
+                    "metric `{name}` re-registered as a {} (was a {})",
+                    metric.type_name(),
+                    e.metric.type_name()
+                );
+                assert!(
+                    e.labels != labels,
+                    "metric `{name}` with labels `{{{labels}}}` registered twice"
+                );
+                insert_at = i + 1;
+            }
+        }
+        self.entries.insert(
+            insert_at,
+            Entry { name: name.to_owned(), help: help.to_owned(), labels, metric },
+        );
+    }
+
     /// Registers a counter.
     pub fn counter(&mut self, name: &str, help: &str, value: u64) {
         self.push(name, help, Metric::Counter(value));
@@ -107,6 +145,16 @@ impl Registry {
     /// Registers a gauge.
     pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
         self.push(name, help, Metric::Gauge(value));
+    }
+
+    /// Registers one labeled counter sample (see [`Registry::push_labeled`]).
+    pub fn labeled_counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.push_labeled(name, help, labels, Metric::Counter(value));
+    }
+
+    /// Registers one labeled gauge sample (see [`Registry::push_labeled`]).
+    pub fn labeled_gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push_labeled(name, help, labels, Metric::Gauge(value));
     }
 
     /// Registers a histogram.
@@ -134,9 +182,13 @@ impl Registry {
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for e in &self.entries {
-            let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
-            let _ = writeln!(out, "# TYPE {} {}", e.name, e.metric.type_name());
+        for (i, e) in self.entries.iter().enumerate() {
+            // One HELP/TYPE header per family: labeled samples after the
+            // first reuse the header (duplicate TYPE lines are invalid).
+            if self.entries[..i].iter().all(|p| p.name != e.name) {
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(out, "# TYPE {} {}", e.name, e.metric.type_name());
+            }
             let braces =
                 if e.labels.is_empty() { String::new() } else { format!("{{{}}}", e.labels) };
             match &e.metric {
@@ -220,5 +272,50 @@ mod tests {
         let mut reg = Registry::new();
         reg.counter("x", "one", 1);
         reg.counter("x", "two", 2);
+    }
+
+    #[test]
+    fn labeled_family_renders_one_header_and_groups_samples() {
+        let mut reg = Registry::new();
+        reg.labeled_gauge("sms_up", "Backend liveness", &[("backend", "a")], 1.0);
+        reg.counter("sms_other_total", "Unrelated", 9);
+        // Registered after the unrelated metric, but rendered inside the
+        // family block.
+        reg.labeled_gauge("sms_up", "Backend liveness", &[("backend", "b")], 0.0);
+        let text = reg.render_prometheus();
+        let expected = "# HELP sms_up Backend liveness\n\
+                        # TYPE sms_up gauge\n\
+                        sms_up{backend=\"a\"} 1\n\
+                        sms_up{backend=\"b\"} 0\n\
+                        # HELP sms_other_total Unrelated\n\
+                        # TYPE sms_other_total counter\n\
+                        sms_other_total 9\n";
+        assert_eq!(text, expected);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn labeled_family_composes_with_base_labels() {
+        let mut reg = Registry::new();
+        reg.set_base_labels(&[("cluster", "fleet0")]);
+        reg.labeled_counter("sms_retries_total", "Retries", &[("backend", "a:1")], 4);
+        let text = reg.render_prometheus();
+        assert!(text.contains("sms_retries_total{cluster=\"fleet0\",backend=\"a:1\"} 4\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn labeled_duplicate_label_sets_rejected() {
+        let mut reg = Registry::new();
+        reg.labeled_counter("x_total", "x", &[("backend", "a")], 1);
+        reg.labeled_counter("x_total", "x", &[("backend", "a")], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered as a gauge")]
+    fn labeled_type_conflicts_rejected() {
+        let mut reg = Registry::new();
+        reg.labeled_counter("x_total", "x", &[("backend", "a")], 1);
+        reg.labeled_gauge("x_total", "x", &[("backend", "b")], 2.0);
     }
 }

@@ -1,0 +1,1197 @@
+//! `sms-fleet`: the fault-tolerant front tier over a pool of `sms-serve`
+//! backends.
+//!
+//! A fleet speaks the same wire protocol as a single server — `POST
+//! /v1/sweep` in, journal-codec JSONL out — but instead of simulating it
+//! *routes*: each deduplicated `(scene, config)` cell becomes one
+//! single-cell sweep dispatched to a backend, with the failure handling a
+//! multi-process deployment needs layered on top:
+//!
+//! * **Work stealing** — cells live in one shared queue; any worker may
+//!   pick up a retried cell and send it to a different backend than the
+//!   one that failed it.
+//! * **Circuit breakers** — per-backend consecutive-failure breakers.
+//!   An open breaker removes the backend from routing for a cooldown;
+//!   the first dispatch after the cooldown is a half-open probe whose
+//!   outcome re-closes (success) or re-opens (failure) the breaker.
+//! * **Bounded retries** — a cell is attempted at most
+//!   [`FleetConfig::cell_attempts`] times across all backends; transport
+//!   failures, 5xx and interrupted streams are retryable, a *structured*
+//!   simulation failure is the simulator's deterministic verdict and is
+//!   reported as-is (retrying it elsewhere would produce the same
+//!   failure and waste a healthy backend's time).
+//! * **Hedged dispatch** — when a cell has not answered after
+//!   [`FleetConfig::hedge_after`], a duplicate dispatch goes to a second
+//!   backend and the first success wins. The backends' single-flight
+//!   tables and the shared on-disk cache make hedges idempotent: the
+//!   losing dispatch is either coalesced or a cache hit, never a second
+//!   simulation.
+//! * **Graceful degradation** — with every breaker open, sweeps whose
+//!   cells are all cached are served from the cache alone; anything
+//!   needing a live simulation is shed with `503` and a `Retry-After`
+//!   derived from the breaker cooldown, so clients come back exactly
+//!   when a half-open probe could have recovered a backend.
+//!
+//! The fleet keeps its own journal (cells keyed like any harness run, so
+//! `SMS_RESUME` replays it) and a `sms_fleet_*` metrics registry with
+//! per-backend labeled families. Fault injection lives in the
+//! *backends* (`SMS_FAULT` on `sms-serve`); the fleet's behaviour under
+//! those faults is what the chaos tests pin down.
+
+use crate::client::{Client, ClientConfig};
+use crate::http::{self, ChunkedWriter, HttpError, Limits, Request};
+use crate::protocol::{self, JobRecord};
+use sms_harness::json::Json;
+use sms_harness::{CacheKey, Event, Journal, ResultCache};
+use sms_metrics::{Histogram, Registry};
+use sms_sim::gpu::SimStats;
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Construction-time fleet knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Backend `host:port` addresses to route over.
+    pub backends: Vec<String>,
+    /// Concurrent cell dispatches (worker threads per sweep request).
+    pub workers: usize,
+    /// Active-connection bound; connections beyond it are shed with 503.
+    pub max_conns: usize,
+    /// Per-request job cap (`scenes × configs`); larger sweeps get a 400.
+    pub max_jobs_per_request: usize,
+    /// Consecutive failures that open a backend's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker keeps a backend out of routing before a
+    /// half-open probe is allowed. Also drives the degraded-mode
+    /// `Retry-After`.
+    pub breaker_cooldown: Duration,
+    /// Total dispatch attempts per cell (first try included) before the
+    /// cell is reported as failed.
+    pub cell_attempts: u32,
+    /// Hedge threshold: a cell still unanswered after this long gets a
+    /// duplicate dispatch on a second backend. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Per-dispatch deadline; must comfortably exceed one simulation
+    /// (a single-cell sweep streams nothing between `job_queued` and the
+    /// finished line).
+    pub cell_timeout: Duration,
+    /// HTTP parsing limits and socket timeouts for the *front* side.
+    pub limits: Limits,
+    /// Shared result-cache directory (degraded-mode serving); should be
+    /// the same directory the backends write.
+    pub cache_dir: Option<PathBuf>,
+    /// Fleet journal path; `None` keeps it in memory only.
+    pub journal_path: Option<PathBuf>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            backends: Vec::new(),
+            workers: 8,
+            max_conns: 64,
+            max_jobs_per_request: 256,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+            cell_attempts: 4,
+            hedge_after: None,
+            cell_timeout: Duration::from_secs(600),
+            limits: Limits::default(),
+            cache_dir: None,
+            journal_path: None,
+        }
+    }
+}
+
+fn env_positive(var: &str) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!("warning: {var}: expected a positive integer, got `{raw}` — ignoring");
+            None
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Reads the environment knobs:
+    ///
+    /// * `SMS_FLEET_ADDR` — bind address (default `127.0.0.1:7746`).
+    /// * `SMS_FLEET_BACKENDS` — comma-separated backend `host:port` list.
+    /// * `SMS_FLEET_WORKERS` — concurrent cell dispatches.
+    /// * `SMS_FLEET_ATTEMPTS` — dispatch attempts per cell.
+    /// * `SMS_FLEET_COOLDOWN_MS` — breaker cooldown.
+    /// * `SMS_FLEET_HEDGE_MS` — hedge threshold (unset disables hedging).
+    /// * `SMS_FLEET_CELL_TIMEOUT_MS` — per-dispatch deadline.
+    /// * `SMS_CACHE_DIR` / `SMS_NO_CACHE=1` — shared cache directory.
+    /// * `SMS_FLEET_JOURNAL` (or `SMS_JOURNAL`) — fleet journal path.
+    pub fn from_env() -> Self {
+        let mut cfg = FleetConfig {
+            addr: std::env::var("SMS_FLEET_ADDR").unwrap_or_else(|_| "127.0.0.1:7746".to_owned()),
+            ..FleetConfig::default()
+        };
+        if let Ok(list) = std::env::var("SMS_FLEET_BACKENDS") {
+            cfg.backends = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect();
+        }
+        if let Some(n) = env_positive("SMS_FLEET_WORKERS") {
+            cfg.workers = n;
+        }
+        if let Some(n) = env_positive("SMS_FLEET_ATTEMPTS") {
+            cfg.cell_attempts = n as u32;
+        }
+        if let Some(ms) = env_positive("SMS_FLEET_COOLDOWN_MS") {
+            cfg.breaker_cooldown = Duration::from_millis(ms as u64);
+        }
+        if let Some(ms) = env_positive("SMS_FLEET_HEDGE_MS") {
+            cfg.hedge_after = Some(Duration::from_millis(ms as u64));
+        }
+        if let Some(ms) = env_positive("SMS_FLEET_CELL_TIMEOUT_MS") {
+            cfg.cell_timeout = Duration::from_millis(ms as u64);
+        }
+        if std::env::var("SMS_NO_CACHE").is_ok_and(|v| v == "1") {
+            cfg.cache_dir = None;
+        } else if let Ok(dir) = std::env::var("SMS_CACHE_DIR") {
+            cfg.cache_dir = Some(PathBuf::from(dir));
+        }
+        if let Ok(path) =
+            std::env::var("SMS_FLEET_JOURNAL").or_else(|_| std::env::var("SMS_JOURNAL"))
+        {
+            cfg.journal_path = Some(PathBuf::from(path));
+        }
+        cfg
+    }
+}
+
+/// One backend's circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    /// Routing normally; `fails` consecutive failures so far.
+    Closed { fails: u32 },
+    /// Out of routing until the cooldown expires.
+    Open { until: Instant },
+    /// One probe dispatch is out; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// Live routing state for one backend.
+struct BackendState {
+    addr: String,
+    breaker: Mutex<Breaker>,
+    /// Dispatches currently outstanding (least-loaded routing).
+    inflight: AtomicU64,
+    /// Cells this backend answered successfully.
+    jobs_done: AtomicU64,
+    /// Dispatches this backend failed (transport, 5xx, bad stream).
+    failures: AtomicU64,
+}
+
+/// A point-in-time view of one backend, for `/metrics`.
+#[derive(Debug, Clone)]
+pub struct BackendSnapshot {
+    /// The backend's `host:port` (the `backend` label value).
+    pub addr: String,
+    /// `false` while the breaker is open.
+    pub up: bool,
+    /// Cells answered successfully.
+    pub jobs: u64,
+    /// Failed dispatches.
+    pub failures: u64,
+}
+
+/// Shared instrument set for one fleet process (`sms_fleet_*`).
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    /// HTTP requests accepted for processing (any endpoint).
+    pub requests: AtomicU64,
+    /// Requests refused with a 4xx (parse or validation failures).
+    pub bad_requests: AtomicU64,
+    /// Sweep requests admitted.
+    pub sweeps: AtomicU64,
+    /// Cells admitted (after request-level dedup).
+    pub cells: AtomicU64,
+    /// Cells that exhausted their attempts or failed structurally.
+    pub cells_failed: AtomicU64,
+    /// Dispatch rounds that failed on every contacted backend.
+    pub retries: AtomicU64,
+    /// Retried cells that moved to a different backend.
+    pub steals: AtomicU64,
+    /// Duplicate dispatches fired for straggling cells.
+    pub hedges: AtomicU64,
+    /// Hedged cells won by the duplicate, not the original.
+    pub hedge_wins: AtomicU64,
+    /// Cells served straight from the shared cache with no healthy
+    /// backend available.
+    pub degraded_hits: AtomicU64,
+    /// Requests shed with 503 (connection cap, drain, or all-down).
+    pub shed: AtomicU64,
+    /// Breaker transitions into the open state.
+    pub breaker_opens: AtomicU64,
+    /// Wall-clock per settled cell, microseconds.
+    pub cell_latency_us: Mutex<Histogram>,
+}
+
+impl FleetMetrics {
+    /// Bumps a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one settled cell's wall-clock latency.
+    pub fn observe_cell(&self, micros: u64) {
+        self.cell_latency_us.lock().unwrap_or_else(PoisonError::into_inner).record(micros);
+    }
+
+    /// Snapshots every instrument into a registry. `uptime` overrides the
+    /// measured uptime when given (tests pin it for golden output).
+    pub fn registry(&self, uptime_secs: f64, backends: &[BackendSnapshot]) -> Registry {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut reg = Registry::new();
+        reg.gauge("sms_fleet_uptime_seconds", "Seconds since the fleet started", uptime_secs);
+        reg.counter(
+            "sms_fleet_requests_total",
+            "HTTP requests accepted for processing",
+            get(&self.requests),
+        );
+        reg.counter(
+            "sms_fleet_bad_requests_total",
+            "Requests refused with a 4xx status",
+            get(&self.bad_requests),
+        );
+        reg.counter("sms_fleet_sweeps_total", "Sweep requests admitted", get(&self.sweeps));
+        reg.counter("sms_fleet_cells_total", "Cells admitted after dedup", get(&self.cells));
+        reg.counter(
+            "sms_fleet_cells_failed_total",
+            "Cells that exhausted their attempts or failed structurally",
+            get(&self.cells_failed),
+        );
+        reg.counter(
+            "sms_fleet_retries_total",
+            "Dispatch rounds that failed on every contacted backend",
+            get(&self.retries),
+        );
+        reg.counter(
+            "sms_fleet_steals_total",
+            "Retried cells that moved to a different backend",
+            get(&self.steals),
+        );
+        reg.counter(
+            "sms_fleet_hedges_total",
+            "Duplicate dispatches fired for straggling cells",
+            get(&self.hedges),
+        );
+        reg.counter(
+            "sms_fleet_hedge_wins_total",
+            "Hedged cells won by the duplicate dispatch",
+            get(&self.hedge_wins),
+        );
+        reg.counter(
+            "sms_fleet_degraded_hits_total",
+            "Cells served from cache with no healthy backend",
+            get(&self.degraded_hits),
+        );
+        reg.counter("sms_fleet_shed_total", "Requests shed with 503", get(&self.shed));
+        reg.counter(
+            "sms_fleet_breaker_opens_total",
+            "Circuit-breaker transitions into the open state",
+            get(&self.breaker_opens),
+        );
+        reg.gauge("sms_fleet_backends", "Configured backends", backends.len() as f64);
+        for b in backends {
+            reg.labeled_gauge(
+                "sms_fleet_backend_up",
+                "Backend routability (0 while its breaker is open)",
+                &[("backend", &b.addr)],
+                if b.up { 1.0 } else { 0.0 },
+            );
+        }
+        for b in backends {
+            reg.labeled_counter(
+                "sms_fleet_backend_jobs_total",
+                "Cells answered successfully, per backend",
+                &[("backend", &b.addr)],
+                b.jobs,
+            );
+        }
+        for b in backends {
+            reg.labeled_counter(
+                "sms_fleet_backend_failures_total",
+                "Failed dispatches, per backend",
+                &[("backend", &b.addr)],
+                b.failures,
+            );
+        }
+        reg.histogram(
+            "sms_fleet_cell_latency_us",
+            "Wall-clock per settled cell, microseconds",
+            self.cell_latency_us.lock().unwrap_or_else(PoisonError::into_inner).clone(),
+        );
+        reg
+    }
+}
+
+/// Everything the fleet's handler threads share.
+struct FleetState {
+    config: FleetConfig,
+    backends: Vec<BackendState>,
+    cache: Option<ResultCache>,
+    /// Key computation even when the disk cache is off.
+    keyer: ResultCache,
+    journal: Journal,
+    metrics: FleetMetrics,
+    started: Instant,
+    /// Fleet-unique cell ids for the journal (stream ids are per-request).
+    job_seq: AtomicU64,
+    draining: AtomicBool,
+    active_conns: AtomicU64,
+}
+
+impl FleetState {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+            || crate::server::signal_drain_flag().load(Ordering::SeqCst)
+    }
+
+    fn lock_breaker(&self, i: usize) -> std::sync::MutexGuard<'_, Breaker> {
+        self.backends[i].breaker.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Picks the least-loaded closed-breaker backend, or promotes one
+    /// expired open breaker to a half-open probe. `exclude` keeps a hedge
+    /// off the backend already trying the cell.
+    fn pick_backend(&self, exclude: Option<usize>) -> Option<usize> {
+        let mut best: Option<(usize, u64)> = None;
+        for i in 0..self.backends.len() {
+            if Some(i) == exclude {
+                continue;
+            }
+            if matches!(*self.lock_breaker(i), Breaker::Closed { .. }) {
+                let load = self.backends[i].inflight.load(Ordering::SeqCst);
+                if best.is_none_or(|(_, l)| load < l) {
+                    best = Some((i, load));
+                }
+            }
+        }
+        if let Some((i, _)) = best {
+            return Some(i);
+        }
+        // No closed breaker: allow at most one half-open probe through.
+        let now = Instant::now();
+        for i in 0..self.backends.len() {
+            if Some(i) == exclude {
+                continue;
+            }
+            let mut breaker = self.lock_breaker(i);
+            if let Breaker::Open { until } = *breaker {
+                if until <= now {
+                    *breaker = Breaker::HalfOpen;
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// `true` when at least one backend could take a dispatch right now
+    /// (closed, probing, or past its cooldown).
+    fn any_backend_usable(&self) -> bool {
+        let now = Instant::now();
+        (0..self.backends.len()).any(|i| match *self.lock_breaker(i) {
+            Breaker::Closed { .. } | Breaker::HalfOpen => true,
+            Breaker::Open { until } => until <= now,
+        })
+    }
+
+    /// A successful dispatch closes the backend's breaker outright.
+    fn on_backend_success(&self, i: usize) {
+        self.backends[i].jobs_done.fetch_add(1, Ordering::Relaxed);
+        *self.lock_breaker(i) = Breaker::Closed { fails: 0 };
+    }
+
+    /// A failed dispatch counts toward the threshold; at the threshold —
+    /// or on a failed half-open probe — the breaker opens.
+    fn on_backend_failure(&self, i: usize) {
+        self.backends[i].failures.fetch_add(1, Ordering::Relaxed);
+        let mut breaker = self.lock_breaker(i);
+        let open = Breaker::Open { until: Instant::now() + self.config.breaker_cooldown };
+        match *breaker {
+            Breaker::Closed { fails } if fails + 1 >= self.config.breaker_threshold => {
+                *breaker = open;
+                FleetMetrics::inc(&self.metrics.breaker_opens);
+            }
+            Breaker::Closed { fails } => *breaker = Breaker::Closed { fails: fails + 1 },
+            Breaker::HalfOpen => {
+                *breaker = open;
+                FleetMetrics::inc(&self.metrics.breaker_opens);
+            }
+            Breaker::Open { .. } => {}
+        }
+    }
+
+    fn backend_snapshots(&self) -> Vec<BackendSnapshot> {
+        self.backends
+            .iter()
+            .enumerate()
+            .map(|(i, b)| BackendSnapshot {
+                addr: b.addr.clone(),
+                up: matches!(*self.lock_breaker(i), Breaker::Closed { .. } | Breaker::HalfOpen),
+                jobs: b.jobs_done.load(Ordering::Relaxed),
+                failures: b.failures.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    fn render_metrics(&self) -> String {
+        self.metrics
+            .registry(self.started.elapsed().as_secs_f64(), &self.backend_snapshots())
+            .render_prometheus()
+    }
+
+    /// A client for one single-cell dispatch: no client-side retries or
+    /// hedging (the fleet owns both), socket read timeout stretched to the
+    /// cell deadline (a single-cell sweep streams nothing while the
+    /// simulation runs).
+    fn cell_client(&self, backend: &str) -> Client {
+        let mut limits = self.config.limits;
+        limits.read_timeout = self.config.cell_timeout;
+        Client::with_config(ClientConfig {
+            addr: backend.to_owned(),
+            retries: 0,
+            deadline: self.config.cell_timeout,
+            hedge_after: None,
+            limits,
+            ..ClientConfig::default()
+        })
+    }
+}
+
+/// One dispatch of one cell to one backend, as a single-cell sweep.
+/// Transport errors, non-200s, interrupted streams and malformed record
+/// counts all come back as `Err` (retryable); a structured simulation
+/// failure comes back as `Ok` with the record's own `Err` outcome.
+fn dispatch_once(
+    state: &Arc<FleetState>,
+    backend_idx: usize,
+    req: &sms_harness::RunRequest,
+    render_name: &str,
+) -> Result<JobRecord, String> {
+    let backend = &state.backends[backend_idx];
+    backend.inflight.fetch_add(1, Ordering::SeqCst);
+    let client = state.cell_client(&backend.addr);
+    let config_label = req.stack.label();
+    let outcome = client.sweep(&[req.scene.name()], &[&config_label], render_name);
+    backend.inflight.fetch_sub(1, Ordering::SeqCst);
+    match outcome {
+        Ok(sweep) => {
+            let n = sweep.records.len();
+            let mut records = sweep.records;
+            match records.pop() {
+                Some(record) if n == 1 => Ok(record),
+                _ => Err(format!("backend {}: {n} records for a single-cell sweep", backend.addr)),
+            }
+        }
+        Err(e) => Err(format!("backend {}: {e}", backend.addr)),
+    }
+}
+
+/// How one cell finally settled.
+enum CellOutcome {
+    /// A usable result (live dispatch or degraded cache hit).
+    Done { stats: Box<SimStats>, cache: String, backend: Option<usize> },
+    /// A terminal failure (structured, or attempts exhausted).
+    Fail { error: String, backend: Option<usize> },
+}
+
+/// One queue entry: a cell and its attempt history.
+struct CellTask {
+    idx: usize,
+    attempts: u32,
+    last_backend: Option<usize>,
+}
+
+enum RoundResult {
+    Settled(CellOutcome),
+    Requeue,
+}
+
+/// One dispatch round for one cell: pick a backend (or degrade), fire the
+/// primary, hedge on a straggle, attribute breaker outcomes, and decide
+/// settle-vs-requeue.
+fn run_cell_round(
+    state: &Arc<FleetState>,
+    task: &mut CellTask,
+    jobs: &[(sms_harness::RunRequest, CacheKey)],
+    render_name: &str,
+) -> RoundResult {
+    let (req, key) = &jobs[task.idx];
+    task.attempts += 1;
+    let Some(primary) = state.pick_backend(None) else {
+        // Degraded mode: no routable backend. Cached cells are still
+        // served; everything else waits for a breaker to half-open, then
+        // fails once the attempt budget runs out — never hangs.
+        if let Some(stats) = state.cache.as_ref().and_then(|c| c.load(key)) {
+            FleetMetrics::inc(&state.metrics.degraded_hits);
+            return RoundResult::Settled(CellOutcome::Done {
+                stats: Box::new(stats),
+                cache: "hit".to_owned(),
+                backend: None,
+            });
+        }
+        if task.attempts >= state.config.cell_attempts {
+            return RoundResult::Settled(CellOutcome::Fail {
+                error: format!("no healthy backend within {} attempts", task.attempts),
+                backend: None,
+            });
+        }
+        std::thread::sleep(state.config.breaker_cooldown.min(Duration::from_millis(50)));
+        return RoundResult::Requeue;
+    };
+    if task.attempts > 1 && task.last_backend.is_some_and(|last| last != primary) {
+        // A retry moving to a different backend is a successful steal.
+        FleetMetrics::inc(&state.metrics.steals);
+    }
+    task.last_backend = Some(primary);
+
+    let (tx, rx) = mpsc::channel::<(usize, Result<JobRecord, String>)>();
+    let spawn_dispatch = |idx: usize, tx: mpsc::Sender<(usize, Result<JobRecord, String>)>| {
+        let state = Arc::clone(state);
+        let req = *req;
+        let render = render_name.to_owned();
+        std::thread::spawn(move || {
+            let result = dispatch_once(&state, idx, &req, &render);
+            let _ = tx.send((idx, result));
+        });
+    };
+    spawn_dispatch(primary, tx.clone());
+    let mut outstanding = 1u32;
+    let mut hedge: Option<usize> = None;
+    // Hold the first message when it beat the hedge threshold, so the
+    // collection loop below is the only place results are interpreted.
+    let mut first = match state.config.hedge_after {
+        Some(hedge_after) => match rx.recv_timeout(hedge_after) {
+            Ok(msg) => Some(msg),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if let Some(second) = state.pick_backend(Some(primary)) {
+                    FleetMetrics::inc(&state.metrics.hedges);
+                    spawn_dispatch(second, tx.clone());
+                    outstanding += 1;
+                    hedge = Some(second);
+                }
+                None
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => None,
+        },
+        None => None,
+    };
+    drop(tx);
+
+    let mut last_error = "no backend contacted".to_owned();
+    while outstanding > 0 {
+        let Some((idx, result)) = first.take().or_else(|| rx.recv().ok()) else { break };
+        outstanding -= 1;
+        match result {
+            Ok(record) => {
+                state.on_backend_success(idx);
+                if hedge == Some(idx) {
+                    FleetMetrics::inc(&state.metrics.hedge_wins);
+                }
+                return RoundResult::Settled(match record.outcome {
+                    Ok(stats) => CellOutcome::Done {
+                        stats: Box::new(stats),
+                        cache: record.cache,
+                        backend: Some(idx),
+                    },
+                    // A structured failure is the simulator's own verdict:
+                    // deterministic, so another backend would fail it the
+                    // same way. Report it; don't burn the retry budget.
+                    Err(error) => CellOutcome::Fail { error, backend: Some(idx) },
+                });
+            }
+            Err(e) => {
+                state.on_backend_failure(idx);
+                last_error = e;
+            }
+        }
+    }
+    // Every contacted backend failed this round.
+    FleetMetrics::inc(&state.metrics.retries);
+    if task.attempts >= state.config.cell_attempts {
+        return RoundResult::Settled(CellOutcome::Fail {
+            error: format!("cell failed after {} attempts: {last_error}", task.attempts),
+            backend: task.last_backend,
+        });
+    }
+    RoundResult::Requeue
+}
+
+/// A worker thread: pop cells, run rounds, settle or requeue, until every
+/// cell of the sweep has settled.
+fn worker_loop(
+    state: &Arc<FleetState>,
+    queue: &Mutex<VecDeque<CellTask>>,
+    remaining: &AtomicU64,
+    jobs: &[(sms_harness::RunRequest, CacheKey)],
+    render_name: &str,
+    tx: &mpsc::Sender<(usize, CellOutcome, u64)>,
+) {
+    loop {
+        if remaining.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let task = queue.lock().unwrap_or_else(PoisonError::into_inner).pop_front();
+        let Some(mut task) = task else {
+            // Another worker may still requeue a failed cell.
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        };
+        let t0 = Instant::now();
+        match run_cell_round(state, &mut task, jobs, render_name) {
+            RoundResult::Settled(outcome) => {
+                let _ = tx.send((task.idx, outcome, t0.elapsed().as_micros() as u64));
+                remaining.fetch_sub(1, Ordering::SeqCst);
+            }
+            RoundResult::Requeue => {
+                queue.lock().unwrap_or_else(PoisonError::into_inner).push_back(task);
+            }
+        }
+    }
+}
+
+/// A running (or ready-to-run) fleet front tier.
+pub struct FleetServer {
+    listener: TcpListener,
+    state: Arc<FleetState>,
+}
+
+/// A cloneable remote control for a fleet: request a drain, read the
+/// bound address, inspect metrics.
+#[derive(Clone)]
+pub struct FleetHandle {
+    state: Arc<FleetState>,
+    addr: std::net::SocketAddr,
+}
+
+impl FleetHandle {
+    /// The address the fleet is listening on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain: stop accepting, finish in-flight work.
+    pub fn request_drain(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Renders the live Prometheus metrics (same payload as `/metrics`).
+    pub fn render_metrics(&self) -> String {
+        self.state.render_metrics()
+    }
+}
+
+impl FleetServer {
+    /// Binds the listener and prepares the shared state. The fleet does
+    /// not accept connections until [`FleetServer::run`] is called.
+    pub fn bind(config: FleetConfig) -> std::io::Result<FleetServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let cache = config.cache_dir.clone().map(ResultCache::new);
+        let keyer = ResultCache::new(PathBuf::new());
+        let journal = Journal::new(config.journal_path.clone());
+        let backends = config
+            .backends
+            .iter()
+            .map(|addr| BackendState {
+                addr: addr.clone(),
+                breaker: Mutex::new(Breaker::Closed { fails: 0 }),
+                inflight: AtomicU64::new(0),
+                jobs_done: AtomicU64::new(0),
+                failures: AtomicU64::new(0),
+            })
+            .collect();
+        let state = Arc::new(FleetState {
+            backends,
+            cache,
+            keyer,
+            journal,
+            metrics: FleetMetrics::default(),
+            started: Instant::now(),
+            job_seq: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            active_conns: AtomicU64::new(0),
+            config,
+        });
+        state.journal.record(Event::BatchStart { jobs: 0, unique: 0, workers: 0 });
+        Ok(FleetServer { listener, state })
+    }
+
+    /// The bound address (useful with `addr = 127.0.0.1:0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A remote control handle for this fleet.
+    pub fn handle(&self) -> std::io::Result<FleetHandle> {
+        Ok(FleetHandle { state: Arc::clone(&self.state), addr: self.local_addr()? })
+    }
+
+    /// Accepts connections until a drain is requested, then waits for
+    /// in-flight connections, flushes the journal, and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        loop {
+            if self.state.draining() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let active = self.state.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
+                    if active > self.state.config.max_conns as u64 {
+                        FleetMetrics::inc(&self.state.metrics.shed);
+                        let mut stream = stream;
+                        http::write_error(
+                            &mut stream,
+                            &HttpError {
+                                status: 503,
+                                message: "fleet at connection capacity; retry".to_owned(),
+                            },
+                        );
+                        self.state.active_conns.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || {
+                        handle_connection(&state, stream);
+                        state.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        while self.state.active_conns.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.state.journal.record(Event::BatchEnd {
+            jobs: self.state.job_seq.load(Ordering::SeqCst) as usize,
+            cache_hits: self.state.metrics.degraded_hits.load(Ordering::Relaxed) as usize,
+            cache_misses: 0,
+            failed: self.state.metrics.cells_failed.load(Ordering::Relaxed) as usize,
+            duration_us: 0,
+            sim_cycles: 0,
+            breakdown: None,
+            metrics: None,
+            builds: Vec::new(),
+        });
+        self.state.journal.flush();
+        Ok(())
+    }
+
+    /// Binds, then runs the accept loop on a background thread. Returns
+    /// the handle plus the join handle whose `Ok(())` is the drained exit.
+    pub fn spawn(
+        config: FleetConfig,
+    ) -> std::io::Result<(FleetHandle, std::thread::JoinHandle<std::io::Result<()>>)> {
+        let server = FleetServer::bind(config)?;
+        let handle = server.handle()?;
+        let join = std::thread::spawn(move || server.run());
+        Ok((handle, join))
+    }
+}
+
+/// Routes one connection's single request.
+fn handle_connection(state: &Arc<FleetState>, mut stream: TcpStream) {
+    let request = match http::read_request(&mut stream, &state.config.limits) {
+        Ok(req) => req,
+        Err(e) => {
+            if (400..500).contains(&e.status) {
+                FleetMetrics::inc(&state.metrics.bad_requests);
+            }
+            http::write_error(&mut stream, &e);
+            return;
+        }
+    };
+    FleetMetrics::inc(&state.metrics.requests);
+    let outcome = route(state, &request, &mut stream);
+    if let Err(e) = outcome {
+        if (400..500).contains(&e.status) {
+            FleetMetrics::inc(&state.metrics.bad_requests);
+        }
+        http::write_error(&mut stream, &e);
+    }
+}
+
+fn route(
+    state: &Arc<FleetState>,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> Result<(), HttpError> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            if state.draining() {
+                Err(HttpError { status: 503, message: "draining".to_owned() })
+            } else {
+                write_ok(stream, "text/plain", b"ok\n")
+            }
+        }
+        ("GET", "/metrics") => {
+            let text = state.render_metrics();
+            write_ok(stream, "text/plain; version=0.0.4", text.as_bytes())
+        }
+        ("POST", "/v1/drain") => {
+            state.draining.store(true, Ordering::SeqCst);
+            write_ok(stream, "text/plain", b"draining\n")
+        }
+        ("POST", "/v1/sweep") => handle_sweep(state, request, stream),
+        ("GET", path) if path.starts_with("/v1/jobs/") => handle_probe(state, request, stream),
+        _ => Err(HttpError {
+            status: 404,
+            message: format!("no route for {} {}", request.method, request.path),
+        }),
+    }
+}
+
+fn write_ok(stream: &mut TcpStream, content_type: &str, body: &[u8]) -> Result<(), HttpError> {
+    http::write_response(stream, 200, content_type, &[], body)
+        .map_err(|e| HttpError { status: 500, message: e.to_string() })
+}
+
+/// `GET /v1/jobs/<scene>/<config>[?render=<mode>]` — the same pure cache
+/// probe a backend serves, answered from the fleet's shared cache view.
+fn handle_probe(
+    state: &Arc<FleetState>,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> Result<(), HttpError> {
+    let bad = |message: String| HttpError { status: 400, message };
+    let rest = request.path.trim_start_matches("/v1/jobs/");
+    let (scene, config) = rest
+        .split_once('/')
+        .ok_or_else(|| bad("probe path must be /v1/jobs/<scene>/<config>".to_owned()))?;
+    let scene = scene.parse::<sms_sim::scene::SceneId>().map_err(|e| bad(e.to_string()))?;
+    let stack = protocol::parse_stack_config(config).map_err(bad)?;
+    let mut render_name = "fast".to_owned();
+    for pair in request.query.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("render", mode)) => render_name = mode.to_owned(),
+            _ => return Err(bad(format!("unknown query parameter `{pair}`"))),
+        }
+    }
+    let render = protocol::parse_render(&render_name).map_err(bad)?;
+    let req = sms_harness::RunRequest::new(scene, stack, render);
+    let key = state.keyer.key(&req);
+    match state.cache.as_ref().and_then(|c| c.load(&key)) {
+        Some(stats) => {
+            let doc = Json::Obj(vec![
+                ("key".to_owned(), Json::Str(key.canonical.clone())),
+                ("scene".to_owned(), Json::Str(scene.name().to_owned())),
+                ("config".to_owned(), Json::Str(stack.label())),
+                ("render".to_owned(), Json::Str(render_name)),
+                ("stats".to_owned(), sms_harness::cache::stats_to_json(&stats)),
+            ]);
+            write_ok(stream, "application/json", format!("{doc}\n").as_bytes())
+        }
+        None => Err(HttpError { status: 404, message: format!("no cached result for {rest}") }),
+    }
+}
+
+/// `POST /v1/sweep` — admit, dedupe, fan cells out over the backends,
+/// stream journal-codec records as cells settle.
+fn handle_sweep(
+    state: &Arc<FleetState>,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> Result<(), HttpError> {
+    if state.draining() {
+        FleetMetrics::inc(&state.metrics.shed);
+        return Err(HttpError {
+            status: 503,
+            message: "draining; not accepting sweeps".to_owned(),
+        });
+    }
+    let sweep = protocol::parse_sweep(&request.body, state.config.max_jobs_per_request)
+        .map_err(|message| HttpError { status: 400, message })?;
+    FleetMetrics::inc(&state.metrics.sweeps);
+
+    // Request-level dedup on the canonical key, same as a backend.
+    let mut jobs: Vec<(sms_harness::RunRequest, CacheKey)> = Vec::new();
+    for req in &sweep.requests {
+        let key = state.keyer.key(req);
+        if !jobs.iter().any(|(_, k)| k.canonical == key.canonical) {
+            jobs.push((*req, key));
+        }
+    }
+
+    // Degraded admission: with no routable backend, a sweep that would
+    // need a live simulation is shed *before* the stream starts, with a
+    // Retry-After matched to the breaker cooldown. All-cached sweeps fall
+    // through — the workers serve them without contacting anyone.
+    if !state.any_backend_usable() {
+        let all_cached =
+            state.cache.as_ref().is_some_and(|c| jobs.iter().all(|(_, key)| c.load(key).is_some()));
+        if !all_cached {
+            FleetMetrics::inc(&state.metrics.shed);
+            let secs = state.config.breaker_cooldown.as_secs().max(1).to_string();
+            return http::write_response(
+                stream,
+                503,
+                "text/plain",
+                &[("Retry-After", &secs)],
+                b"no healthy backend and sweep is not fully cached; retry\n",
+            )
+            .map_err(|e| HttpError { status: 500, message: e.to_string() });
+        }
+    }
+
+    let t0 = Instant::now();
+    let mut writer = ChunkedWriter::start(stream, 200, "application/jsonl")
+        .map_err(|e| HttpError { status: 500, message: e.to_string() })?;
+
+    let journal_base = state.job_seq.fetch_add(jobs.len() as u64, Ordering::SeqCst) as usize;
+    for (local, (req, key)) in jobs.iter().enumerate() {
+        FleetMetrics::inc(&state.metrics.cells);
+        let line = protocol::job_queued_event(local, req, &key.canonical).to_json().to_string();
+        let _ = writer.chunk(format!("{line}\n").as_bytes());
+        state.journal.record(protocol::job_queued_event(journal_base + local, req, &key.canonical));
+    }
+
+    let queue: Mutex<VecDeque<CellTask>> = Mutex::new(
+        (0..jobs.len()).map(|idx| CellTask { idx, attempts: 0, last_backend: None }).collect(),
+    );
+    let remaining = AtomicU64::new(jobs.len() as u64);
+    let (tx, rx) = mpsc::channel::<(usize, CellOutcome, u64)>();
+    let render_name = sweep.render_name.clone();
+    let n_workers = state.config.workers.clamp(1, jobs.len().max(1));
+
+    let (hits, misses, failed, sim_cycles) = std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            let tx = tx.clone();
+            let (queue, remaining, jobs, render_name) = (&queue, &remaining, &jobs, &render_name);
+            let state = Arc::clone(state);
+            scope.spawn(move || worker_loop(&state, queue, remaining, jobs, render_name, &tx));
+        }
+        drop(tx);
+        let mut hits = 0usize;
+        let mut misses = 0usize;
+        let mut failed = 0usize;
+        let mut sim_cycles = 0u64;
+        for (local, outcome, duration_us) in rx {
+            state.metrics.observe_cell(duration_us);
+            let line = match outcome {
+                CellOutcome::Done { stats, cache, backend } => {
+                    if cache == "miss" {
+                        misses += 1;
+                        sim_cycles += stats.cycles;
+                    } else {
+                        hits += 1;
+                    }
+                    render_finished_line(
+                        state,
+                        local,
+                        journal_base + local,
+                        backend,
+                        &stats,
+                        &cache,
+                        duration_us,
+                    )
+                }
+                CellOutcome::Fail { error, backend } => {
+                    failed += 1;
+                    FleetMetrics::inc(&state.metrics.cells_failed);
+                    render_failed_line(
+                        state,
+                        local,
+                        journal_base + local,
+                        backend,
+                        &error,
+                        duration_us,
+                    )
+                }
+            };
+            // A closed peer is not an error: keep settling cells so the
+            // journal and the backends' shared cache still warm up.
+            let _ = writer.chunk(line.as_bytes());
+        }
+        (hits, misses, failed, sim_cycles)
+    });
+
+    let summary = Event::BatchEnd {
+        jobs: jobs.len(),
+        cache_hits: hits,
+        cache_misses: misses,
+        failed,
+        duration_us: t0.elapsed().as_micros() as u64,
+        sim_cycles,
+        breakdown: None,
+        metrics: None,
+        builds: Vec::new(),
+    };
+    state.journal.record(summary.clone());
+    let _ = writer.chunk(format!("{}\n", summary.to_json()).as_bytes());
+    let _ = writer.finish();
+    Ok(())
+}
+
+/// Builds one finished-cell stream line (journal codec; `worker` carries
+/// the backend index) and mirrors it into the fleet journal under the
+/// fleet-unique id. The backend's cache tier (`hit`/`miss`/`shared`) is
+/// preserved so fleet streams read like backend streams.
+fn render_finished_line(
+    state: &Arc<FleetState>,
+    local_job: usize,
+    journal_job: usize,
+    backend: Option<usize>,
+    stats: &SimStats,
+    cache_label: &str,
+    duration_us: u64,
+) -> String {
+    let event = |job: usize| Event::JobFinished {
+        job,
+        worker: backend,
+        cache_hit: cache_label != "miss",
+        cycles: stats.cycles,
+        duration_us,
+        stats: Some(*stats),
+        breakdown: None,
+    };
+    state.journal.record(event(journal_job));
+    let mut doc = event(local_job).to_json();
+    if cache_label == "shared" {
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "cache" {
+                    *v = Json::Str("shared".to_owned());
+                }
+            }
+        }
+    }
+    format!("{doc}\n")
+}
+
+/// Builds one failed-cell stream line and mirrors it into the journal.
+fn render_failed_line(
+    state: &Arc<FleetState>,
+    local_job: usize,
+    journal_job: usize,
+    backend: Option<usize>,
+    error: &str,
+    duration_us: u64,
+) -> String {
+    let event = |job: usize| Event::RunFailed {
+        job,
+        worker: backend.unwrap_or(0),
+        kind: "fleet".to_owned(),
+        error: error.to_owned(),
+        duration_us,
+    };
+    state.journal.record(event(journal_job));
+    format!("{}\n", event(local_job).to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state(backends: &[&str], threshold: u32, cooldown: Duration) -> Arc<FleetState> {
+        let server = FleetServer::bind(FleetConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            backends: backends.iter().map(|s| (*s).to_owned()).collect(),
+            breaker_threshold: threshold,
+            breaker_cooldown: cooldown,
+            ..FleetConfig::default()
+        })
+        .expect("bind test fleet");
+        Arc::clone(&server.state)
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_probes_after_cooldown() {
+        let state = test_state(&["a:1"], 2, Duration::from_millis(30));
+        assert_eq!(state.pick_backend(None), Some(0));
+        state.on_backend_failure(0);
+        assert_eq!(state.pick_backend(None), Some(0), "one failure is below the threshold");
+        state.on_backend_failure(0);
+        assert_eq!(state.pick_backend(None), None, "breaker must open at the threshold");
+        assert!(!state.any_backend_usable());
+        assert_eq!(state.metrics.breaker_opens.load(Ordering::Relaxed), 1);
+
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(state.any_backend_usable(), "cooldown expiry re-admits the backend");
+        assert_eq!(state.pick_backend(None), Some(0), "first pick is the half-open probe");
+        assert_eq!(state.pick_backend(None), None, "only one probe may be outstanding");
+
+        // A successful probe re-closes the breaker; routing resumes.
+        state.on_backend_success(0);
+        assert_eq!(state.pick_backend(None), Some(0));
+        assert_eq!(state.pick_backend(None), Some(0), "closed breaker routes freely");
+    }
+
+    #[test]
+    fn failed_halfopen_probe_reopens_immediately() {
+        let state = test_state(&["a:1"], 1, Duration::from_millis(30));
+        state.on_backend_failure(0);
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(state.pick_backend(None), Some(0));
+        state.on_backend_failure(0);
+        assert_eq!(state.pick_backend(None), None, "failed probe must reopen the breaker");
+        assert_eq!(state.metrics.breaker_opens.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn routing_prefers_least_loaded_and_respects_exclude() {
+        let state = test_state(&["a:1", "b:2"], 3, Duration::from_secs(1));
+        state.backends[0].inflight.store(5, Ordering::SeqCst);
+        assert_eq!(state.pick_backend(None), Some(1), "least-loaded backend wins");
+        assert_eq!(state.pick_backend(Some(1)), Some(0), "exclude forces the other backend");
+        state.on_backend_failure(1);
+        state.on_backend_failure(1);
+        state.on_backend_failure(1);
+        assert_eq!(state.pick_backend(None), Some(0), "open breaker drops out of routing");
+        assert_eq!(state.pick_backend(Some(0)), None, "no hedge target left");
+    }
+
+    #[test]
+    fn breaker_success_resets_the_failure_count() {
+        let state = test_state(&["a:1"], 3, Duration::from_secs(1));
+        state.on_backend_failure(0);
+        state.on_backend_failure(0);
+        state.on_backend_success(0);
+        state.on_backend_failure(0);
+        state.on_backend_failure(0);
+        assert_eq!(state.pick_backend(None), Some(0), "success must reset consecutive failures");
+        state.on_backend_failure(0);
+        assert_eq!(state.pick_backend(None), None);
+    }
+
+    #[test]
+    fn metrics_schema_is_strict_and_labeled_per_backend() {
+        let m = FleetMetrics::default();
+        FleetMetrics::inc(&m.requests);
+        FleetMetrics::inc(&m.hedges);
+        m.observe_cell(1234);
+        let backends = vec![
+            BackendSnapshot { addr: "127.0.0.1:1".to_owned(), up: true, jobs: 3, failures: 0 },
+            BackendSnapshot { addr: "127.0.0.1:2".to_owned(), up: false, jobs: 1, failures: 4 },
+        ];
+        let text = m.registry(12.5, &backends).render_prometheus();
+        sms_metrics::prom::validate(&text).expect("strict parse");
+        let families = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+        assert_eq!(families, 18, "every family renders its header exactly once");
+        assert!(text.contains("sms_fleet_backend_up{backend=\"127.0.0.1:1\"} 1"));
+        assert!(text.contains("sms_fleet_backend_up{backend=\"127.0.0.1:2\"} 0"));
+        assert!(text.contains("sms_fleet_backend_failures_total{backend=\"127.0.0.1:2\"} 4"));
+        assert!(text.contains("sms_fleet_uptime_seconds 12.5"));
+    }
+}

@@ -21,6 +21,10 @@
 //!   response stream *is* the harness journal format, so a saved response
 //!   body works as an `SMS_RESUME` fragment unchanged.
 //! * [`metrics`] — the server's instrument set (`sms_serve_*`).
+//! * [`fleet`] — the fault-tolerant front tier: one `sms-fleet` process
+//!   routing cells over N `sms-serve` backends with circuit breakers,
+//!   work-stealing retries, hedged dispatch, and cache-only degraded
+//!   serving when every backend is down.
 //!
 //! Results are byte-identical to the CLI harness: both funnel into
 //! `sms_sim::experiments::try_run_prepared` and share one on-disk
@@ -28,11 +32,13 @@
 //! cache hit for the other.
 
 pub mod client;
+pub mod fleet;
 pub mod http;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientConfig, ClientError};
+pub use fleet::{FleetConfig, FleetHandle, FleetServer};
 pub use protocol::{JobRecord, SweepOutcome};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -76,6 +76,11 @@ pub struct ServeConfig {
     /// arms (`breakdown`/`metrics`) are ignored: served streams carry
     /// `SimStats` only, byte-identical either way.
     pub run_limits: RunLimits,
+    /// Deterministic fault-injection plan (`SMS_FAULT`), threaded through
+    /// the accept/respond paths and the cache. `None` (the default) means
+    /// no fault code runs at all — behaviour is byte-identical to a build
+    /// without the chaos layer.
+    pub faults: Option<Arc<sms_harness::FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +96,7 @@ impl Default for ServeConfig {
             cache_dir: Some(default_cache_dir()),
             journal_path: None,
             run_limits: RunLimits::none(),
+            faults: None,
         }
     }
 }
@@ -124,6 +130,8 @@ impl ServeConfig {
     /// * `SMS_SERVE_JOURNAL` (or `SMS_JOURNAL`) — journal path.
     /// * `SMS_MAX_CYCLES` / `SMS_STALL_CYCLES` / `SMS_VALIDATE` — per-run
     ///   watchdogs, exactly as in the CLI harness.
+    /// * `SMS_FAULT` — seeded fault-injection spec (chaos testing only;
+    ///   see [`sms_harness::FaultPlan`]).
     pub fn from_env() -> Self {
         let mut cfg = ServeConfig {
             addr: std::env::var("SMS_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7745".to_owned()),
@@ -161,6 +169,7 @@ impl ServeConfig {
         limits.breakdown = false;
         limits.metrics = false;
         cfg.run_limits = limits;
+        cfg.faults = sms_harness::FaultPlan::from_env();
         cfg
     }
 }
@@ -410,7 +419,10 @@ impl Server {
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
-        let cache = config.cache_dir.clone().map(ResultCache::new);
+        let cache = config
+            .cache_dir
+            .clone()
+            .map(|dir| ResultCache::new(dir).with_faults(config.faults.clone()));
         let keyer = ResultCache::new(PathBuf::new());
         let journal = Journal::new(config.journal_path.clone());
         let workers = config.workers.max(1);
@@ -450,11 +462,22 @@ impl Server {
     /// connection.
     pub fn run(self) -> std::io::Result<()> {
         loop {
+            let injected_kill =
+                self.state.config.faults.as_ref().filter(|f| f.killed()).map(|f| f.journal_torn());
+            if let Some(tear_journal) = injected_kill {
+                return self.die_of_injected_kill(tear_journal);
+            }
             if self.state.draining() {
                 break;
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    if let Some(f) = &self.state.config.faults {
+                        if f.should_drop_conn() {
+                            drop(stream); // injected fault: connection reset, no reply
+                            continue;
+                        }
+                    }
                     let active = self.state.active_conns.fetch_add(1, Ordering::SeqCst) + 1;
                     if active > self.state.config.max_conns as u64 {
                         // Load shed at the door: bounded accept queue.
@@ -501,6 +524,27 @@ impl Server {
         Ok(())
     }
 
+    /// The injected-kill exit: no drain, no `batch_end`, no flush — the
+    /// listener drops (further connects are refused) and, when configured,
+    /// the journal's tail line is torn mid-write, exactly the wreckage a
+    /// SIGKILL leaves behind. Returns an error so the binary exits nonzero
+    /// like a crashed process.
+    fn die_of_injected_kill(self, tear_journal: bool) -> std::io::Result<()> {
+        if tear_journal {
+            if let Some(path) = &self.state.config.journal_path {
+                if let Ok(meta) = std::fs::metadata(path) {
+                    // Rip the last few bytes off the flushed tail so the
+                    // final line is half-written.
+                    let torn = meta.len().saturating_sub(7);
+                    if let Ok(f) = std::fs::OpenOptions::new().write(true).open(path) {
+                        let _ = f.set_len(torn);
+                    }
+                }
+            }
+        }
+        Err(std::io::Error::other("fault injection: killed after job budget"))
+    }
+
     /// Binds, then runs the accept loop on a background thread. Returns
     /// the handle plus the join handle whose `Ok(())` is the drained exit.
     pub fn spawn(
@@ -527,6 +571,12 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
         }
     };
     ServerMetrics::inc(&state.metrics.requests);
+    if let Some(f) = &state.config.faults {
+        if let Some(delay) = f.respond_delay() {
+            // Injected straggler: stall this response (hedge-bait).
+            std::thread::sleep(delay);
+        }
+    }
     let outcome = route(state, &request, &mut stream);
     if let Err(e) = outcome {
         if (400..500).contains(&e.status) {
@@ -693,6 +743,13 @@ fn handle_sweep(
     // The sender sits behind a mutex because the pool shares the closure
     // across workers (`mpsc::Sender` is not `Sync` on older toolchains);
     // one uncontended lock per finished job is noise next to a simulation.
+    // Injected mid-stream cut: when the per-sweep counter fires, this
+    // response stops after its first finished-job line, leaving an
+    // unterminated chunked body (the client sees an interrupted stream).
+    // Execution continues regardless — the cells still land in the shared
+    // cache, which is exactly what makes fleet retries and hedges cheap.
+    let mut stream_cut_after =
+        state.config.faults.as_ref().filter(|f| f.should_drop_stream()).map(|_| 1usize);
     let (tx, rx) = mpsc::channel::<(String, Served, bool)>();
     let runner = Arc::clone(state);
     let jobs_ref = &jobs;
@@ -700,6 +757,10 @@ fn handle_sweep(
         scope.spawn(move || {
             let tx = Mutex::new(tx);
             pool::try_run_indexed(runner.config.workers, jobs_ref.len(), |i, worker| {
+                // A killed worker does nothing more, like a dead process.
+                if runner.config.faults.as_ref().is_some_and(|f| f.killed()) {
+                    return;
+                }
                 let (req, key) = &jobs_ref[i];
                 runner.journal.record(Event::JobStarted { job: journal_base as usize + i, worker });
                 let job_start = Instant::now();
@@ -715,6 +776,14 @@ fn handle_sweep(
                     served,
                     duration_us,
                 );
+                // Kill budget: the K-th finished job takes the worker down
+                // *with* its own result — the line is never streamed, just
+                // as a crash between simulate and send would lose it.
+                if let Some(f) = &runner.config.faults {
+                    if f.on_job_finished() {
+                        return;
+                    }
+                }
                 let _ = tx.lock().unwrap_or_else(PoisonError::into_inner).send((
                     line,
                     served,
@@ -729,9 +798,15 @@ fn handle_sweep(
         let mut misses = 0usize;
         let mut failed = 0usize;
         for (line, served, is_err) in rx {
-            // A closed peer is not an error: keep executing so the cache
-            // and journal still warm up for the next request.
-            let _ = writer.chunk(line.as_bytes());
+            let killed = state.config.faults.as_ref().is_some_and(|f| f.killed());
+            if !killed && stream_cut_after != Some(0) {
+                // A closed peer is not an error: keep executing so the
+                // cache and journal still warm up for the next request.
+                let _ = writer.chunk(line.as_bytes());
+                if let Some(n) = &mut stream_cut_after {
+                    *n -= 1;
+                }
+            }
             if is_err {
                 failed += 1;
             } else if served == Served::Miss {
@@ -749,6 +824,11 @@ fn handle_sweep(
         .jobs_in_flight
         .store(state.jobs_in_flight.load(Ordering::SeqCst), Ordering::Relaxed);
 
+    if state.config.faults.as_ref().is_some_and(|f| f.killed()) || stream_cut_after == Some(0) {
+        // Crashed or cut: no batch_end, no terminating chunk — the client
+        // must see an interrupted stream, never a clean short sweep.
+        return Ok(());
+    }
     let (hits, misses, failed, sim_cycles) = counts;
     let summary = Event::BatchEnd {
         jobs: jobs.len(),

@@ -1,0 +1,164 @@
+//! End-to-end contract of the fleet front tier over real sockets:
+//! lifecycle with live backends, hedged dispatch past an injected
+//! straggler, and strict `/metrics` output.
+
+use sms_harness::FaultPlan;
+use sms_metrics::prom;
+use sms_serve::client::{Client, ClientConfig};
+use sms_serve::fleet::{FleetConfig, FleetServer};
+use sms_serve::server::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sms-fleet-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn backend_config(cache_dir: PathBuf) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        cache_dir: Some(cache_dir),
+        journal_path: None,
+        ..ServeConfig::default()
+    }
+}
+
+fn fleet_client(addr: std::net::SocketAddr) -> Client {
+    Client::with_config(ClientConfig {
+        addr: addr.to_string(),
+        retries: 0,
+        deadline: Duration::from_secs(300),
+        ..ClientConfig::default()
+    })
+}
+
+/// Two healthy backends behind one fleet: sweep cold then warm, probe the
+/// cache through the fleet, scrape strict metrics, drain everything.
+#[test]
+fn lifecycle_sweep_probe_metrics_drain() {
+    let dir = temp_dir("lifecycle");
+    let cache = dir.join("cache");
+    let (a, join_a) = Server::spawn(backend_config(cache.clone())).unwrap();
+    let (b, join_b) = Server::spawn(backend_config(cache.clone())).unwrap();
+
+    let config = FleetConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        backends: vec![a.addr().to_string(), b.addr().to_string()],
+        workers: 4,
+        cache_dir: Some(cache),
+        ..FleetConfig::default()
+    };
+    let (fleet, join_fleet) = FleetServer::spawn(config).unwrap();
+    let client = fleet_client(fleet.addr());
+
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    // Cold sweep: every cell simulated by some backend.
+    let cold = client.sweep(&["WKND", "BUNNY"], &["RB_8", "RB_8+SH_8"], "tiny").unwrap();
+    assert_eq!(cold.records.len(), 4);
+    for rec in &cold.records {
+        assert!(rec.outcome.is_ok(), "cold cell failed: {:?}", rec.outcome);
+        assert_eq!(rec.cache, "miss", "cold fleet sweep must simulate");
+    }
+    assert!(cold.summary.is_some(), "stream must close with batch_end");
+
+    // Warm sweep: pure cache hits via the backends' shared cache.
+    let warm = client.sweep(&["WKND", "BUNNY"], &["RB_8", "RB_8+SH_8"], "tiny").unwrap();
+    assert!(
+        warm.records.iter().all(|r| r.cache == "hit"),
+        "warm sweep must be pure hits: {:?}",
+        warm.records.iter().map(|r| r.cache.clone()).collect::<Vec<_>>()
+    );
+
+    // Probe a swept cell through the fleet's own cache view.
+    let probe = client.get("/v1/jobs/WKND/RB_8?render=tiny").unwrap();
+    assert_eq!(probe.status, 200, "swept cell must probe as cached: {}", probe.text());
+
+    // Metrics: strictly parseable, fleet families plus per-backend labels.
+    let scrape = client.get("/metrics").unwrap();
+    assert_eq!(scrape.status, 200);
+    let text = scrape.text();
+    prom::validate(&text).expect("fleet /metrics must parse strictly");
+    assert!(text.contains("sms_fleet_cells_total 8"), "4 cold + 4 warm cells:\n{text}");
+    assert!(text.contains("sms_fleet_cells_failed_total 0"));
+    for backend in [a.addr(), b.addr()] {
+        assert!(
+            text.contains(&format!("sms_fleet_backend_up{{backend=\"{backend}\"}} 1")),
+            "both backends must report up:\n{text}"
+        );
+    }
+
+    // Drain the fleet over the wire, then the backends.
+    assert_eq!(client.post("/v1/drain", b"").unwrap().status, 200);
+    join_fleet.join().unwrap().unwrap();
+    a.request_drain();
+    b.request_drain();
+    join_a.join().unwrap().unwrap();
+    join_b.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Backend A answers every request with a long injected delay; with
+/// hedging enabled the duplicate dispatch on backend B must win the cell
+/// long before A wakes up.
+#[test]
+fn hedge_overtakes_an_injected_straggler() {
+    let dir = temp_dir("hedge");
+    let cache = dir.join("cache");
+    let slow = ServeConfig {
+        faults: Some(Arc::new(FaultPlan::parse("delay:every=1,ms=30000").unwrap())),
+        ..backend_config(cache.clone())
+    };
+    // The straggler is deliberately never drained: its delayed in-flight
+    // connection would hold a graceful drain hostage for the full
+    // injected stall. The test harness exiting reaps the thread.
+    let (a, _join_a) = Server::spawn(slow).unwrap();
+    let (b, join_b) = Server::spawn(backend_config(cache.clone())).unwrap();
+
+    let config = FleetConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        // A first: least-loaded routing sends the primary dispatch to the
+        // straggler, so only a hedge can save the cell's latency.
+        backends: vec![a.addr().to_string(), b.addr().to_string()],
+        workers: 2,
+        breaker_threshold: 10,
+        hedge_after: Some(Duration::from_millis(100)),
+        cache_dir: Some(cache),
+        ..FleetConfig::default()
+    };
+    let (fleet, join_fleet) = FleetServer::spawn(config).unwrap();
+
+    let t0 = Instant::now();
+    let outcome = fleet_client(fleet.addr()).sweep(&["WKND"], &["RB_8"], "tiny").unwrap();
+    let elapsed = t0.elapsed();
+    assert_eq!(outcome.records.len(), 1);
+    assert!(outcome.records[0].outcome.is_ok(), "hedged cell must succeed");
+    assert!(
+        elapsed < Duration::from_secs(25),
+        "hedge must beat the 30s injected stall (took {elapsed:?})"
+    );
+
+    let metrics = fleet.render_metrics();
+    let count = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing:\n{metrics}"))
+    };
+    assert!(count("sms_fleet_hedges_total") >= 1, "a hedge must have fired:\n{metrics}");
+    assert!(count("sms_fleet_hedge_wins_total") >= 1, "the hedge must have won:\n{metrics}");
+
+    fleet.request_drain();
+    join_fleet.join().unwrap().unwrap();
+    let _ = a; // see above: not drained
+    b.request_drain();
+    join_b.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
