@@ -30,6 +30,11 @@ echo "==> HLBVH suite (builder unit tests, golden vs binned SAH, worker determin
 cargo test -q -p sms-bvh --lib hlbvh
 cargo test -q -p sms-sim --test hlbvh_golden
 
+echo "==> stackless + predictor suite (escape links, golden vs stacked drivers, table semantics)"
+cargo test -q -p sms-bvh --lib flat
+cargo test -q -p sms-rtunit --lib predictor
+cargo test -q -p sms-sim --test stackless_golden
+
 echo "==> SMS_TRACE smoke (well-formed Chrome-trace JSON, Σ buckets == cycles)"
 cargo test -q -p sms-harness --test trace_export
 cargo test -q -p sms-sim --test attribution
@@ -54,13 +59,39 @@ if cargo metadata --offline --manifest-path crates/proptests/Cargo.toml \
      --format-version 1 > /dev/null 2>&1; then
   cargo test -q --manifest-path crates/proptests/Cargo.toml --test prop_metrics
   cargo test -q --manifest-path crates/proptests/Cargo.toml --test prop_hlbvh
+  cargo test -q --manifest-path crates/proptests/Cargo.toml --test prop_stackless
 else
   echo "    (skipped: proptest registry deps unavailable offline)"
 fi
 
-echo "==> breakdown sweep smoke (SMS_BREAKDOWN=1; conservation asserted in-sim)"
+echo "==> breakdown sweep smoke (SMS_BREAKDOWN=1, SL + PRED columns included;"
+echo "    conservation — predictor_wait bucket included — asserted in-sim)"
 SMS_BREAKDOWN=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP \
   cargo bench --bench breakdown_stalls > /dev/null
+
+echo "==> competitor byte-identity (SMS_STACKLESS=0 SMS_PREDICT=0 drops the SL/PRED"
+echo "    columns; every remaining cache entry must be byte-identical to the"
+echo "    features-on sweep's entry for the same cell — sha256-verified)"
+rm -rf target/compet-on-cache target/compet-off-cache
+# Absolute cache paths: cargo bench runs the bench with the package dir as
+# CWD, so a relative SMS_CACHE_DIR would land under crates/bench/.
+SMS_CACHE_DIR="$PWD/target/compet-on-cache" SMS_SCENES=WKND,SHIP \
+  cargo bench --bench fig13_sms_ipc > /dev/null
+SMS_STACKLESS=0 SMS_PREDICT=0 \
+  SMS_CACHE_DIR="$PWD/target/compet-off-cache" SMS_SCENES=WKND,SHIP \
+  cargo bench --bench fig13_sms_ipc > /dev/null
+off_entries=0
+for f in target/compet-off-cache/*.json; do
+  b=$(basename "$f")
+  [ -f "target/compet-on-cache/$b" ] || { echo "features-on sweep lost cache entry $b"; exit 1; }
+  on_sum=$(sha256sum "target/compet-on-cache/$b" | cut -d' ' -f1)
+  off_sum=$(sha256sum "$f" | cut -d' ' -f1)
+  [ "$on_sum" = "$off_sum" ] || { echo "cache entry $b differs with competitors enabled"; exit 1; }
+  off_entries=$((off_entries + 1))
+done
+[ "$off_entries" -eq 10 ] || { echo "expected 10 baseline cache entries (2 scenes x 5 configs), saw $off_entries"; exit 1; }
+on_entries=$(ls target/compet-on-cache/*.json | wc -l)
+[ "$on_entries" -eq 14 ] || { echo "expected 14 features-on cache entries (10 + SL/PRED), saw $on_entries"; exit 1; }
 
 echo "==> validator-on sweep smoke (SMS_VALIDATE=1, cache bypassed)"
 SMS_VALIDATE=1 SMS_NO_CACHE=1 SMS_SCENES=WKND,SHIP SMS_BUILD_BENCH=0 \

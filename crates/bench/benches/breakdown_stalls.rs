@@ -24,12 +24,16 @@ use sms_sim::rtunit::{SmsParams, StackConfig};
 fn main() {
     let (harness, scenes, render) =
         setup("Stall breakdown", "cycle attribution per scene (D1/D2 diagnosis)");
-    let configs = [
+    let mut configs = vec![
         StackConfig::baseline8(),
         StackConfig::Sms(SmsParams::default()), // +SH_8
         StackConfig::Sms(SmsParams::default().with_skewed(true)), // +SK
         StackConfig::sms_default(),             // +SK +RA
     ];
+    // SL has no stack traffic at all; PRED_* adds the speculation bucket.
+    // The D1/D2 tables below index the first four configs, so the
+    // competitors are strictly appended columns.
+    configs.extend(sms_bench::competitor_configs());
     let limits = RunLimits { breakdown: true, ..RunLimits::none() };
     let requests: Vec<RunRequest> = scenes
         .iter()
@@ -78,7 +82,7 @@ fn main() {
     headers.extend(config_headers.iter().cloned());
     let mut agg = Table::new(headers);
     type Bucket = (&'static str, fn(&StallBreakdown) -> u64);
-    let buckets: [Bucket; 8] = [
+    let buckets: [Bucket; 9] = [
         ("fetch-wait L1", |b| b.fetch_wait_l1),
         ("fetch-wait L2", |b| b.fetch_wait_l2),
         ("fetch-wait DRAM", |b| b.fetch_wait_dram),
@@ -87,6 +91,7 @@ fn main() {
         ("stack SH<->global", |b| b.stack_wait_sh_global),
         ("stack flush", |b| b.stack_wait_flush),
         ("conflict replay", |b| b.bank_conflict_replay),
+        ("predictor wait", |b| b.predictor_wait),
     ];
     for (name, get) in buckets {
         let mut row = vec![name.to_owned()];

@@ -1,33 +1,41 @@
 //! Fig. 13 — IPC improvements of the SMS architecture per scene:
 //! `+SH_8`, `+SK`, `+RA`, against `RB_FULL`, normalized to the `RB_8`
-//! baseline.
+//! baseline — plus the two traversal-changing competitors (`SL`
+//! stackless restart-from-escape, `PRED_12` hash-predicted leaf probe)
+//! on the same normalization.
 //!
 //! Paper reference (averages): +SH_8 +15.1%, +SK +19.4%, +RA +23.2%,
-//! FULL +25.3%.
+//! FULL +25.3%. The competitors have no paper row: their columns show
+//! how much of SMS's win a stack-*elimination* strategy recovers.
 
-use sms_bench::{fmt_improvement, print_normalized_ipc, run_matrix, setup};
+use sms_bench::{competitor_configs, fmt_improvement, print_normalized_ipc, run_matrix, setup};
 use sms_sim::rtunit::{SmsParams, StackConfig};
 
 fn main() {
     let (harness, scenes, render) = setup("Fig. 13", "IPC improvements of SMS (SH_8 / +SK / +RA)");
-    let configs = [
+    let mut configs = vec![
         StackConfig::baseline8(),
         StackConfig::Sms(SmsParams::default()), // +SH_8
         StackConfig::Sms(SmsParams::default().with_skewed(true)), // +SK
         StackConfig::sms_default(),             // +SK +RA
         StackConfig::FullOnChip,
     ];
+    configs.extend(competitor_configs()); // SL / PRED_* (SMS_STACKLESS, SMS_PREDICT)
     let results = run_matrix(&harness, &scenes, &configs, &render);
     let gmeans = print_normalized_ipc(&scenes, &results);
 
     println!("paper:  +SH_8 +15.1%   +SK +19.4%   +RA (full SMS) +23.2%   FULL +25.3%");
-    println!(
+    let mut ours = format!(
         "ours:   +SH_8 {}   +SK {}   +RA (full SMS) {}   FULL {}",
         fmt_improvement(gmeans[1]),
         fmt_improvement(gmeans[2]),
         fmt_improvement(gmeans[3]),
         fmt_improvement(gmeans[4]),
     );
+    for (c, g) in configs.iter().zip(&gmeans).skip(5) {
+        ours.push_str(&format!("   {} {}", c.label(), fmt_improvement(*g)));
+    }
+    println!("{ours}");
     println!(
         "\nexpected shape: SMS captures most of the full-stack headroom; deep or \
          leaf-heavy scenes (SHIP, CHSNT, PARTY, ROBOT) gain most; shallow ones \

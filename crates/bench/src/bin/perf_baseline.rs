@@ -96,7 +96,10 @@ fn quiet_config() -> HarnessConfig {
 fn main() {
     let render = RenderConfig::from_env();
     let scenes = experiments::scene_list();
-    let configs = [StackConfig::baseline8(), StackConfig::sms_default()];
+    let mut configs = vec![StackConfig::baseline8(), StackConfig::sms_default()];
+    // Competitor columns (SL / PRED_*); SMS_STACKLESS=0 / SMS_PREDICT=0
+    // restore the two-config pre-competitor baseline matrix.
+    configs.extend(sms_bench::competitor_configs());
     let harness = Harness::new(quiet_config());
 
     println!("=== perf_baseline: host throughput on the Table 2 scene set ===");

@@ -28,6 +28,10 @@
 //!   journal and `BatchSummary`; see `breakdown_stalls`).
 //! * `SMS_TRACE=out.json` / `SMS_TRACE_PERIOD=N` — per-run Chrome-trace
 //!   timeline export (implies attribution).
+//! * `SMS_STACKLESS=0` / `SMS_PREDICT=0` — drop the stackless (`SL`) or
+//!   predictor (`PRED_*`) competitor column from the sweeps that carry
+//!   them; with both off the matrices are exactly the pre-competitor
+//!   sweeps. `SMS_PREDICT_BITS=N` sizes the predictor table (default 12).
 //!
 //! Batches run on the fault-tolerant path: a panicking, livelocked or
 //! invariant-violating run is reported per cell (and journalled as
@@ -56,6 +60,33 @@ pub fn setup(figure: &str, description: &str) -> (Harness, Vec<SceneId>, RenderC
         if scenes.len() < 16 { " (SMS_SCENES subset)" } else { "" }
     );
     (Harness::from_env(), scenes, render)
+}
+
+/// The stack-elimination competitor columns appended to the sweeps that
+/// compare against SMS: stackless traversal (`SL`) and the hash-based leaf
+/// predictor (`PRED_<bits>`). `SMS_STACKLESS=0` / `SMS_PREDICT=0` drop a
+/// column; `SMS_PREDICT_BITS=N` (1..=20) sizes the predictor table. Both
+/// default on. Dropping them restores the pre-competitor matrix — the
+/// remaining cells' stats and cache entries are byte-identical either way,
+/// since a run's configuration fully determines its outcome.
+pub fn competitor_configs() -> Vec<StackConfig> {
+    let on = |var: &str| std::env::var(var).as_deref() != Ok("0");
+    let mut configs = Vec::new();
+    if on("SMS_STACKLESS") {
+        configs.push(StackConfig::stackless());
+    }
+    if on("SMS_PREDICT") {
+        let bits = match std::env::var("SMS_PREDICT_BITS") {
+            Ok(s) => s.parse::<u32>().unwrap_or_else(|e| panic!("SMS_PREDICT_BITS: {e}")),
+            Err(_) => 12,
+        };
+        assert!(
+            (1..=sms_sim::rtunit::predictor::MAX_TABLE_BITS).contains(&bits),
+            "SMS_PREDICT_BITS must be in 1..=20, got {bits}"
+        );
+        configs.push(StackConfig::Predictor { table_bits: bits });
+    }
+    configs
 }
 
 /// Runs `configs` on every scene through the execution engine (parallel,

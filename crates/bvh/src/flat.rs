@@ -26,13 +26,18 @@
 //! simulator statistic — is bit-identical between the two layouts (asserted
 //! by `crates/core/tests/flat_golden.rs`).
 
-use crate::traverse::{ChildHits, NodeStep, TraverseBvh, MAX_WIDTH};
+use crate::traverse::{ChildHits, NodeStep, StacklessStep, TraverseBvh, MAX_WIDTH};
 use crate::wide::{NodeId, WideBvh, WideNode};
 use crate::{PrimHit, Primitive};
-use sms_geom::Aabb;
+use sms_geom::{Aabb, Vec3};
 
 /// Leaf flag in [`FlatNode::count_kind`]; low bits hold the count.
 const LEAF_BIT: u32 = 1 << 31;
+
+/// Sentinel in [`FlatBvh::parent`] / [`FlatBvh::escape`]: no such node.
+/// The root has no parent; a node whose whole right context is exhausted
+/// has no escape target (traversal is finished).
+pub const NO_NODE: NodeId = NodeId::MAX;
 
 /// Trailing padding entries on the child pool so a node's batch load of
 /// [`MAX_WIDTH`] lanes is always in bounds; pad lanes are masked out.
@@ -98,6 +103,14 @@ pub struct FlatBvh {
     pub prim_order: Vec<u32>,
     /// Bounds of the whole scene.
     pub root_aabb: Aabb,
+    /// Parent link per node ([`NO_NODE`] for the root), built at flatten
+    /// time for stackless traversal.
+    pub parent: Vec<NodeId>,
+    /// Escape link per node: the next sibling in child-record order, or —
+    /// for a last child — the parent's escape, transitively. [`NO_NODE`]
+    /// means the stackless traversal is finished. Following `escape`
+    /// skips the node's entire subtree.
+    pub escape: Vec<NodeId>,
 }
 
 impl FlatBvh {
@@ -124,6 +137,8 @@ impl FlatBvh {
             child_max_z: Vec::with_capacity(padded),
             prim_order: wide.prim_order.clone(),
             root_aabb: wide.root_aabb,
+            parent: vec![NO_NODE; n],
+            escape: vec![NO_NODE; n],
         };
 
         // Each node's own bounds come from its parent's child record; the
@@ -133,6 +148,23 @@ impl FlatBvh {
             if let WideNode::Inner { children } = node {
                 for c in children {
                     bounds[c.node as usize] = c.aabb;
+                }
+            }
+        }
+
+        // Parent/escape links for stackless traversal. Node ids are DFS
+        // pre-order, so every child id exceeds its parent's — by the time
+        // node `id` is processed here its own escape link is already
+        // final, and a last child can inherit it directly.
+        for (id, node) in wide.nodes.iter().enumerate() {
+            if let WideNode::Inner { children } = node {
+                for (k, c) in children.iter().enumerate() {
+                    debug_assert!(c.node as usize > id, "child ids must follow the parent");
+                    flat.parent[c.node as usize] = id as NodeId;
+                    flat.escape[c.node as usize] = match children.get(k + 1) {
+                        Some(next) => next.node,
+                        None => flat.escape[id],
+                    };
                 }
             }
         }
@@ -182,13 +214,27 @@ impl FlatBvh {
         flat
     }
 
-    /// Total size of the flat arrays in host bytes (node pool + child pool,
-    /// excluding the fixed batch padding).
+    /// Total size of the flat arrays in host bytes (node pool + child pool
+    /// + stackless link arrays, excluding the fixed batch padding).
     pub fn host_bytes(&self) -> usize {
         let children = self.child_node.len().saturating_sub(CHILD_PAD);
         self.nodes.len() * std::mem::size_of::<FlatNode>()
             + children * (std::mem::size_of::<NodeId>() + 6 * 4)
             + self.prim_order.len() * 4
+            + (self.parent.len() + self.escape.len()) * std::mem::size_of::<NodeId>()
+    }
+
+    /// The node's own bounds as an [`Aabb`] — the exact `f32` planes the
+    /// parent's child record stored (scene bounds for the root), so the
+    /// stackless own-box test culls with the same values the stacked
+    /// drivers tested one level up.
+    #[inline]
+    pub fn own_aabb(&self, node: NodeId) -> Aabb {
+        let n = &self.nodes[node as usize];
+        Aabb {
+            min: Vec3::new(n.min[0], n.min[1], n.min[2]),
+            max: Vec3::new(n.max[0], n.max[1], n.max[2]),
+        }
     }
 }
 
@@ -264,6 +310,45 @@ impl TraverseBvh for FlatBvh {
     #[inline]
     fn is_leaf(&self, node: NodeId) -> bool {
         self.nodes[node as usize].is_leaf()
+    }
+
+    #[inline]
+    fn has_escape_links(&self) -> bool {
+        true
+    }
+
+    fn stackless_step<P: Primitive>(
+        &self,
+        prims: &[P],
+        ray: &sms_geom::Ray,
+        node: NodeId,
+        t_min: f32,
+        t_max: f32,
+    ) -> StacklessStep {
+        let n = &self.nodes[node as usize];
+        let escape = {
+            let e = self.escape[node as usize];
+            (e != NO_NODE).then_some(e)
+        };
+        if self.own_aabb(node).intersect(ray, t_min, t_max).is_none() {
+            return StacklessStep::Miss { escape };
+        }
+        if n.is_leaf() {
+            let mut best: Option<crate::Hit> = None;
+            let mut limit = t_max;
+            for slot in n.first..n.first + n.count() {
+                let prim_id = self.prim_order[slot as usize];
+                if let Some(PrimHit { t, u, v }) =
+                    prims[prim_id as usize].intersect(ray, t_min, limit)
+                {
+                    limit = t;
+                    best = Some(crate::Hit { t, prim: prim_id, u, v });
+                }
+            }
+            StacklessStep::Leaf { hit: best, escape }
+        } else {
+            StacklessStep::Descend { child: self.child_node[n.first as usize] }
+        }
     }
 
     #[inline]
@@ -361,6 +446,91 @@ mod tests {
             let fo = intersect_any_with(&flat, &prims, &ray, 0.0, 10.0, &mut (), &mut scratch);
             assert_eq!(wo, fo, "ray {i}: flat occlusion must match");
         }
+    }
+
+    #[test]
+    fn escape_links_are_well_formed() {
+        let prims = grid(300);
+        let wide = WideBvh::build(&prims, &BuildParams::default());
+        let flat = FlatBvh::from_wide(&wide);
+        assert_eq!(flat.parent[0], NO_NODE, "root has no parent");
+        assert_eq!(flat.escape[0], NO_NODE, "root's escape ends traversal");
+        for (id, node) in wide.nodes.iter().enumerate() {
+            if let WideNode::Inner { children } = node {
+                for (k, c) in children.iter().enumerate() {
+                    assert_eq!(flat.parent[c.node as usize], id as NodeId);
+                    let expect = match children.get(k + 1) {
+                        Some(next) => next.node,
+                        None => flat.escape[id],
+                    };
+                    assert_eq!(flat.escape[c.node as usize], expect);
+                }
+            }
+        }
+        // Following escape links from the root's first child must walk
+        // every node's subtree exactly once and terminate: the chain of
+        // (descend-all | escape) steps is finite and acyclic.
+        let mut visited = 0usize;
+        let mut current = 0 as NodeId;
+        loop {
+            visited += 1;
+            assert!(visited <= flat.nodes.len(), "escape chain must not cycle");
+            let n = &flat.nodes[current as usize];
+            current = if n.is_leaf() {
+                // skip subtree: leaf has none
+                flat.escape[current as usize]
+            } else {
+                // descend to first child (always, ignoring geometry)
+                flat.child_node[n.first as usize]
+            };
+            if current == NO_NODE {
+                break;
+            }
+        }
+        assert_eq!(visited, flat.nodes.len(), "descend-everywhere walk covers every node once");
+    }
+
+    #[test]
+    fn stackless_traversal_matches_stacked_hits() {
+        let prims = grid(500);
+        let wide = WideBvh::build(&prims, &BuildParams::default());
+        let flat = FlatBvh::from_wide(&wide);
+        let mut scratch = TraversalScratch::new();
+        let mut stackless_visits = 0u64;
+        for i in 0..64 {
+            let x = (i % 8) as f32 * 4.0 + 0.3;
+            let z = (i / 8) as f32 * 4.0 + 0.1;
+            let ray = Ray::new(Vec3::new(x, 5.0, z), Vec3::new(0.01, -1.0, 0.02));
+            let stacked = intersect_nearest_with(
+                &flat,
+                &prims,
+                &ray,
+                0.0,
+                f32::INFINITY,
+                &mut (),
+                &mut scratch,
+            );
+            let stackless = crate::traverse::intersect_nearest_stackless(
+                &flat,
+                &prims,
+                &ray,
+                0.0,
+                f32::INFINITY,
+                Some(&mut stackless_visits),
+            );
+            // Same nearest primitive at the same bit-exact t: both paths
+            // cull conservatively and keep the closest primitive hit.
+            assert_eq!(
+                stacked.map(|h| (h.prim, h.t.to_bits())),
+                stackless.map(|h| (h.prim, h.t.to_bits())),
+                "ray {i}: stackless nearest hit must agree"
+            );
+            let so = intersect_any_with(&flat, &prims, &ray, 0.0, 10.0, &mut (), &mut scratch);
+            let slo =
+                crate::traverse::intersect_any_stackless(&flat, &prims, &ray, 0.0, 10.0, None);
+            assert_eq!(so, slo, "ray {i}: stackless occlusion must agree");
+        }
+        assert!(stackless_visits > 0, "the visit counter must observe traversal");
     }
 
     #[test]

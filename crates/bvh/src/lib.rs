@@ -65,14 +65,15 @@ pub mod traverse;
 pub mod wide;
 
 pub use builder::{BinaryBvh, BuildParams, SplitMethod};
-pub use flat::{FlatBvh, FlatNode};
+pub use flat::{FlatBvh, FlatNode, NO_NODE};
 pub use hlbvh::{morton_decode, morton_encode, radix_sort_pairs};
 pub use layout::{BvhLayout, NODE_BASE_ADDR, NODE_STRIDE, PRIM_BASE_ADDR, PRIM_STRIDE};
 pub use restart::{intersect_nearest_restart, RestartStats};
 pub use stats::BvhStats;
 pub use traverse::{
-    intersect_any, intersect_any_with, intersect_nearest, intersect_nearest_with, Hit,
-    StackObserver, TraversalScratch, TraverseBvh,
+    intersect_any, intersect_any_stackless, intersect_any_with, intersect_nearest,
+    intersect_nearest_stackless, intersect_nearest_with, Hit, StackObserver, StacklessStep,
+    TraversalScratch, TraverseBvh,
 };
 pub use wide::{NodeId, WideBvh, WideChild, WideNode};
 

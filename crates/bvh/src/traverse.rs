@@ -134,6 +134,36 @@ pub enum NodeStep {
     Leaf(Option<Hit>),
 }
 
+/// The outcome of one *stackless* node visit (escape-index traversal,
+/// Prokopenko & Lebrun-Grandié style).
+///
+/// Where [`NodeStep`] tests the *children's* boxes and hands the driver a
+/// sorted worklist to push, a stackless visit tests the node's *own* box
+/// and resolves wholly locally: descend to the first child, or follow the
+/// precomputed escape link. No stack entry is ever created — the price is
+/// losing nearest-first ordering, so rays revisit more nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StacklessStep {
+    /// Own bounds hit on an internal node: descend to the first child.
+    Descend {
+        /// The node's first child (adjacent in the child-record pool).
+        child: NodeId,
+    },
+    /// Own bounds hit on a leaf: the nearest primitive hit (if any), then
+    /// the traversal continues at the escape link.
+    Leaf {
+        /// Nearest primitive hit inside `[t_min, t_max]`, if any.
+        hit: Option<Hit>,
+        /// Next node in escape order, `None` when the traversal is done.
+        escape: Option<NodeId>,
+    },
+    /// Own bounds missed: skip the whole subtree via the escape link.
+    Miss {
+        /// Next node in escape order, `None` when the traversal is done.
+        escape: Option<NodeId>,
+    },
+}
+
 /// A BVH layout that supports the paper's traversal kernel.
 ///
 /// Implemented by [`WideBvh`] (the semantic build output) and
@@ -165,6 +195,32 @@ pub trait TraverseBvh {
 
     /// Number of nodes in the tree.
     fn node_count(&self) -> usize;
+
+    /// `true` when the layout carries the parent/escape links that
+    /// [`TraverseBvh::stackless_step`] needs. [`crate::flat::FlatBvh`]
+    /// builds them at flatten time; the semantic [`WideBvh`] does not.
+    fn has_escape_links(&self) -> bool {
+        false
+    }
+
+    /// Performs one stackless node visit: the node's *own* ray-box test,
+    /// plus the leaf's ray-primitive tests when the box is hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the layout has no escape links
+    /// (`has_escape_links() == false`).
+    fn stackless_step<P: Primitive>(
+        &self,
+        prims: &[P],
+        ray: &sms_geom::Ray,
+        node: NodeId,
+        t_min: f32,
+        t_max: f32,
+    ) -> StacklessStep {
+        let _ = (prims, ray, node, t_min, t_max);
+        panic!("this BVH layout has no escape links; flatten to a FlatBvh for stackless traversal")
+    }
 }
 
 impl TraverseBvh for WideBvh {
@@ -365,6 +421,77 @@ pub fn intersect_any_with<B: TraverseBvh, P: Primitive, O: StackObserver>(
                 current = pop(stack, observer);
             }
         }
+    }
+    false
+}
+
+/// Nearest-hit traversal with **zero stack operations**: every visit
+/// resolves locally through the layout's escape links.
+///
+/// The visit order is fixed left-to-right (child-record order), not
+/// nearest-first, so the same ray touches more nodes than the stacked
+/// drivers — `visits` (when provided) counts them so callers can quantify
+/// the re-visit overhead. Hit results are identical to
+/// [`intersect_nearest`]: both paths cull with conservative box tests and
+/// keep the closest primitive hit.
+pub fn intersect_nearest_stackless<B: TraverseBvh, P: Primitive>(
+    bvh: &B,
+    prims: &[P],
+    ray: &sms_geom::Ray,
+    t_min: f32,
+    t_max: f32,
+    mut visits: Option<&mut u64>,
+) -> Option<Hit> {
+    let mut current: Option<NodeId> = Some(0);
+    let mut best: Option<Hit> = None;
+    let mut limit = t_max;
+    while let Some(node) = current {
+        if let Some(v) = visits.as_deref_mut() {
+            *v += 1;
+        }
+        current = match bvh.stackless_step(prims, ray, node, t_min, limit) {
+            StacklessStep::Descend { child } => Some(child),
+            StacklessStep::Leaf { hit, escape } => {
+                if let Some(h) = hit {
+                    if h.t < limit {
+                        limit = h.t;
+                        best = Some(h);
+                    }
+                }
+                escape
+            }
+            StacklessStep::Miss { escape } => escape,
+        };
+    }
+    best
+}
+
+/// Any-hit (occlusion) traversal via escape links: returns `true` as soon
+/// as any primitive is hit in `[t_min, t_max]`. Zero stack operations; see
+/// [`intersect_nearest_stackless`].
+pub fn intersect_any_stackless<B: TraverseBvh, P: Primitive>(
+    bvh: &B,
+    prims: &[P],
+    ray: &sms_geom::Ray,
+    t_min: f32,
+    t_max: f32,
+    mut visits: Option<&mut u64>,
+) -> bool {
+    let mut current: Option<NodeId> = Some(0);
+    while let Some(node) = current {
+        if let Some(v) = visits.as_deref_mut() {
+            *v += 1;
+        }
+        current = match bvh.stackless_step(prims, ray, node, t_min, t_max) {
+            StacklessStep::Descend { child } => Some(child),
+            StacklessStep::Leaf { hit, escape } => {
+                if hit.is_some() {
+                    return true;
+                }
+                escape
+            }
+            StacklessStep::Miss { escape } => escape,
+        };
     }
     false
 }

@@ -42,17 +42,25 @@ impl RunResult {
         self.stats.ipc()
     }
 
-    /// This run's IPC normalized to a baseline run of the same scene.
+    /// This run's speedup over a baseline run of the same scene (the
+    /// inverse cycle ratio: both runs trace the same rays).
     ///
-    /// Traversal and compute work are identical across stack
-    /// configurations, so this equals `baseline.cycles / self.cycles`.
+    /// For the stack-architecture configurations traversal work is also
+    /// identical instruction-for-instruction, making this exactly the
+    /// normalized IPC of the paper's figures; the traversal-changing
+    /// competitors (`SL`, `PRED_*`) revisit or probe extra nodes by
+    /// design, so for them the instruction-equality check is skipped and
+    /// this stays a per-ray-workload speedup (extra node visits are
+    /// overhead, not useful work).
     pub fn normalized_ipc(&self, baseline: &RunResult) -> f64 {
         assert_eq!(self.scene, baseline.scene, "normalize within one scene");
-        debug_assert_eq!(
-            self.stats.instructions(),
-            baseline.stats.instructions(),
-            "work must be configuration-independent"
-        );
+        if self.stack.preserves_traversal_work() && baseline.stack.preserves_traversal_work() {
+            debug_assert_eq!(
+                self.stats.instructions(),
+                baseline.stats.instructions(),
+                "work must be configuration-independent"
+            );
+        }
         baseline.stats.cycles as f64 / self.stats.cycles as f64
     }
 }

@@ -33,7 +33,8 @@ use sms_gpu::{SimStats, StallBreakdown, WarpId, WARP_SIZE};
 use sms_mem::{coalesce_lines, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1, SHADE_BASE_ADDR};
 use sms_metrics::Histogram;
 use sms_rtunit::{
-    RayQuery, RtUnit, RtUnitConfig, StackViolation, ThreadTraceRecorder, TraceRequest, TraceResult,
+    RayQuery, RtUnit, RtUnitConfig, StackConfig, StackViolation, ThreadTraceRecorder, TraceRequest,
+    TraceResult,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -413,7 +414,9 @@ impl<'a> GpuSim<'a> {
     /// Runs the workload to completion, returning a structured
     /// [`SimFault`] instead of panicking when the run must be aborted.
     pub fn try_run(self) -> Result<SimRun, SimFault> {
-        if self.use_flat {
+        // Stackless traversal follows the escape links only the flattened
+        // layout carries, so it overrides the layout knob.
+        if self.use_flat || matches!(self.config.stack, StackConfig::Stackless) {
             self.run_on(&self.prepared.flat)
         } else {
             self.run_on(&self.prepared.bvh)

@@ -224,6 +224,7 @@ pub fn breakdown_json(b: &StallBreakdown) -> String {
         stack_wait_sh_global,
         stack_wait_flush,
         bank_conflict_replay,
+        predictor_wait,
         rt_idle,
         rt_lane_cycles,
     } = *b;
@@ -234,6 +235,7 @@ pub fn breakdown_json(b: &StallBreakdown) -> String {
          \"fetch_wait_dram\":{fetch_wait_dram},\"op_wait\":{op_wait},\
          \"stack_wait_rb_sh\":{stack_wait_rb_sh},\"stack_wait_sh_global\":{stack_wait_sh_global},\
          \"stack_wait_flush\":{stack_wait_flush},\"bank_conflict_replay\":{bank_conflict_replay},\
+         \"predictor_wait\":{predictor_wait},\
          \"rt_idle\":{rt_idle},\"rt_lane_cycles\":{rt_lane_cycles}}}"
     )
 }
@@ -298,6 +300,7 @@ mod tests {
             "stack_wait_sh_global",
             "stack_wait_flush",
             "bank_conflict_replay",
+            "predictor_wait",
             "rt_idle",
             "rt_lane_cycles",
         ] {

@@ -165,6 +165,6 @@ fn summary_line_is_stable() {
     assert_eq!(
         sample_report().summary_line(),
         "stack depth p50/p95/p99 2/5/5 max 5 over 4 pushes; \
-         ray latency p50/p95 896/896 cycles over 1 rays; 2 samples"
+         ray latency p50/p95 900/900 cycles over 1 rays; 2 samples"
     );
 }

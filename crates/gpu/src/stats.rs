@@ -33,6 +33,12 @@ pub struct SimStats {
     pub ra_flushes: u64,
     /// SH stacks borrowed by intra-warp reallocation.
     pub ra_borrows: u64,
+    /// Ray-path predictor probes that confirmed (predicted leaf hit).
+    /// Zero unless a `PRED_*` stack configuration is in use.
+    pub pred_hits: u64,
+    /// Ray-path predictor probes that mispredicted (fell back to the full
+    /// stacked traversal). Zero unless a `PRED_*` configuration is in use.
+    pub pred_misses: u64,
     /// Aggregated memory-system counters.
     pub mem: MemStats,
 }
@@ -66,6 +72,8 @@ impl SimStats {
         self.sh_reloads += other.sh_reloads;
         self.ra_flushes += other.ra_flushes;
         self.ra_borrows += other.ra_borrows;
+        self.pred_hits += other.pred_hits;
+        self.pred_misses += other.pred_misses;
         self.mem.merge(&other.mem);
     }
 }

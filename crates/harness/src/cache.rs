@@ -365,6 +365,8 @@ pub fn stats_to_json(s: &SimStats) -> Json {
         sh_reloads,
         ra_flushes,
         ra_borrows,
+        pred_hits,
+        pred_misses,
         mem,
     } = *s;
     let MemStats {
@@ -381,7 +383,7 @@ pub fn stats_to_json(s: &SimStats) -> Json {
         bank_conflict_cycles,
     } = mem;
     let u = |v: u64| Json::U64(v);
-    Json::Obj(vec![
+    let mut pairs = vec![
         ("cycles".to_owned(), u(cycles)),
         ("thread_instructions".to_owned(), u(thread_instructions)),
         ("node_visits".to_owned(), u(node_visits)),
@@ -393,23 +395,31 @@ pub fn stats_to_json(s: &SimStats) -> Json {
         ("sh_reloads".to_owned(), u(sh_reloads)),
         ("ra_flushes".to_owned(), u(ra_flushes)),
         ("ra_borrows".to_owned(), u(ra_borrows)),
-        (
-            "mem".to_owned(),
-            Json::Obj(vec![
-                ("l1_hits".to_owned(), u(l1_hits)),
-                ("l1_misses".to_owned(), u(l1_misses)),
-                ("l2_hits".to_owned(), u(l2_hits)),
-                ("l2_misses".to_owned(), u(l2_misses)),
-                ("stores".to_owned(), u(stores)),
-                ("stack_transactions".to_owned(), u(stack_transactions)),
-                ("stack_l1_hits".to_owned(), u(stack_l1_hits)),
-                ("stack_l1_misses".to_owned(), u(stack_l1_misses)),
-                ("data_transactions".to_owned(), u(data_transactions)),
-                ("shared_accesses".to_owned(), u(shared_accesses)),
-                ("bank_conflict_cycles".to_owned(), u(bank_conflict_cycles)),
-            ]),
-        ),
-    ])
+    ];
+    // Predictor counters are emitted only when set: configurations that do
+    // not use the predictor produce entries byte-identical to those written
+    // before the counters existed, so the salt needs no bump.
+    if pred_hits != 0 || pred_misses != 0 {
+        pairs.push(("pred_hits".to_owned(), u(pred_hits)));
+        pairs.push(("pred_misses".to_owned(), u(pred_misses)));
+    }
+    pairs.push((
+        "mem".to_owned(),
+        Json::Obj(vec![
+            ("l1_hits".to_owned(), u(l1_hits)),
+            ("l1_misses".to_owned(), u(l1_misses)),
+            ("l2_hits".to_owned(), u(l2_hits)),
+            ("l2_misses".to_owned(), u(l2_misses)),
+            ("stores".to_owned(), u(stores)),
+            ("stack_transactions".to_owned(), u(stack_transactions)),
+            ("stack_l1_hits".to_owned(), u(stack_l1_hits)),
+            ("stack_l1_misses".to_owned(), u(stack_l1_misses)),
+            ("data_transactions".to_owned(), u(data_transactions)),
+            ("shared_accesses".to_owned(), u(shared_accesses)),
+            ("bank_conflict_cycles".to_owned(), u(bank_conflict_cycles)),
+        ]),
+    ));
+    Json::Obj(pairs)
 }
 
 /// Deserializes a counter set; `None` if any field is missing or mistyped.
@@ -427,6 +437,10 @@ pub fn stats_from_json(doc: &Json) -> Option<SimStats> {
         sh_reloads: doc.u64_field("sh_reloads")?,
         ra_flushes: doc.u64_field("ra_flushes")?,
         ra_borrows: doc.u64_field("ra_borrows")?,
+        // Absent in entries written by non-predictor runs (and by older
+        // simulator versions): absent means zero, not malformed.
+        pred_hits: doc.u64_field("pred_hits").unwrap_or(0),
+        pred_misses: doc.u64_field("pred_misses").unwrap_or(0),
         mem: MemStats {
             l1_hits: mem.u64_field("l1_hits")?,
             l1_misses: mem.u64_field("l1_misses")?,
@@ -462,6 +476,7 @@ pub fn breakdown_to_json(b: &StallBreakdown) -> Json {
         stack_wait_sh_global,
         stack_wait_flush,
         bank_conflict_replay,
+        predictor_wait,
         rt_idle,
         rt_lane_cycles,
     } = *b;
@@ -481,6 +496,7 @@ pub fn breakdown_to_json(b: &StallBreakdown) -> Json {
         ("stack_wait_sh_global".to_owned(), u(stack_wait_sh_global)),
         ("stack_wait_flush".to_owned(), u(stack_wait_flush)),
         ("bank_conflict_replay".to_owned(), u(bank_conflict_replay)),
+        ("predictor_wait".to_owned(), u(predictor_wait)),
         ("rt_idle".to_owned(), u(rt_idle)),
         ("rt_lane_cycles".to_owned(), u(rt_lane_cycles)),
     ])
@@ -585,6 +601,7 @@ pub fn breakdown_from_json(doc: &Json) -> Option<StallBreakdown> {
         stack_wait_sh_global: doc.u64_field("stack_wait_sh_global")?,
         stack_wait_flush: doc.u64_field("stack_wait_flush")?,
         bank_conflict_replay: doc.u64_field("bank_conflict_replay")?,
+        predictor_wait: doc.u64_field("predictor_wait")?,
         rt_idle: doc.u64_field("rt_idle")?,
         rt_lane_cycles: doc.u64_field("rt_lane_cycles")?,
     })
@@ -608,6 +625,18 @@ mod tests {
     #[test]
     fn stats_roundtrip() {
         let s = sample_stats();
+        assert_eq!(stats_from_json(&stats_to_json(&s)), Some(s));
+    }
+
+    #[test]
+    fn pred_counters_are_conditional_and_roundtrip() {
+        // No predictor activity: the keys are absent, so non-predictor
+        // entries stay byte-identical to those written before the counters
+        // existed — and absent parses as zero.
+        let plain = stats_to_json(&sample_stats());
+        assert!(!plain.to_string().contains("pred_hits"));
+        assert_eq!(stats_from_json(&plain), Some(sample_stats()));
+        let s = SimStats { pred_hits: 5, pred_misses: 2, ..sample_stats() };
         assert_eq!(stats_from_json(&stats_to_json(&s)), Some(s));
     }
 

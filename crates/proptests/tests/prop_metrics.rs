@@ -111,6 +111,26 @@ proptest! {
     }
 
     #[test]
+    fn quantile_never_under_reports_and_stays_in_bucket(
+        values in arb_values(), q in 0.0f64..=1.0
+    ) {
+        prop_assume!(!values.is_empty());
+        let h = hist_of(&values);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let t = sorted[rank - 1]; // textbook quantile of the recorded set
+        let r = h.quantile(q);
+        // The representative is the upper bound of t's bucket clamped to
+        // the observed max: never below the true quantile (the old lower
+        // bound under-reported by up to 12.5%), never past its bucket.
+        prop_assert!(r >= t, "quantile must not under-report: {} < {}", r, t);
+        let (_, hi) = Histogram::bucket_bounds(Histogram::bucket_index(t));
+        prop_assert!(r <= hi.min(h.max()), "quantile {} left t's bucket [..{}]", r, hi);
+    }
+
+    #[test]
     fn log_region_relative_error_is_bounded(values in prop::collection::vec(64u64..u64::MAX, 1..50)) {
         let h = hist_of(&values);
         // Each value lands in a bucket whose width is at most lo/8 — the

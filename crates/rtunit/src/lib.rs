@@ -27,6 +27,7 @@
 pub mod metrics;
 pub mod microop;
 pub mod overhead;
+pub mod predictor;
 pub mod stack;
 pub mod trace;
 pub mod unit;
@@ -35,6 +36,7 @@ pub mod validator;
 pub use metrics::StackMetrics;
 pub use microop::{MicroOp, Space, StackLevel};
 pub use overhead::OverheadReport;
+pub use predictor::RayPredictor;
 pub use stack::{SmsParams, StackConfig, WarpStacks};
 pub use trace::{RayQuery, TraceRequest, TraceResult};
 pub use unit::{RtSlice, RtUnit, RtUnitConfig, ThreadTraceRecorder};

@@ -91,6 +91,23 @@ pub enum StackConfig {
     /// An unbounded on-chip stack (`RB_FULL`) — the paper's impractical
     /// upper bound.
     FullOnChip,
+    /// Stackless escape-index traversal (`SL`) — the stack-*elimination*
+    /// competitor (Prokopenko & Lebrun-Grandié): the RT unit follows the
+    /// `FlatBvh` parent/escape links, performing zero stack pushes, pops
+    /// or spills. The cost moves to extra node re-visits (the fixed
+    /// left-to-right order loses nearest-first culling), which are charged
+    /// through the ordinary fetch/op pipeline.
+    Stackless,
+    /// Hash-based ray-path prediction (`PRED_<bits>`, Demoullin et al.)
+    /// layered over an 8-entry RB baseline stack: a per-RT-unit
+    /// direct-mapped table keyed by quantized ray origin/direction
+    /// predicts the leaf a ray will hit. A correct prediction skips the
+    /// inner-node traversal entirely; a mispredict falls back to the full
+    /// stacked traversal and is charged to its own stall-ledger bucket.
+    Predictor {
+        /// log2 of the per-RT-unit prediction-table entry count.
+        table_bits: u32,
+    },
 }
 
 impl StackConfig {
@@ -104,12 +121,41 @@ impl StackConfig {
         StackConfig::Sms(SmsParams::default().with_skewed(true).with_realloc(true))
     }
 
+    /// The stackless escape-index competitor (`SL`).
+    pub fn stackless() -> Self {
+        StackConfig::Stackless
+    }
+
+    /// The default ray-path predictor: a 4096-entry table (`PRED_12`).
+    pub fn predictor_default() -> Self {
+        StackConfig::Predictor { table_bits: 12 }
+    }
+
     /// RB capacity in entries.
     pub fn rb_capacity(&self) -> usize {
         match self {
             StackConfig::Baseline { rb_entries } => *rb_entries,
             StackConfig::Sms(p) => p.rb_entries,
             StackConfig::FullOnChip => usize::MAX >> 1,
+            StackConfig::Stackless => 0,
+            // The predictor's fallback path is the paper's RB_8 baseline.
+            StackConfig::Predictor { .. } => 8,
+        }
+    }
+
+    /// `true` when every thread performs the *same* traversal work under
+    /// this config as under the stacked reference — the paper's
+    /// normalized-IPC premise. Stackless re-visits nodes and the
+    /// predictor skips them, so neither is work-preserving.
+    pub fn preserves_traversal_work(&self) -> bool {
+        !matches!(self, StackConfig::Stackless | StackConfig::Predictor { .. })
+    }
+
+    /// log2 of the prediction-table size, for predictor configs.
+    pub fn predictor_bits(&self) -> Option<u32> {
+        match self {
+            StackConfig::Predictor { table_bits } => Some(*table_bits),
+            _ => None,
         }
     }
 
@@ -140,6 +186,8 @@ impl StackConfig {
         match self {
             StackConfig::Baseline { rb_entries } => format!("RB_{rb_entries}"),
             StackConfig::FullOnChip => "RB_FULL".to_owned(),
+            StackConfig::Stackless => "SL".to_owned(),
+            StackConfig::Predictor { table_bits } => format!("PRED_{table_bits}"),
             StackConfig::Sms(p) => {
                 let mut s = format!("RB_{}+SH_{}", p.rb_entries, p.sh_entries);
                 if p.skewed {
@@ -446,7 +494,9 @@ impl WarpStacks {
         let old = self.rb[lane].remove(0);
         self.rb[lane].push(node);
         match self.config {
-            StackConfig::Baseline { .. } => {
+            // The predictor's fallback traversal uses the baseline's
+            // direct-to-global spill path.
+            StackConfig::Baseline { .. } | StackConfig::Predictor { .. } => {
                 let slot = self.global[lane].len();
                 self.global[lane].push(old);
                 ops.push(MicroOp::global(
@@ -457,6 +507,7 @@ impl WarpStacks {
             }
             StackConfig::Sms(p) => self.push_to_sh(lane, old, &p, stats, ops),
             StackConfig::FullOnChip => unreachable!("full stack never overflows"),
+            StackConfig::Stackless => unreachable!("stackless traversal never pushes"),
         }
         if self.validator.is_some() {
             self.with_validator(|v, s| v.after_push(s, lane, node));
@@ -588,7 +639,8 @@ impl WarpStacks {
         let val = self.rb[lane].pop().expect("pop on empty traversal stack");
         match self.config {
             StackConfig::FullOnChip => {}
-            StackConfig::Baseline { .. } => {
+            StackConfig::Stackless => unreachable!("stackless traversal never pops"),
+            StackConfig::Baseline { .. } | StackConfig::Predictor { .. } => {
                 if let Some(v) = self.global[lane].pop() {
                     stats.rb_reloads += 1;
                     let slot = self.global[lane].len();
@@ -767,6 +819,7 @@ mod tests {
         for n in [1, 7, 8, 9, 16, 17, 40, 100] {
             lifo_check(StackConfig::baseline8(), n);
             lifo_check(StackConfig::FullOnChip, n);
+            lifo_check(StackConfig::predictor_default(), n);
             lifo_check(StackConfig::Sms(SmsParams::default()), n);
             lifo_check(StackConfig::sms_default(), n);
             lifo_check(StackConfig::Sms(SmsParams { sh_entries: 4, ..SmsParams::default() }), n);
@@ -1100,6 +1153,21 @@ mod tests {
             StackConfig::Sms(SmsParams::default().with_skewed(true)).label(),
             "RB_8+SH_8+SK"
         );
+        assert_eq!(StackConfig::stackless().label(), "SL");
+        assert_eq!(StackConfig::predictor_default().label(), "PRED_12");
+        assert_eq!(StackConfig::Predictor { table_bits: 8 }.label(), "PRED_8");
+    }
+
+    #[test]
+    fn competitor_configs_carve_no_shared_memory() {
+        assert_eq!(StackConfig::stackless().shared_carveout(4), 0);
+        assert_eq!(StackConfig::predictor_default().shared_carveout(4), 0);
+        assert_eq!(StackConfig::stackless().rb_capacity(), 0);
+        assert_eq!(StackConfig::predictor_default().rb_capacity(), 8);
+        assert!(StackConfig::baseline8().preserves_traversal_work());
+        assert!(StackConfig::sms_default().preserves_traversal_work());
+        assert!(!StackConfig::stackless().preserves_traversal_work());
+        assert!(!StackConfig::predictor_default().preserves_traversal_work());
     }
 
     #[test]

@@ -27,10 +27,11 @@
 
 use crate::metrics::{SlotMetrics, StackMetrics};
 use crate::microop::{MicroOp, Space, StackLevel};
+use crate::predictor::RayPredictor;
 use crate::stack::{StackConfig, WarpStacks};
 use crate::trace::{RayQuery, TraceRequest, TraceResult};
 use crate::validator::StackViolation;
-use sms_bvh::traverse::{NodeStep, TraverseBvh};
+use sms_bvh::traverse::{NodeStep, StacklessStep, TraverseBvh};
 use sms_bvh::{BvhLayout, Hit, NodeId, Primitive};
 use sms_gpu::{GtoScheduler, SimStats, StallBreakdown, WarpId, WARP_SIZE};
 use sms_mem::{coalesce_lines_into, AccessKind, Cycle, GlobalMemory, SharedMem, SmL1};
@@ -104,13 +105,23 @@ enum TState {
     /// Node fetch in flight.
     WaitFetch { done: Cycle },
     /// Operation unit busy; commits `step` at `done`.
-    OpWait { done: Cycle, step: NodeStep },
+    OpWait { done: Cycle, step: StepOutcome },
     /// Stack micro-ops pending; head not yet issued.
     StackIssue,
     /// Head stack micro-op (a load) in flight.
     StackWait { done: Cycle },
     /// Traversal finished (or lane inactive).
     Idle,
+}
+
+/// Result of one node operation, under either traversal discipline. A
+/// stacked visit ([`NodeStep`]) tests *child* boxes and pushes/pops; a
+/// stackless visit ([`StacklessStep`]) tests the node's *own* box and
+/// follows first-child / escape links, touching no stack at all.
+#[derive(Debug, Clone)]
+enum StepOutcome {
+    Stacked(NodeStep),
+    Stackless(StacklessStep),
 }
 
 #[derive(Debug, Clone)]
@@ -123,6 +134,14 @@ struct ThreadCtx {
     t_max: f32,
     ops: std::collections::VecDeque<MicroOp>,
     done: bool,
+    /// `true` while the lane is probing the predictor's guessed leaf
+    /// (`PRED_*` only); cleared when the probe confirms or mispredicts.
+    speculative: bool,
+    /// The ray's predictor hash, computed once at admission (`PRED_*`).
+    pred_hash: u64,
+    /// Leaf that produced the ray's current best hit (or its occlusion
+    /// hit); written back to the predictor table at warp retirement.
+    hit_leaf: Option<NodeId>,
 }
 
 /// Attribution class of one lane's *current* interval. The class is set
@@ -146,6 +165,9 @@ enum LaneClass {
     StackShGlobal,
     /// Blocking phase of an RA flush burst in flight.
     StackFlush,
+    /// Speculative predictor probe in flight (fetch or operation wait of
+    /// the predicted-leaf visit, confirmed or not).
+    Predictor,
     /// Lane finished (or inactive in the request).
     Idle,
 }
@@ -196,6 +218,7 @@ impl SlotAttr {
             LaneClass::FetchL2 => b.fetch_wait_l2 += dt,
             LaneClass::FetchDram => b.fetch_wait_dram += dt,
             LaneClass::OpWait => b.op_wait += dt,
+            LaneClass::Predictor => b.predictor_wait += dt,
             LaneClass::Idle => b.rt_idle += dt,
             stack @ (LaneClass::StackRbSh | LaneClass::StackShGlobal | LaneClass::StackFlush) => {
                 let replay = dt.min(self.pending_conflict[lane]);
@@ -381,6 +404,8 @@ pub struct RtUnit {
     /// Warp-residency intervals of retired warps, recorded when slice
     /// recording is enabled (implies attribution).
     slices: Option<Vec<RtSlice>>,
+    /// Ray-path prediction table; `Some` only for `PRED_*` configurations.
+    predictor: Option<Box<RayPredictor>>,
 }
 
 impl RtUnit {
@@ -400,6 +425,7 @@ impl RtUnit {
             breakdown: StallBreakdown::default(),
             progress: 0,
             slices: None,
+            predictor: config.stack.predictor_bits().map(|bits| Box::new(RayPredictor::new(bits))),
         }
     }
 
@@ -498,15 +524,30 @@ impl RtUnit {
                     } else {
                         stats.rays_traced += 1;
                     }
+                    // A predictor hit starts the ray at the predicted leaf
+                    // (speculative probe); otherwise at the root.
+                    let (current, speculative, pred_hash) = match &self.predictor {
+                        Some(pred) => {
+                            let hash = RayPredictor::hash(&q.ray);
+                            match pred.predict(hash) {
+                                Some(leaf) => (Some(leaf), true, hash),
+                                None => (Some(0), false, hash),
+                            }
+                        }
+                        None => (Some(0), false, 0),
+                    };
                     ThreadCtx {
                         query,
                         state: TState::NeedFetch,
-                        current: Some(0),
+                        current,
                         best: None,
                         occluded: false,
                         t_max: q.t_max,
                         ops: std::collections::VecDeque::new(),
                         done: false,
+                        speculative,
+                        pred_hash,
+                        hit_leaf: None,
                     }
                 }
                 None => ThreadCtx {
@@ -518,6 +559,9 @@ impl RtUnit {
                     t_max: 0.0,
                     ops: std::collections::VecDeque::new(),
                     done: true,
+                    speculative: false,
+                    pred_hash: 0,
+                    hit_leaf: None,
                 },
             };
             threads.push(ctx);
@@ -640,6 +684,15 @@ impl RtUnit {
             if finished {
                 let mut slot = entry.take().expect("checked above");
                 self.sched.evict(slot.warp);
+                if let Some(pred) = &mut self.predictor {
+                    // Train on retirement: each finished ray records the
+                    // leaf that produced its final (or occluding) hit.
+                    for t in &slot.threads {
+                        if let (Some(_), Some(leaf)) = (t.query, t.hit_leaf) {
+                            pred.update(t.pred_hash, leaf);
+                        }
+                    }
+                }
                 if let Some(mut attr) = slot.attr.take() {
                     self.breakdown.merge(attr.finish(now, slot.warp));
                     if let Some(slices) = &mut self.slices {
@@ -684,17 +737,41 @@ impl RtUnit {
                         let t = &slot.threads[lane];
                         let node = t.current.expect("fetching requires a node");
                         let q = t.query.expect("active thread has a query");
-                        let step = bvh.node_step(prims, &q.ray, node, q.t_min, t.t_max);
-                        let lat =
-                            if bvh.is_leaf(node) { config.tri_latency } else { config.box_latency };
+                        let speculative = t.speculative;
+                        let (step, lat) = if matches!(config.stack, StackConfig::Stackless) {
+                            let s = bvh.stackless_step(prims, &q.ray, node, q.t_min, t.t_max);
+                            // An own-box miss (even on a leaf node) is just
+                            // a box test; only a box hit on a leaf reaches
+                            // the triangle unit.
+                            let lat = match s {
+                                StacklessStep::Leaf { .. } => config.tri_latency,
+                                _ => config.box_latency,
+                            };
+                            (StepOutcome::Stackless(s), lat)
+                        } else {
+                            let s = bvh.node_step(prims, &q.ray, node, q.t_min, t.t_max);
+                            let lat = if bvh.is_leaf(node) {
+                                config.tri_latency
+                            } else {
+                                config.box_latency
+                            };
+                            (StepOutcome::Stacked(s), lat)
+                        };
                         *progress += 1; // fetch response consumed
-                        slot.transition(now, lane, TState::OpWait { done: done + lat, step });
+                        let next = TState::OpWait { done: done + lat, step };
+                        if speculative {
+                            // The probe's operation wait belongs to the
+                            // predictor ledger bucket, not op_wait.
+                            slot.transition_traced(now, lane, next, LaneClass::Predictor);
+                        } else {
+                            slot.transition(now, lane, next);
+                        }
                     }
                     TState::OpWait { done, .. } if *done <= now => {
                         // Idle and OpWait are both non-issuable and the
                         // OpWait event is consumed right here, so this
                         // direct swap keeps the slot counters untouched;
-                        // commit_step sets the real next state (and its
+                        // the commit sets the real next state (and its
                         // transition flushes the OpWait interval).
                         let TState::OpWait { step, .. } =
                             std::mem::replace(&mut slot.threads[lane].state, TState::Idle)
@@ -703,10 +780,21 @@ impl RtUnit {
                         };
                         stats.node_visits += 1;
                         *progress += 1; // node operation committed
-                        Self::commit_step(
-                            slot, now, lane, step, stats, config, depths, metrics, traces, op_buf,
-                        );
-                        // commit_step set the next state; keep draining in
+                        match step {
+                            StepOutcome::Stacked(step) if slot.threads[lane].speculative => {
+                                Self::resolve_speculation(slot, now, lane, step, stats, metrics);
+                            }
+                            StepOutcome::Stacked(step) => {
+                                Self::commit_step(
+                                    slot, now, lane, step, stats, config, depths, metrics, traces,
+                                    op_buf,
+                                );
+                            }
+                            StepOutcome::Stackless(step) => {
+                                Self::commit_stackless(slot, now, lane, step, metrics);
+                            }
+                        }
+                        // The commit set the next state; keep draining in
                         // case it is already complete (e.g. empty op list).
                         break;
                     }
@@ -731,6 +819,106 @@ impl RtUnit {
             TState::Idle
         } else {
             TState::NeedFetch
+        }
+    }
+
+    /// Resolves a `PRED_*` lane's speculative predicted-leaf probe.
+    ///
+    /// * Any-hit query whose predicted leaf produced a hit: the ray is
+    ///   occluded and retires right here — the probe replaced the whole
+    ///   traversal (`pred_hits`).
+    /// * Nearest query whose predicted leaf produced a hit: the hit primes
+    ///   `t_max`/`best`, then the full stacked traversal re-runs from the
+    ///   root with the tightened interval culling subtrees (`pred_hits`).
+    /// * No hit in the predicted leaf: pure overhead; restart from the
+    ///   root as if no prediction existed (`pred_misses`).
+    fn resolve_speculation(
+        slot: &mut WarpSlot,
+        now: Cycle,
+        lane: usize,
+        step: NodeStep,
+        stats: &mut SimStats,
+        metrics: &mut Option<Box<StackMetrics>>,
+    ) {
+        let t = &mut slot.threads[lane];
+        t.speculative = false;
+        if let NodeStep::Leaf(Some(h)) = step {
+            stats.pred_hits += 1;
+            let q = t.query.expect("active thread");
+            if q.any_hit {
+                t.hit_leaf = t.current;
+                t.occluded = true;
+                t.done = true;
+                t.current = None;
+                slot.done_count += 1;
+                slot.stacks.mark_done(lane);
+                Self::observe_lane_done(slot, lane, now, metrics);
+                slot.transition(now, lane, TState::Idle);
+                return;
+            }
+            if h.t < t.t_max {
+                t.hit_leaf = t.current;
+                t.t_max = h.t;
+                t.best = Some(h);
+            }
+        } else {
+            stats.pred_misses += 1;
+        }
+        slot.threads[lane].current = Some(0);
+        slot.transition(now, lane, TState::NeedFetch);
+    }
+
+    /// Applies a completed *stackless* node visit: follow the descend /
+    /// escape link, with leaf hit bookkeeping identical to the stacked
+    /// path. No stack exists, so there are no micro-ops and no spills —
+    /// the only cost is the extra node visits the escape order incurs.
+    fn commit_stackless(
+        slot: &mut WarpSlot,
+        now: Cycle,
+        lane: usize,
+        step: StacklessStep,
+        metrics: &mut Option<Box<StackMetrics>>,
+    ) {
+        let next_node = match step {
+            StacklessStep::Descend { child } => Some(child),
+            StacklessStep::Leaf { hit, escape } => {
+                let t = &mut slot.threads[lane];
+                if let Some(h) = hit {
+                    let q = t.query.expect("active thread");
+                    if q.any_hit {
+                        // Occlusion query: terminate immediately.
+                        t.occluded = true;
+                        t.done = true;
+                        t.current = None;
+                        slot.done_count += 1;
+                        slot.stacks.mark_done(lane);
+                        Self::observe_lane_done(slot, lane, now, metrics);
+                        slot.transition(now, lane, TState::Idle);
+                        return;
+                    }
+                    if h.t < t.t_max {
+                        t.t_max = h.t;
+                        t.best = Some(h);
+                    }
+                }
+                escape
+            }
+            StacklessStep::Miss { escape } => escape,
+        };
+        match next_node {
+            Some(node) => {
+                slot.threads[lane].current = Some(node);
+                slot.transition(now, lane, TState::NeedFetch);
+            }
+            None => {
+                let t = &mut slot.threads[lane];
+                t.done = true;
+                t.current = None;
+                slot.done_count += 1;
+                slot.stacks.mark_done(lane);
+                Self::observe_lane_done(slot, lane, now, metrics);
+                slot.transition(now, lane, TState::Idle);
+            }
         }
     }
 
@@ -794,6 +982,7 @@ impl RtUnit {
                     let q = t.query.expect("active thread");
                     if q.any_hit {
                         // Occlusion query: terminate immediately.
+                        t.hit_leaf = t.current;
                         t.occluded = true;
                         t.done = true;
                         t.current = None;
@@ -805,6 +994,7 @@ impl RtUnit {
                         return;
                     }
                     if h.t < t.t_max {
+                        t.hit_leaf = t.current;
                         t.t_max = h.t;
                         t.best = Some(h);
                     }
@@ -1013,6 +1203,11 @@ impl RtUnit {
                         done = d;
                         class = c;
                     }
+                }
+                if slot.threads[lane].speculative {
+                    // A speculative probe's fetch wait is predictor cost,
+                    // whatever memory level serves it.
+                    class = LaneClass::Predictor;
                 }
                 slot.transition_traced(now, lane, TState::WaitFetch { done }, class);
             }

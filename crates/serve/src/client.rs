@@ -240,8 +240,25 @@ impl Client {
         let connect_budget = remaining.min(self.config.limits.read_timeout);
         let mut stream = TcpStream::connect_timeout(&addr, connect_budget)
             .map_err(|e| format!("connect to {addr}: {e}"))?;
-        let _ = stream.set_read_timeout(Some(self.config.limits.read_timeout));
-        let _ = stream.set_write_timeout(Some(self.config.limits.write_timeout));
+        // Send and read must also land inside the request deadline, so the
+        // socket timeouts are clipped to what is left of it after the
+        // connect — not the full configured timeout, which would let a
+        // hung response body overshoot the deadline by up to a whole
+        // `read_timeout`. Zero means "no timeout" to the socket API (and
+        // is rejected by `set_read_timeout`), so an exhausted budget turns
+        // into an error rather than an unbounded read.
+        let remaining = self
+            .config
+            .deadline
+            .checked_sub(start.elapsed())
+            .filter(|r| !r.is_zero())
+            .ok_or_else(|| "request deadline exhausted".to_owned())?;
+        stream
+            .set_read_timeout(Some(self.config.limits.read_timeout.min(remaining)))
+            .map_err(|e| format!("set read timeout: {e}"))?;
+        stream
+            .set_write_timeout(Some(self.config.limits.write_timeout.min(remaining)))
+            .map_err(|e| format!("set write timeout: {e}"))?;
         let head = format!(
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
             self.config.addr,
@@ -458,6 +475,38 @@ mod tests {
         assert!(t0.elapsed() < Duration::from_secs(2), "deadline must cut retries short");
         assert!(err.attempts < 100);
         assert!(err.message.contains("deadline"), "error should name the deadline: {err}");
+    }
+
+    #[test]
+    fn deadline_caps_a_stalling_response_body() {
+        // A server that accepts, reads the request, then never answers.
+        // The read timeout must be clipped to the remaining request
+        // deadline: with the default 10s socket timeout left unclipped, a
+        // 250ms budget would overshoot 40x waiting on the silent body.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut parked = Vec::new();
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { break };
+                let mut buf = [0u8; 1024];
+                let _ = conn.read(&mut buf);
+                parked.push(conn); // hold the connection open, never respond
+            }
+        });
+        let client = Client::with_config(ClientConfig {
+            addr: addr.to_string(),
+            retries: 0,
+            deadline: Duration::from_millis(250),
+            ..ClientConfig::default()
+        });
+        let t0 = Instant::now();
+        let err = client.get("/healthz").unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "stalled read must end near the 250ms deadline, not the 10s socket timeout"
+        );
+        assert_eq!(err.status, None, "a stalled body is a transport error: {err}");
     }
 
     #[test]

@@ -27,9 +27,22 @@ use sms_sim::scene::SceneId;
 /// Parses a `StackConfig` label: the inverse of [`StackConfig::label`].
 ///
 /// Accepted forms: `RB_<n>`, `RB_FULL`, `RB_<n>+SH_<m>`, with optional
-/// `+SK` and/or `+RA` suffixes (in that order, `+RA` may appear alone).
+/// `+SK` and/or `+RA` suffixes (in that order, `+RA` may appear alone);
+/// plus the traversal competitors `SL` (stackless) and `PRED_<bits>`
+/// (ray-path predictor, `1..=20` table index bits).
 pub fn parse_stack_config(label: &str) -> Result<StackConfig, String> {
     let err = || format!("unknown stack config `{label}` (expected e.g. RB_8, RB_8+SH_8+SK+RA)");
+    if label == "SL" {
+        return Ok(StackConfig::Stackless);
+    }
+    if let Some(bits) = label.strip_prefix("PRED_") {
+        return bits
+            .parse::<u32>()
+            .ok()
+            .filter(|&b| (1..=sms_sim::rtunit::predictor::MAX_TABLE_BITS).contains(&b))
+            .map(|table_bits| StackConfig::Predictor { table_bits })
+            .ok_or_else(err);
+    }
     let mut parts = label.split('+');
     let rb = parts.next().ok_or_else(err)?;
     if rb == "RB_FULL" {
@@ -254,6 +267,9 @@ mod tests {
             StackConfig::Sms(SmsParams::default().with_skewed(true)),
             StackConfig::Sms(SmsParams::default().with_realloc(true)),
             StackConfig::Sms(SmsParams { rb_entries: 4, sh_entries: 16, ..SmsParams::default() }),
+            StackConfig::Stackless,
+            StackConfig::predictor_default(),
+            StackConfig::Predictor { table_bits: 8 },
         ] {
             assert_eq!(parse_stack_config(&config.label()), Ok(config), "{}", config.label());
         }
@@ -261,9 +277,21 @@ mod tests {
 
     #[test]
     fn malformed_labels_are_rejected() {
-        for bad in
-            ["", "RB_0", "RB_x", "SH_8", "RB_8+SK", "RB_8+SH_8+RA+SK", "RB_8+SH_8+XX", "RB_FULL+SK"]
-        {
+        for bad in [
+            "",
+            "RB_0",
+            "RB_x",
+            "SH_8",
+            "RB_8+SK",
+            "RB_8+SH_8+RA+SK",
+            "RB_8+SH_8+XX",
+            "RB_FULL+SK",
+            "SL+SK",
+            "PRED_0",
+            "PRED_64",
+            "PRED_x",
+            "PRED_",
+        ] {
             assert!(parse_stack_config(bad).is_err(), "`{bad}` should not parse");
         }
     }
