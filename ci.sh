@@ -177,6 +177,85 @@ cargo run --release -q -p sms-serve --bin sms-client -- \
   --addr "$(cat target/fleet-b-addr)" drain
 wait "$backend_b_pid" || { echo "fleet backend B did not drain cleanly"; exit 1; }
 
+echo "==> traced fleet smoke (SMS_TRACE_CTX armed end to end, merged + validated)"
+rm -f target/dtrace-addr target/dtrace-a-addr target/dtrace-b-addr
+rm -f target/dtrace-fleet.jsonl target/dtrace-a.jsonl target/dtrace-b.jsonl
+rm -f target/dtrace-sim-a.*.json target/dtrace-sim-b.*.json target/trace-merged.json
+rm -rf target/dtrace-cache
+# One fixed trace context shared by the client and (for sim-trace linkage)
+# both backends; backend A again dies of an injected kill so the merged
+# trace must show the fleet retrying/hedging the orphaned cells onto B.
+# Distinct SMS_TRACE stems per backend: concurrent processes must never
+# write the same sim-trace file.
+trace_ctx="00000000c0ffee42-0000000000000001"
+SMS_FAULT="kill:jobs=1" SMS_CACHE_DIR=target/dtrace-cache \
+  SMS_TRACE=target/dtrace-sim-a.json SMS_TRACE_CTX="$trace_ctx" \
+  SMS_SERVE_JOURNAL=target/dtrace-a.jsonl \
+  cargo run --release -q -p sms-serve --bin sms-serve -- \
+  --addr 127.0.0.1:0 --addr-file target/dtrace-a-addr --workers 1 &
+dtrace_a_pid=$!
+SMS_CACHE_DIR=target/dtrace-cache \
+  SMS_TRACE=target/dtrace-sim-b.json SMS_TRACE_CTX="$trace_ctx" \
+  SMS_SERVE_JOURNAL=target/dtrace-b.jsonl \
+  cargo run --release -q -p sms-serve --bin sms-serve -- \
+  --addr 127.0.0.1:0 --addr-file target/dtrace-b-addr --workers 2 &
+dtrace_b_pid=$!
+for f in target/dtrace-a-addr target/dtrace-b-addr; do
+  for _ in $(seq 1 100); do
+    [ -s "$f" ] && break
+    sleep 0.1
+  done
+  [ -s "$f" ] || { echo "traced backend never wrote $f"; exit 1; }
+done
+SMS_FLEET_JOURNAL=target/dtrace-fleet.jsonl SMS_CACHE_DIR=target/dtrace-cache \
+  SMS_FLEET_HEDGE_MS=1 \
+  SMS_FLEET_BACKENDS="$(cat target/dtrace-a-addr),$(cat target/dtrace-b-addr)" \
+  cargo run --release -q -p sms-serve --bin sms-fleet -- \
+  --addr 127.0.0.1:0 --addr-file target/dtrace-addr &
+dtrace_fleet_pid=$!
+for _ in $(seq 1 100); do
+  [ -s target/dtrace-addr ] && break
+  kill -0 "$dtrace_fleet_pid" 2> /dev/null || { echo "traced sms-fleet died before binding"; exit 1; }
+  sleep 0.1
+done
+[ -s target/dtrace-addr ] || { echo "traced sms-fleet never wrote its address"; exit 1; }
+SMS_TRACE_CTX="$trace_ctx" \
+  cargo run --release -q -p sms-serve --bin sms-client -- \
+  --addr "$(cat target/dtrace-addr)" sweep \
+  --scenes WKND,SHIP --configs RB_8,RB_8+SH_8+SK+RA
+cargo run --release -q -p sms-serve --bin sms-client -- \
+  --addr "$(cat target/dtrace-addr)" drain
+wait "$dtrace_fleet_pid" || { echo "traced sms-fleet did not drain cleanly"; exit 1; }
+if wait "$dtrace_a_pid"; then
+  echo "traced backend A survived an injected kill that should have crashed it"
+  exit 1
+fi
+cargo run --release -q -p sms-serve --bin sms-client -- \
+  --addr "$(cat target/dtrace-b-addr)" drain
+wait "$dtrace_b_pid" || { echo "traced backend B did not drain cleanly"; exit 1; }
+# Strict span-schema validation on every journal that drained cleanly
+# (backend A was killed mid-write, so its journal may end in a torn line —
+# the merge below skips torn lines but validate is strict by design).
+cargo run --release -q -p sms-serve --bin sms-trace -- validate \
+  target/dtrace-fleet.jsonl target/dtrace-b.jsonl
+grep -q '"event":"span"' target/dtrace-fleet.jsonl \
+  || { echo "traced fleet journal carries no span lines"; exit 1; }
+# Merge fleet + backend journals and any sim traces the backends exported
+# into one Chrome-trace file, then assert it really carries dispatch
+# slices and cross-track flow arrows for this trace.
+sim_args=()
+for f in target/dtrace-sim-a.*.json target/dtrace-sim-b.*.json; do
+  [ -f "$f" ] && sim_args+=(--sim "$f")
+done
+cargo run --release -q -p sms-serve --bin sms-trace -- merge \
+  --trace 00000000c0ffee42 --out target/trace-merged.json \
+  "${sim_args[@]}" \
+  target/dtrace-fleet.jsonl target/dtrace-a.jsonl target/dtrace-b.jsonl
+grep -q '"name":"dispatch"' target/trace-merged.json \
+  || { echo "merged trace carries no dispatch spans"; exit 1; }
+grep -q '"ph":"s"' target/trace-merged.json \
+  || { echo "merged trace carries no flow arrows"; exit 1; }
+
 echo "==> serve_loadtest smoke (4 concurrent clients, cold then warm)"
 # $PWD: cargo bench processes run with the package dir as cwd.
 time SMS_BENCH_SERVE_OUT="$PWD/target/BENCH_serve.json" \

@@ -208,12 +208,7 @@ fn main() {
     let out = std::env::var("SMS_BENCH_SERVE_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_owned()
     });
-    let mut history =
-        match std::fs::read_to_string(&out).ok().and_then(|s| sms_harness::json::parse(&s).ok()) {
-            Some(Json::Arr(entries)) => entries,
-            Some(obj @ Json::Obj(_)) => vec![obj],
-            _ => Vec::new(),
-        };
+    let mut history = sms_bench::load_bench_history(&out);
     history.push(doc);
     std::fs::write(&out, format!("{}\n", Json::Arr(history))).expect("write benchmark output");
     println!("\nappended entry to {out}");

@@ -170,26 +170,7 @@ fn main() {
         (own("builds"), Json::Arr(builds)),
     ]);
     let out = std::env::var("SMS_BENCH_OUT").unwrap_or_else(|_| "BENCH_core.json".to_owned());
-    let mut history =
-        match std::fs::read_to_string(&out).ok().and_then(|s| sms_harness::json::parse(&s).ok()) {
-            Some(Json::Arr(entries)) => entries,
-            // Pre-history format: one bare object per file. Keep it as the
-            // first history entry.
-            Some(obj @ Json::Obj(_)) => vec![obj],
-            _ => Vec::new(),
-        };
-    // History hygiene: every entry must be a timestamped object so the
-    // series stays sortable. Non-objects are rejected; early entries
-    // written before the timestamp field existed are repaired in place
-    // with epoch 0 (visibly "before history began").
-    history.retain(|e| matches!(e, Json::Obj(_)));
-    for entry in &mut history {
-        if let Json::Obj(fields) = entry {
-            if !fields.iter().any(|(k, _)| k == "timestamp") {
-                fields.insert(1.min(fields.len()), (own("timestamp"), Json::U64(0)));
-            }
-        }
-    }
+    let mut history = sms_bench::load_bench_history(&out);
     history.push(doc);
     std::fs::write(&out, format!("{}\n", Json::Arr(history))).expect("write benchmark output");
     println!("\nappended entry to {out}");

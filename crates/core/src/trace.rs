@@ -181,6 +181,12 @@ impl TraceRecorder {
 
     /// Writes the trace file: the event array plus top-level `cycles` and
     /// `stallBreakdown` keys. Returns the path written.
+    ///
+    /// When the process runs with a distributed-tracing context armed
+    /// (`SMS_TRACE_CTX=<trace>-<span>`, the serving tier's request
+    /// correlation), the file also carries a top-level `"traceId"` key —
+    /// extra keys are tolerated by both viewers — so the `sms-trace`
+    /// merger can link a request's spans to its per-warp timeline.
     pub fn finish(self, cycles: Cycle, breakdown: &StallBreakdown) -> std::io::Result<PathBuf> {
         let mut out = String::with_capacity(self.events.len() * 96 + 1024);
         out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
@@ -192,6 +198,11 @@ impl TraceRecorder {
         }
         out.push_str("\n],\n\"cycles\":");
         let _ = write!(out, "{cycles}");
+        if let Some(trace) = trace_ctx_id() {
+            out.push_str(",\n\"traceId\":\"");
+            out.push_str(&trace);
+            out.push('"');
+        }
         out.push_str(",\n\"stallBreakdown\":");
         out.push_str(&breakdown_json(breakdown));
         out.push_str("\n}\n");
@@ -203,6 +214,22 @@ impl TraceRecorder {
     pub fn path(&self) -> &Path {
         &self.spec.path
     }
+}
+
+/// The trace id half of `SMS_TRACE_CTX` (`<trace>-<span>`, 16 lowercase
+/// hex digits each), when set and well-formed. The simulator only *reads*
+/// the context to stamp trace files — span generation and propagation live
+/// in the harness/serving layers, which own the wire format.
+fn trace_ctx_id() -> Option<String> {
+    let raw = std::env::var("SMS_TRACE_CTX").ok()?;
+    let (t, s) = raw.trim().split_once('-')?;
+    if t.len() != 16 || s.len() != 16 {
+        return None;
+    }
+    if !t.bytes().all(|b| b.is_ascii_hexdigit()) || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    Some(t.to_ascii_lowercase())
 }
 
 /// Serializes a [`StallBreakdown`] as a flat JSON object (snake_case keys,

@@ -125,9 +125,13 @@ impl ResultCache {
     fn degrade(&self, why: &std::io::Error) {
         self.degrade.disabled.store(true, Ordering::Relaxed);
         if !self.degrade.warned.swap(true, Ordering::Relaxed) {
-            eprintln!(
-                "warning: result cache at {} is unusable ({why}); continuing without a cache",
-                self.dir.display()
+            crate::log::warn(
+                "cache",
+                &format!(
+                    "result cache at {} is unusable ({why}); continuing without a cache",
+                    self.dir.display()
+                ),
+                &[],
             );
         }
     }
@@ -250,10 +254,13 @@ impl ResultCache {
     /// warning once per cache (shared across clones, like degradation).
     fn quarantine(&self, path: &Path, why: &str) {
         if !self.degrade.corrupt_warned.swap(true, Ordering::Relaxed) {
-            eprintln!(
-                "warning: corrupt result cache entry {} ({why}); \
-                 deleting it and re-simulating",
-                path.display()
+            crate::log::warn(
+                "cache",
+                &format!(
+                    "corrupt result cache entry {} ({why}); deleting it and re-simulating",
+                    path.display()
+                ),
+                &[],
             );
         }
         let _ = fs::remove_file(path);

@@ -145,7 +145,11 @@ impl FaultPlan {
         match FaultPlan::parse(&spec) {
             Ok(plan) => Some(Arc::new(plan)),
             Err(err) => {
-                eprintln!("sms-harness: ignoring SMS_FAULT={spec:?}: {err}");
+                crate::log::warn(
+                    "faultinject",
+                    &format!("ignoring SMS_FAULT={spec:?}: {err}"),
+                    &[("var", "SMS_FAULT")],
+                );
                 None
             }
         }

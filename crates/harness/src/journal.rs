@@ -115,6 +115,35 @@ pub enum Event {
         /// Wall-clock microseconds spent before the failure.
         duration_us: u64,
     },
+    /// One completed tracing span (client → fleet → backend request
+    /// correlation). Only recorded for requests that carried an
+    /// `x-sms-trace` header, so untraced journals are byte-identical to
+    /// pre-tracing ones. Unknown to older readers, which skip it — the
+    /// codec passes unrecognized event lines through.
+    Span {
+        /// Trace id, 16 lowercase hex digits; shared by every span of one
+        /// request end to end.
+        trace: String,
+        /// This span's id, 16 lowercase hex digits, never all-zero.
+        span: String,
+        /// Parent span id (16 hex digits); `None` for a root span.
+        parent: Option<String>,
+        /// Span name from the fixed taxonomy (`sweep`, `cell`, `dispatch`,
+        /// `job`, `client`).
+        name: String,
+        /// Role of this node: `client` (outbound request), `server`
+        /// (inbound request), or `internal`.
+        kind: String,
+        /// Wall-clock start, microseconds since the Unix epoch — one
+        /// timebase across processes so merged timelines line up.
+        start_us: u64,
+        /// Span duration in microseconds.
+        dur_us: u64,
+        /// Free-form string attributes (`cell`, `backend`, `attempt`,
+        /// `hedge`, `cache`, `breaker_state`, `cancelled`, ...), rendered
+        /// as a JSON object in insertion order.
+        attrs: Vec<(String, String)>,
+    },
     /// The batch completed; counters cover the deduplicated jobs.
     BatchEnd {
         /// Deduplicated jobs executed or served.
@@ -141,6 +170,29 @@ pub enum Event {
 }
 
 impl Event {
+    /// A span event from a [`TraceContext`](crate::TraceContext) — the
+    /// hex rendering and parent plumbing in one place, so recording sites
+    /// stay one call.
+    pub fn span(
+        ctx: &crate::TraceContext,
+        name: &str,
+        kind: &str,
+        start_us: u64,
+        dur_us: u64,
+        attrs: Vec<(String, String)>,
+    ) -> Event {
+        Event::Span {
+            trace: ctx.trace_hex(),
+            span: ctx.span_hex(),
+            parent: ctx.parent_hex(),
+            name: name.to_owned(),
+            kind: kind.to_owned(),
+            start_us,
+            dur_us,
+            attrs,
+        }
+    }
+
     /// The event as one JSON object (the journal line, sans newline).
     pub fn to_json(&self) -> Json {
         let own = |s: &str| s.to_owned();
@@ -203,6 +255,24 @@ impl Event {
                 (own("error"), Json::Str(error.clone())),
                 (own("duration_us"), Json::U64(*duration_us)),
             ]),
+            Event::Span { trace, span, parent, name, kind, start_us, dur_us, attrs } => {
+                Json::Obj(vec![
+                    (own("event"), Json::Str(own("span"))),
+                    (own("trace"), Json::Str(trace.clone())),
+                    (own("span"), Json::Str(span.clone())),
+                    (own("parent"), parent.as_ref().map_or(Json::Null, |p| Json::Str(p.clone()))),
+                    (own("name"), Json::Str(name.clone())),
+                    (own("kind"), Json::Str(kind.clone())),
+                    (own("start_us"), Json::U64(*start_us)),
+                    (own("dur_us"), Json::U64(*dur_us)),
+                    (
+                        own("attrs"),
+                        Json::Obj(
+                            attrs.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect(),
+                        ),
+                    ),
+                ])
+            }
             Event::BatchEnd {
                 jobs,
                 cache_hits,

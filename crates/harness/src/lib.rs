@@ -47,8 +47,10 @@ pub mod error;
 pub mod faultinject;
 pub mod journal;
 pub mod json;
+pub mod log;
 pub mod pool;
 pub mod resume;
+pub mod trace;
 
 pub use cache::{CacheKey, ResultCache, SIM_VERSION_SALT};
 pub use error::RunError;
@@ -57,6 +59,7 @@ pub use journal::{Event, Journal};
 pub use pool::JobPanic;
 pub use resume::ResumeState;
 pub use sms_sim::sim::{RunLimits, SimFault};
+pub use trace::{TraceContext, TRACE_HEADER};
 
 use sms_metrics::HistSummary;
 use sms_sim::config::RenderConfig;
@@ -170,20 +173,10 @@ fn default_cache_dir() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/sms-cache"))
 }
 
-/// Parses a positive integer from an env var. A malformed value is
-/// reported on stderr — naming the variable and the offending value — and
-/// treated as unset, so one typo degrades to defaults instead of killing
-/// an hour-scale sweep at startup.
-fn env_positive(var: &str) -> Option<usize> {
-    let raw = std::env::var(var).ok()?;
-    match raw.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Some(n),
-        _ => {
-            eprintln!("warning: {var}: expected a positive integer, got `{raw}` — ignoring");
-            None
-        }
-    }
-}
+// The positive-integer env parser lives in `log` (one shared helper for
+// harness, client, fleet, and server; its warning goes through the
+// structured logger).
+use crate::log::env_positive;
 
 impl HarnessConfig {
     /// Reads the environment knobs:
@@ -224,8 +217,12 @@ impl HarnessConfig {
         if let Ok(raw) = std::env::var("SMS_RETRIES") {
             match raw.trim().parse::<u32>() {
                 Ok(n) => cfg.retries = n, // 0 = no retries, valid
-                Err(_) => eprintln!(
-                    "warning: SMS_RETRIES: expected a non-negative integer, got `{raw}` — ignoring"
+                Err(_) => log::warn(
+                    "env",
+                    &format!(
+                        "SMS_RETRIES: expected a non-negative integer, got `{raw}` — ignoring"
+                    ),
+                    &[("var", "SMS_RETRIES")],
                 ),
             }
         }

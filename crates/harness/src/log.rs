@@ -1,0 +1,242 @@
+//! Structured JSONL logging for the serving tier.
+//!
+//! Every diagnostic the harness and the serve crates used to `eprintln!`
+//! now goes through this module, so operational output is one JSON object
+//! per line — machine-greppable, level-filtered, and correlatable with the
+//! distributed-tracing spans (a log line can carry the same `trace` id a
+//! span carries).
+//!
+//! ```text
+//! {"ts_us":1754650000123456,"level":"warn","component":"fleet","msg":"backend down","backend":"127.0.0.1:9001"}
+//! ```
+//!
+//! Environment control:
+//!
+//! * `SMS_LOG=<path>` — append log lines to `<path>` instead of stderr.
+//! * `SMS_LOG_LEVEL=error|warn|info|debug` — drop lines below the
+//!   threshold (default `info`).
+//!
+//! The logger is pure observation: it never touches journals, stats, or
+//! cache entries, so arming or silencing it cannot change simulation
+//! results. It is process-global and initialized lazily on first use;
+//! tests that need determinism pass fields explicitly rather than racing
+//! on env vars.
+
+use crate::json::Json;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The process cannot do what was asked of it.
+    Error,
+    /// Degraded but continuing (the classic "warning:" lines).
+    Warn,
+    /// Operational milestones (listening, draining, exiting).
+    Info,
+    /// High-volume diagnostics, off by default.
+    Debug,
+}
+
+impl Level {
+    /// The lowercase name used in log lines and `SMS_LOG_LEVEL`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+struct Sink {
+    level: Level,
+    /// `Some` when `SMS_LOG` redirects to a file; `None` writes stderr.
+    file: Option<Mutex<File>>,
+    /// Keys already emitted through [`warn_once`].
+    once: Mutex<HashSet<String>>,
+}
+
+fn sink() -> &'static Sink {
+    static SINK: OnceLock<Sink> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let level = std::env::var("SMS_LOG_LEVEL")
+            .ok()
+            .and_then(|s| Level::parse(&s))
+            .unwrap_or(Level::Info);
+        let file = std::env::var("SMS_LOG")
+            .ok()
+            .filter(|p| !p.trim().is_empty())
+            .and_then(|p| OpenOptions::new().create(true).append(true).open(p).ok())
+            .map(Mutex::new);
+        Sink { level, file, once: Mutex::new(HashSet::new()) }
+    })
+}
+
+/// Whether a line at `level` would be emitted (callers can skip building
+/// expensive fields when it would not).
+pub fn enabled(level: Level) -> bool {
+    level <= sink().level
+}
+
+fn now_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// Emits one structured log line. `fields` are appended to the object in
+/// order after the fixed `ts_us`/`level`/`component`/`msg` prefix; use a
+/// `("trace", <hex id>)` field to correlate a line with a span.
+pub fn log(level: Level, component: &str, msg: &str, fields: &[(&str, &str)]) {
+    let s = sink();
+    if level > s.level {
+        return;
+    }
+    let own = |v: &str| v.to_owned();
+    let mut pairs = vec![
+        (own("ts_us"), Json::U64(now_us())),
+        (own("level"), Json::Str(own(level.as_str()))),
+        (own("component"), Json::Str(own(component))),
+        (own("msg"), Json::Str(own(msg))),
+    ];
+    for (k, v) in fields {
+        pairs.push((own(k), Json::Str(own(v))));
+    }
+    let line = Json::Obj(pairs).to_string();
+    match &s.file {
+        Some(f) => {
+            let mut f = f.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = writeln!(f, "{line}");
+            let _ = f.flush();
+        }
+        None => eprintln!("{line}"),
+    }
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(component: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Error, component, msg, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(component: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Warn, component, msg, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(component: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Info, component, msg, fields);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(component: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Debug, component, msg, fields);
+}
+
+/// Emits a warning at most once per process for a given `key` — the
+/// pattern the cache's degrade/quarantine paths need so a hot loop cannot
+/// flood the log with the same line.
+pub fn warn_once(key: &str, component: &str, msg: &str, fields: &[(&str, &str)]) {
+    let s = sink();
+    {
+        let mut once = s.once.lock().unwrap_or_else(PoisonError::into_inner);
+        if !once.insert(key.to_owned()) {
+            return;
+        }
+    }
+    warn(component, msg, fields);
+}
+
+/// Parses a positive integer from an env var. A malformed value is logged
+/// as a warning — naming the variable and the offending value — and
+/// treated as unset, so one typo degrades to defaults instead of killing
+/// an hour-scale sweep at startup. Shared by the harness, client, fleet,
+/// and server configs (one helper, one message).
+pub fn env_positive(var: &str) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            warn(
+                "env",
+                &format!("{var}: expected a positive integer, got `{raw}` — ignoring"),
+                &[("var", var)],
+            );
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" debug "), Some(Level::Debug));
+        assert_eq!(Level::parse("loud"), None);
+    }
+
+    #[test]
+    fn env_positive_accepts_and_rejects() {
+        // Distinct var names: env is process-global and tests run in
+        // parallel.
+        std::env::set_var("SMS_LOG_TEST_OK", "12");
+        assert_eq!(env_positive("SMS_LOG_TEST_OK"), Some(12));
+        std::env::set_var("SMS_LOG_TEST_BAD", "zero");
+        assert_eq!(env_positive("SMS_LOG_TEST_BAD"), None);
+        std::env::set_var("SMS_LOG_TEST_ZERO", "0");
+        assert_eq!(env_positive("SMS_LOG_TEST_ZERO"), None);
+        assert_eq!(env_positive("SMS_LOG_TEST_UNSET_NEVER"), None);
+    }
+
+    #[test]
+    fn log_lines_are_json_objects() {
+        // Render through the same code path `log` uses, without racing on
+        // the global sink's env-derived config.
+        let own = |v: &str| v.to_owned();
+        let pairs = vec![
+            (own("ts_us"), Json::U64(now_us())),
+            (own("level"), Json::Str(own("warn"))),
+            (own("component"), Json::Str(own("test"))),
+            (own("msg"), Json::Str(own("quoted \"msg\"\n"))),
+            (own("trace"), Json::Str(own("00c0ffee5eed1234"))),
+        ];
+        let line = Json::Obj(pairs).to_string();
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(doc.get("level").unwrap().as_str(), Some("warn"));
+        assert_eq!(doc.get("trace").unwrap().as_str(), Some("00c0ffee5eed1234"));
+    }
+
+    #[test]
+    fn warn_once_dedupes_on_key() {
+        // The global sink dedupes; at minimum the second call must return
+        // without panicking and the key must stay recorded.
+        warn_once("test-dedupe-key", "test", "only once", &[]);
+        warn_once("test-dedupe-key", "test", "only once", &[]);
+        let s = sink();
+        let once = s.once.lock().unwrap_or_else(PoisonError::into_inner);
+        assert!(once.contains("test-dedupe-key"));
+    }
+}

@@ -35,9 +35,10 @@ impl ResumeState {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!(
-                    "warning: SMS_RESUME: cannot read {}: {e} — starting fresh",
-                    path.display()
+                crate::log::warn(
+                    "resume",
+                    &format!("SMS_RESUME: cannot read {}: {e} — starting fresh", path.display()),
+                    &[("var", "SMS_RESUME")],
                 );
                 return ResumeState::default();
             }

@@ -143,6 +143,47 @@ fn run_failed_line() {
 }
 
 #[test]
+fn span_line() {
+    golden(
+        &Event::Span {
+            trace: "00000000deadbeef".to_owned(),
+            span: "0000000000000002".to_owned(),
+            parent: Some("0000000000000001".to_owned()),
+            name: "dispatch".to_owned(),
+            kind: "client".to_owned(),
+            start_us: 1_700_000_000_000_000,
+            dur_us: 4_200,
+            attrs: vec![
+                ("backend".to_owned(), "127.0.0.1:7745".to_owned()),
+                ("attempt".to_owned(), "1".to_owned()),
+                ("hedge".to_owned(), "1".to_owned()),
+                ("breaker_state".to_owned(), "closed".to_owned()),
+                ("outcome".to_owned(), "cancelled".to_owned()),
+            ],
+        },
+        concat!(
+            r#"{"event":"span","trace":"00000000deadbeef","span":"0000000000000002","parent":"0000000000000001","#,
+            r#""name":"dispatch","kind":"client","start_us":1700000000000000,"dur_us":4200,"#,
+            r#""attrs":{"backend":"127.0.0.1:7745","attempt":"1","hedge":"1","breaker_state":"closed","outcome":"cancelled"}}"#,
+        ),
+    );
+}
+
+#[test]
+fn span_line_root_has_null_parent_and_ctx_constructor_matches() {
+    let ctx = sms_harness::TraceContext { trace_id: 0xdead_beef, span_id: 0x1, parent: None };
+    let e = Event::span(&ctx, "sweep", "server", 10, 20, vec![("jobs".to_owned(), "2".to_owned())]);
+    let doc = golden(
+        &e,
+        concat!(
+            r#"{"event":"span","trace":"00000000deadbeef","span":"0000000000000001","parent":null,"#,
+            r#""name":"sweep","kind":"server","start_us":10,"dur_us":20,"attrs":{"jobs":"2"}}"#,
+        ),
+    );
+    assert_eq!(doc.get("parent"), Some(&Json::Null));
+}
+
+#[test]
 fn batch_end_line_with_breakdown() {
     let breakdown = StallBreakdown { compute: 1, warp_cycles: 1, ..Default::default() };
     let e = Event::BatchEnd {

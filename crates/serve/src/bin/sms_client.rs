@@ -13,9 +13,15 @@
 //!
 //! The address defaults to `SMS_SERVE_ADDR` (then `127.0.0.1:7745`).
 //! Retries/backoff/deadline come from `SMS_CLIENT_*`; see
-//! `ClientConfig::from_env`. Exit status: 0 on success, 1 on a server or
+//! `ClientConfig::from_env`. `--trace` (or `SMS_TRACE_CTX`) arms
+//! distributed tracing: a root trace context is generated here, rides
+//! every request as `x-sms-trace`, and the trace id is reported on exit
+//! so `sms-trace merge --trace <id>` can pull the request's spans out of
+//! the server-side journals. Exit status: 0 on success, 1 on a server or
 //! sweep failure (any failed job fails the sweep), 2 on usage errors.
 
+use sms_harness::log;
+use sms_harness::TraceContext;
 use sms_serve::client::{Client, ClientConfig};
 
 fn usage() -> ! {
@@ -24,7 +30,8 @@ fn usage() -> ! {
          commands:\n  \
          sweep --scenes A,B --configs C1,C2 [--render fast|tiny|paper] [--jsonl]\n  \
          probe <scene> <config> [--render MODE]\n  \
-         health\n  metrics\n  drain"
+         health\n  metrics\n  drain\n\
+         options:\n  --addr HOST:PORT   server address\n  --trace            arm distributed tracing"
     );
     std::process::exit(2);
 }
@@ -38,6 +45,20 @@ fn main() {
         }
         config.addr = args.remove(i + 1);
         args.remove(i);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        args.remove(i);
+        if config.trace.is_none() {
+            config.trace = Some(TraceContext::root());
+        }
+    }
+    let trace = config.trace;
+    if let Some(ctx) = &trace {
+        log::info(
+            "client",
+            &format!("tracing armed: trace {}", ctx.trace_hex()),
+            &[("trace_id", &ctx.trace_hex())],
+        );
     }
     let client = Client::with_config(config);
     let Some(command) = args.first().cloned() else { usage() };
@@ -57,7 +78,7 @@ fn main() {
 }
 
 fn fail(message: String) -> ! {
-    eprintln!("sms-client: {message}");
+    log::error("client", &message, &[]);
     std::process::exit(1);
 }
 
@@ -126,7 +147,7 @@ fn sweep(client: &Client, args: &[String]) {
         }
     }
     if let Some(summary) = &outcome.summary {
-        eprintln!("sms-client: {summary}");
+        log::info("client", &summary.to_string(), &[]);
     } else {
         fail("sweep stream ended without a batch_end summary".to_owned());
     }

@@ -20,6 +20,7 @@
 //! SIGTERM (or `POST /v1/drain`) drains the front tier, then drains any
 //! spawned children and waits for them to exit.
 
+use sms_harness::log;
 use sms_serve::fleet::{FleetConfig, FleetServer};
 use sms_serve::server::signal_drain_flag;
 use sms_serve::Client;
@@ -62,7 +63,7 @@ fn spawn_backend(index: usize) -> (std::process::Child, std::path::PathBuf) {
         .arg(&addr_file)
         .spawn()
         .unwrap_or_else(|e| {
-            eprintln!("sms-fleet: cannot spawn {}: {e}", serve_bin.display());
+            log::error("fleet", &format!("cannot spawn {}: {e}", serve_bin.display()), &[]);
             std::process::exit(1);
         });
     (child, addr_file)
@@ -80,7 +81,11 @@ fn await_backend_addr(addr_file: &std::path::Path) -> String {
         }
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
-    eprintln!("sms-fleet: backend never announced an address in {}", addr_file.display());
+    log::error(
+        "fleet",
+        &format!("backend never announced an address in {}", addr_file.display()),
+        &[],
+    );
     std::process::exit(1);
 }
 
@@ -146,35 +151,39 @@ fn main() {
     for i in 0..spawn_n {
         let (child, file) = spawn_backend(i);
         let addr = await_backend_addr(&file);
-        eprintln!("sms-fleet: spawned backend {i} at {addr}");
+        log::info("fleet", &format!("spawned backend {i} at {addr}"), &[("backend", &addr)]);
         config.backends.push(addr);
         children.push(child);
         let _ = std::fs::remove_file(&file);
     }
     if config.backends.is_empty() {
-        eprintln!("sms-fleet: no backends (use --backends, --spawn or SMS_FLEET_BACKENDS)");
+        log::error("fleet", "no backends (use --backends, --spawn or SMS_FLEET_BACKENDS)", &[]);
         std::process::exit(2);
     }
 
     install_sigterm();
     let server = FleetServer::bind(config.clone()).unwrap_or_else(|e| {
-        eprintln!("sms-fleet: cannot bind {}: {e}", config.addr);
+        log::error("fleet", &format!("cannot bind {}: {e}", config.addr), &[]);
         std::process::exit(1);
     });
     let addr = server.local_addr().unwrap_or_else(|e| {
-        eprintln!("sms-fleet: cannot read bound address: {e}");
+        log::error("fleet", &format!("cannot read bound address: {e}"), &[]);
         std::process::exit(1);
     });
     if let Some(path) = &addr_file {
         if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
-            eprintln!("sms-fleet: cannot write {path}: {e}");
+            log::error("fleet", &format!("cannot write {path}: {e}"), &[]);
             std::process::exit(1);
         }
     }
-    eprintln!(
-        "sms-fleet: listening on {addr}, routing over {} backend(s): {}",
-        config.backends.len(),
-        config.backends.join(", ")
+    log::info(
+        "fleet",
+        &format!(
+            "listening on {addr}, routing over {} backend(s): {}",
+            config.backends.len(),
+            config.backends.join(", ")
+        ),
+        &[],
     );
     let backends = config.backends.clone();
     let outcome = server.run();
@@ -188,9 +197,9 @@ fn main() {
         let _ = child.wait();
     }
     match outcome {
-        Ok(()) => eprintln!("sms-fleet: drained, exiting"),
+        Ok(()) => log::info("fleet", "drained, exiting", &[]),
         Err(e) => {
-            eprintln!("sms-fleet: accept loop failed: {e}");
+            log::error("fleet", &format!("accept loop failed: {e}"), &[]);
             std::process::exit(1);
         }
     }

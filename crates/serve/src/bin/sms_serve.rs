@@ -13,6 +13,7 @@
 //! SIGTERM (or `POST /v1/drain`) triggers a graceful drain: stop
 //! accepting, finish in-flight requests, flush the journal, exit 0.
 
+use sms_harness::log;
 use sms_serve::server::{signal_drain_flag, ServeConfig, Server};
 use std::sync::atomic::Ordering;
 
@@ -72,28 +73,32 @@ fn main() {
 
     install_sigterm();
     let server = Server::bind(config.clone()).unwrap_or_else(|e| {
-        eprintln!("sms-serve: cannot bind {}: {e}", config.addr);
+        log::error("serve", &format!("cannot bind {}: {e}", config.addr), &[]);
         std::process::exit(1);
     });
     let addr = server.local_addr().unwrap_or_else(|e| {
-        eprintln!("sms-serve: cannot read bound address: {e}");
+        log::error("serve", &format!("cannot read bound address: {e}"), &[]);
         std::process::exit(1);
     });
     if let Some(path) = &addr_file {
         if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
-            eprintln!("sms-serve: cannot write {path}: {e}");
+            log::error("serve", &format!("cannot write {path}: {e}"), &[]);
             std::process::exit(1);
         }
     }
-    eprintln!(
-        "sms-serve: listening on {addr} ({} workers, cache {})",
-        config.workers,
-        config.cache_dir.as_deref().map_or("off".to_owned(), |p| p.display().to_string()),
+    log::info(
+        "serve",
+        &format!(
+            "listening on {addr} ({} workers, cache {})",
+            config.workers,
+            config.cache_dir.as_deref().map_or("off".to_owned(), |p| p.display().to_string()),
+        ),
+        &[],
     );
     match server.run() {
-        Ok(()) => eprintln!("sms-serve: drained, exiting"),
+        Ok(()) => log::info("serve", "drained, exiting", &[]),
         Err(e) => {
-            eprintln!("sms-serve: accept loop failed: {e}");
+            log::error("serve", &format!("accept loop failed: {e}"), &[]);
             std::process::exit(1);
         }
     }

@@ -10,6 +10,8 @@
 
 use crate::http::{self, Limits, Response};
 use crate::protocol::SweepOutcome;
+use sms_harness::log::{self, env_positive};
+use sms_harness::{TraceContext, TRACE_HEADER};
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -35,6 +37,12 @@ pub struct ClientConfig {
     pub hedge_after: Option<Duration>,
     /// Socket limits (timeouts, response size caps).
     pub limits: Limits,
+    /// Distributed-tracing context to attach as the `x-sms-trace` header
+    /// on every attempt (retries and hedges carry the same context, so
+    /// their server-side spans all land in one trace). `None` sends no
+    /// header, which keeps the serving tier's journals byte-identical to
+    /// an untraced run.
+    pub trace: Option<TraceContext>,
 }
 
 impl Default for ClientConfig {
@@ -47,14 +55,15 @@ impl Default for ClientConfig {
             deadline: Duration::from_secs(600),
             hedge_after: None,
             limits: Limits::default(),
+            trace: None,
         }
     }
 }
 
 impl ClientConfig {
     /// Reads `SMS_SERVE_ADDR`, `SMS_CLIENT_RETRIES`,
-    /// `SMS_CLIENT_DEADLINE_MS`, `SMS_CLIENT_TIMEOUT_MS` and
-    /// `SMS_CLIENT_HEDGE_MS`.
+    /// `SMS_CLIENT_DEADLINE_MS`, `SMS_CLIENT_TIMEOUT_MS`,
+    /// `SMS_CLIENT_HEDGE_MS` and `SMS_TRACE_CTX`.
     pub fn from_env() -> Self {
         let mut cfg = ClientConfig::default();
         if let Ok(addr) = std::env::var("SMS_SERVE_ADDR") {
@@ -63,8 +72,13 @@ impl ClientConfig {
         if let Ok(raw) = std::env::var("SMS_CLIENT_RETRIES") {
             match raw.trim().parse::<u32>() {
                 Ok(n) => cfg.retries = n, // 0 = single attempt, valid
-                Err(_) => eprintln!(
-                    "warning: SMS_CLIENT_RETRIES: expected a non-negative integer, got `{raw}` — ignoring"
+                Err(_) => log::warn(
+                    "env",
+                    &format!(
+                        "SMS_CLIENT_RETRIES: expected a non-negative integer, got `{raw}` — \
+                         ignoring"
+                    ),
+                    &[("var", "SMS_CLIENT_RETRIES")],
                 ),
             }
         }
@@ -77,18 +91,8 @@ impl ClientConfig {
         if let Some(ms) = env_positive("SMS_CLIENT_HEDGE_MS") {
             cfg.hedge_after = Some(Duration::from_millis(ms as u64));
         }
+        cfg.trace = TraceContext::from_env();
         cfg
-    }
-}
-
-fn env_positive(var: &str) -> Option<usize> {
-    let raw = std::env::var(var).ok()?;
-    match raw.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Some(n),
-        _ => {
-            eprintln!("warning: {var}: expected a positive integer, got `{raw}` — ignoring");
-            None
-        }
     }
 }
 
@@ -259,8 +263,12 @@ impl Client {
         stream
             .set_write_timeout(Some(self.config.limits.write_timeout.min(remaining)))
             .map_err(|e| format!("set write timeout: {e}"))?;
+        let trace_header = match &self.config.trace {
+            Some(ctx) => format!("{TRACE_HEADER}: {}\r\n", ctx.header_value()),
+            None => String::new(),
+        };
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n{trace_header}Connection: close\r\n\r\n",
             self.config.addr,
             body.len()
         );

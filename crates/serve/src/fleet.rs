@@ -42,7 +42,9 @@ use crate::client::{Client, ClientConfig};
 use crate::http::{self, ChunkedWriter, HttpError, Limits, Request};
 use crate::protocol::{self, JobRecord};
 use sms_harness::json::Json;
-use sms_harness::{CacheKey, Event, Journal, ResultCache};
+use sms_harness::log::env_positive;
+use sms_harness::trace::wall_us;
+use sms_harness::{CacheKey, Event, Journal, ResultCache, TraceContext};
 use sms_metrics::{Histogram, Registry};
 use sms_sim::gpu::SimStats;
 use std::collections::VecDeque;
@@ -106,17 +108,6 @@ impl Default for FleetConfig {
             limits: Limits::default(),
             cache_dir: None,
             journal_path: None,
-        }
-    }
-}
-
-fn env_positive(var: &str) -> Option<usize> {
-    let raw = std::env::var(var).ok()?;
-    match raw.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Some(n),
-        _ => {
-            eprintln!("warning: {var}: expected a positive integer, got `{raw}` — ignoring");
-            None
         }
     }
 }
@@ -209,6 +200,8 @@ pub struct BackendSnapshot {
     pub jobs: u64,
     /// Failed dispatches.
     pub failures: u64,
+    /// Breaker state as a gauge value: 0 closed, 1 half-open, 2 open.
+    pub breaker_state: u8,
 }
 
 /// Shared instrument set for one fleet process (`sms_fleet_*`).
@@ -333,6 +326,21 @@ impl FleetMetrics {
                 b.failures,
             );
         }
+        for b in backends {
+            reg.labeled_gauge(
+                "sms_fleet_breaker_state",
+                "Circuit-breaker state per backend (0 closed, 1 half-open, 2 open)",
+                &[("backend", &b.addr)],
+                f64::from(b.breaker_state),
+            );
+        }
+        let git_hash = std::env::var("SMS_GIT_HASH").unwrap_or_else(|_| "unknown".to_owned());
+        reg.labeled_gauge(
+            "sms_build_info",
+            "Build metadata; the value is always 1",
+            &[("version", env!("CARGO_PKG_VERSION")), ("git_hash", &git_hash)],
+            1.0,
+        );
         reg.histogram(
             "sms_fleet_cell_latency_us",
             "Wall-clock per settled cell, microseconds",
@@ -444,13 +452,31 @@ impl FleetState {
         self.backends
             .iter()
             .enumerate()
-            .map(|(i, b)| BackendSnapshot {
-                addr: b.addr.clone(),
-                up: matches!(*self.lock_breaker(i), Breaker::Closed { .. } | Breaker::HalfOpen),
-                jobs: b.jobs_done.load(Ordering::Relaxed),
-                failures: b.failures.load(Ordering::Relaxed),
+            .map(|(i, b)| {
+                let breaker = *self.lock_breaker(i);
+                BackendSnapshot {
+                    addr: b.addr.clone(),
+                    up: matches!(breaker, Breaker::Closed { .. } | Breaker::HalfOpen),
+                    jobs: b.jobs_done.load(Ordering::Relaxed),
+                    failures: b.failures.load(Ordering::Relaxed),
+                    breaker_state: match breaker {
+                        Breaker::Closed { .. } => 0,
+                        Breaker::HalfOpen => 1,
+                        Breaker::Open { .. } => 2,
+                    },
+                }
             })
             .collect()
+    }
+
+    /// The breaker label value for dispatch-span attribution, read at
+    /// dispatch time (after `pick_backend`, so open never appears here).
+    fn breaker_label(&self, i: usize) -> &'static str {
+        match *self.lock_breaker(i) {
+            Breaker::Closed { .. } => "closed",
+            Breaker::HalfOpen => "half_open",
+            Breaker::Open { .. } => "open",
+        }
     }
 
     fn render_metrics(&self) -> String {
@@ -462,8 +488,9 @@ impl FleetState {
     /// A client for one single-cell dispatch: no client-side retries or
     /// hedging (the fleet owns both), socket read timeout stretched to the
     /// cell deadline (a single-cell sweep streams nothing while the
-    /// simulation runs).
-    fn cell_client(&self, backend: &str) -> Client {
+    /// simulation runs). `trace` is the dispatch span context; it rides
+    /// the wire as `x-sms-trace` so the backend parents under it.
+    fn cell_client(&self, backend: &str, trace: Option<TraceContext>) -> Client {
         let mut limits = self.config.limits;
         limits.read_timeout = self.config.cell_timeout;
         Client::with_config(ClientConfig {
@@ -472,6 +499,7 @@ impl FleetState {
             deadline: self.config.cell_timeout,
             hedge_after: None,
             limits,
+            trace,
             ..ClientConfig::default()
         })
     }
@@ -486,10 +514,11 @@ fn dispatch_once(
     backend_idx: usize,
     req: &sms_harness::RunRequest,
     render_name: &str,
+    trace: Option<TraceContext>,
 ) -> Result<JobRecord, String> {
     let backend = &state.backends[backend_idx];
     backend.inflight.fetch_add(1, Ordering::SeqCst);
-    let client = state.cell_client(&backend.addr);
+    let client = state.cell_client(&backend.addr, trace);
     let config_label = req.stack.label();
     let outcome = client.sweep(&[req.scene.name()], &[&config_label], render_name);
     backend.inflight.fetch_sub(1, Ordering::SeqCst);
@@ -519,6 +548,34 @@ struct CellTask {
     idx: usize,
     attempts: u32,
     last_backend: Option<usize>,
+    /// The cell's span context when the sweep arrived traced; every
+    /// dispatch span (retries and hedges included) parents under it.
+    ctx: Option<TraceContext>,
+}
+
+/// Everything needed to record one in-flight dispatch's span when its
+/// outcome (or cancellation) is decided.
+struct DispatchSpan {
+    backend: usize,
+    ctx: TraceContext,
+    start_us: u64,
+    attempt: u32,
+    hedge: bool,
+    breaker: &'static str,
+}
+
+/// Records one settled dispatch span into the fleet journal. `outcome` is
+/// `ok`, `error`, or `cancelled` (the hedge loser at the decision point).
+fn record_dispatch_span(state: &FleetState, d: &DispatchSpan, outcome: &str) {
+    let attrs = vec![
+        ("backend".to_owned(), state.backends[d.backend].addr.clone()),
+        ("attempt".to_owned(), d.attempt.to_string()),
+        ("hedge".to_owned(), if d.hedge { "1" } else { "0" }.to_owned()),
+        ("breaker_state".to_owned(), d.breaker.to_owned()),
+        ("outcome".to_owned(), outcome.to_owned()),
+    ];
+    let dur = wall_us().saturating_sub(d.start_us);
+    state.journal.record(Event::span(&d.ctx, "dispatch", "client", d.start_us, dur, attrs));
 }
 
 enum RoundResult {
@@ -565,16 +622,29 @@ fn run_cell_round(
     task.last_backend = Some(primary);
 
     let (tx, rx) = mpsc::channel::<(usize, Result<JobRecord, String>)>();
-    let spawn_dispatch = |idx: usize, tx: mpsc::Sender<(usize, Result<JobRecord, String>)>| {
-        let state = Arc::clone(state);
-        let req = *req;
-        let render = render_name.to_owned();
-        std::thread::spawn(move || {
-            let result = dispatch_once(&state, idx, &req, &render);
-            let _ = tx.send((idx, result));
-        });
-    };
-    spawn_dispatch(primary, tx.clone());
+    let mut spans: Vec<DispatchSpan> = Vec::new();
+    let mut spawn_dispatch =
+        |idx: usize, hedged: bool, tx: mpsc::Sender<(usize, Result<JobRecord, String>)>| {
+            let ctx = task.ctx.map(|cell| cell.child());
+            if let Some(ctx) = ctx {
+                spans.push(DispatchSpan {
+                    backend: idx,
+                    ctx,
+                    start_us: wall_us(),
+                    attempt: task.attempts,
+                    hedge: hedged,
+                    breaker: state.breaker_label(idx),
+                });
+            }
+            let state = Arc::clone(state);
+            let req = *req;
+            let render = render_name.to_owned();
+            std::thread::spawn(move || {
+                let result = dispatch_once(&state, idx, &req, &render, ctx);
+                let _ = tx.send((idx, result));
+            });
+        };
+    spawn_dispatch(primary, false, tx.clone());
     let mut outstanding = 1u32;
     let mut hedge: Option<usize> = None;
     // Hold the first message when it beat the hedge threshold, so the
@@ -585,7 +655,7 @@ fn run_cell_round(
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if let Some(second) = state.pick_backend(Some(primary)) {
                     FleetMetrics::inc(&state.metrics.hedges);
-                    spawn_dispatch(second, tx.clone());
+                    spawn_dispatch(second, true, tx.clone());
                     outstanding += 1;
                     hedge = Some(second);
                 }
@@ -607,6 +677,14 @@ fn run_cell_round(
                 if hedge == Some(idx) {
                     FleetMetrics::inc(&state.metrics.hedge_wins);
                 }
+                // The winner settles the cell; any still-outstanding
+                // dispatch is the hedge race's loser. Its detached thread
+                // runs on, but this is the decision point — record the
+                // loser's span as cancelled here.
+                for d in &spans {
+                    let outcome = if d.backend == idx { "ok" } else { "cancelled" };
+                    record_dispatch_span(state, d, outcome);
+                }
                 return RoundResult::Settled(match record.outcome {
                     Ok(stats) => CellOutcome::Done {
                         stats: Box::new(stats),
@@ -621,9 +699,17 @@ fn run_cell_round(
             }
             Err(e) => {
                 state.on_backend_failure(idx);
+                if let Some(pos) = spans.iter().position(|d| d.backend == idx) {
+                    record_dispatch_span(state, &spans.remove(pos), "error");
+                }
                 last_error = e;
             }
         }
+    }
+    // Both contacted backends failed (their spans are already recorded),
+    // or the channel closed with nothing in flight.
+    for d in &spans {
+        record_dispatch_span(state, d, "error");
     }
     // Every contacted backend failed this round.
     FleetMetrics::inc(&state.metrics.retries);
@@ -925,6 +1011,17 @@ fn handle_sweep(
         .map_err(|message| HttpError { status: 400, message })?;
     FleetMetrics::inc(&state.metrics.sweeps);
 
+    // Tracing is armed per request by the `x-sms-trace` header: the
+    // fleet's sweep span parents under the client's span, each cell
+    // parents under the sweep, and each dispatch under its cell. Untraced
+    // requests record no span events at all, keeping journals
+    // byte-identical to an untraced run.
+    let sweep_ctx = request
+        .header(sms_harness::TRACE_HEADER)
+        .and_then(TraceContext::parse)
+        .map(|peer| peer.child());
+    let sweep_start_us = wall_us();
+
     // Request-level dedup on the canonical key, same as a backend.
     let mut jobs: Vec<(sms_harness::RunRequest, CacheKey)> = Vec::new();
     for req in &sweep.requests {
@@ -967,8 +1064,13 @@ fn handle_sweep(
         state.journal.record(protocol::job_queued_event(journal_base + local, req, &key.canonical));
     }
 
+    let cell_ctxs: Vec<Option<TraceContext>> =
+        jobs.iter().map(|_| sweep_ctx.map(|ctx| ctx.child())).collect();
+    let cell_start_us = wall_us();
     let queue: Mutex<VecDeque<CellTask>> = Mutex::new(
-        (0..jobs.len()).map(|idx| CellTask { idx, attempts: 0, last_backend: None }).collect(),
+        (0..jobs.len())
+            .map(|idx| CellTask { idx, attempts: 0, last_backend: None, ctx: cell_ctxs[idx] })
+            .collect(),
     );
     let remaining = AtomicU64::new(jobs.len() as u64);
     let (tx, rx) = mpsc::channel::<(usize, CellOutcome, u64)>();
@@ -989,6 +1091,33 @@ fn handle_sweep(
         let mut sim_cycles = 0u64;
         for (local, outcome, duration_us) in rx {
             state.metrics.observe_cell(duration_us);
+            if let Some(ctx) = &cell_ctxs[local] {
+                let (req, _) = &jobs[local];
+                let mut attrs = vec![(
+                    "cell".to_owned(),
+                    format!("{}/{}", req.scene.name(), req.stack.label()),
+                )];
+                match &outcome {
+                    CellOutcome::Done { cache, backend, .. } => {
+                        attrs.push(("cache".to_owned(), cache.clone()));
+                        if let Some(b) = backend {
+                            attrs.push(("backend".to_owned(), state.backends[*b].addr.clone()));
+                        }
+                    }
+                    CellOutcome::Fail { error, .. } => {
+                        attrs.push(("error".to_owned(), error.clone()));
+                    }
+                }
+                let dur = wall_us().saturating_sub(cell_start_us);
+                state.journal.record(Event::span(
+                    ctx,
+                    "cell",
+                    "internal",
+                    cell_start_us,
+                    dur,
+                    attrs,
+                ));
+            }
             let line = match outcome {
                 CellOutcome::Done { stats, cache, backend } => {
                     if cache == "miss" {
@@ -1039,6 +1168,19 @@ fn handle_sweep(
         builds: Vec::new(),
     };
     state.journal.record(summary.clone());
+    if let Some(ctx) = &sweep_ctx {
+        state.journal.record(Event::span(
+            ctx,
+            "sweep",
+            "server",
+            sweep_start_us,
+            t0.elapsed().as_micros() as u64,
+            vec![
+                ("jobs".to_owned(), jobs.len().to_string()),
+                ("failed".to_owned(), failed.to_string()),
+            ],
+        ));
+    }
     let _ = writer.chunk(format!("{}\n", summary.to_json()).as_bytes());
     let _ = writer.finish();
     Ok(())
@@ -1182,16 +1324,31 @@ mod tests {
         FleetMetrics::inc(&m.hedges);
         m.observe_cell(1234);
         let backends = vec![
-            BackendSnapshot { addr: "127.0.0.1:1".to_owned(), up: true, jobs: 3, failures: 0 },
-            BackendSnapshot { addr: "127.0.0.1:2".to_owned(), up: false, jobs: 1, failures: 4 },
+            BackendSnapshot {
+                addr: "127.0.0.1:1".to_owned(),
+                up: true,
+                jobs: 3,
+                failures: 0,
+                breaker_state: 0,
+            },
+            BackendSnapshot {
+                addr: "127.0.0.1:2".to_owned(),
+                up: false,
+                jobs: 1,
+                failures: 4,
+                breaker_state: 2,
+            },
         ];
         let text = m.registry(12.5, &backends).render_prometheus();
         sms_metrics::prom::validate(&text).expect("strict parse");
         let families = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
-        assert_eq!(families, 18, "every family renders its header exactly once");
+        assert_eq!(families, 20, "every family renders its header exactly once");
         assert!(text.contains("sms_fleet_backend_up{backend=\"127.0.0.1:1\"} 1"));
         assert!(text.contains("sms_fleet_backend_up{backend=\"127.0.0.1:2\"} 0"));
         assert!(text.contains("sms_fleet_backend_failures_total{backend=\"127.0.0.1:2\"} 4"));
+        assert!(text.contains("sms_fleet_breaker_state{backend=\"127.0.0.1:1\"} 0"));
+        assert!(text.contains("sms_fleet_breaker_state{backend=\"127.0.0.1:2\"} 2"));
+        assert!(text.contains("sms_build_info{version=\""));
         assert!(text.contains("sms_fleet_uptime_seconds 12.5"));
     }
 }

@@ -26,7 +26,9 @@ use crate::http::{self, ChunkedWriter, HttpError, Limits, Request};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{self, parse_render, parse_stack_config};
 use sms_harness::json::Json;
-use sms_harness::{pool, CacheKey, Event, Journal, ResultCache, RunError};
+use sms_harness::log::env_positive;
+use sms_harness::trace::wall_us;
+use sms_harness::{pool, CacheKey, Event, Journal, ResultCache, RunError, TraceContext};
 use sms_sim::config::RenderConfig;
 use sms_sim::experiments::try_run_prepared;
 use sms_sim::gpu::SimStats;
@@ -103,17 +105,6 @@ impl Default for ServeConfig {
 
 fn default_cache_dir() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/sms-cache"))
-}
-
-fn env_positive(var: &str) -> Option<usize> {
-    let raw = std::env::var(var).ok()?;
-    match raw.trim().parse::<usize>() {
-        Ok(n) if n > 0 => Some(n),
-        _ => {
-            eprintln!("warning: {var}: expected a positive integer, got `{raw}` — ignoring");
-            None
-        }
-    }
 }
 
 impl ServeConfig {
@@ -678,6 +669,16 @@ fn handle_sweep(
     let sweep = protocol::parse_sweep(&request.body, state.config.max_jobs_per_request)
         .map_err(|message| HttpError { status: 400, message })?;
 
+    // Distributed tracing: only requests that carry an `x-sms-trace`
+    // header get span events, so untraced journals stay byte-identical to
+    // pre-tracing runs. The server's sweep span parents on the sender's
+    // span id; each job span parents on the sweep span.
+    let sweep_ctx = request
+        .header(sms_harness::TRACE_HEADER)
+        .and_then(TraceContext::parse)
+        .map(|peer| peer.child());
+    let sweep_start_us = wall_us();
+
     // Request-level dedup on the canonical key (same identity as the
     // cache and the single-flight table); duplicate cells coalesce into
     // one streamed job, exactly like `Harness::try_run_batch`.
@@ -764,9 +765,29 @@ fn handle_sweep(
                 let (req, key) = &jobs_ref[i];
                 runner.journal.record(Event::JobStarted { job: journal_base as usize + i, worker });
                 let job_start = Instant::now();
+                let job_start_us = wall_us();
                 let (outcome, served) = runner.execute(req, key);
                 let duration_us = job_start.elapsed().as_micros() as u64;
                 runner.metrics.observe_job(duration_us);
+                if let Some(sweep_ctx) = &sweep_ctx {
+                    let mut attrs = vec![(
+                        "cell".to_owned(),
+                        format!("{}/{}", req.scene.name(), req.stack.label()),
+                    )];
+                    match &outcome {
+                        Ok(_) => attrs.push(("cache".to_owned(), served.label().to_owned())),
+                        Err(e) => attrs.push(("error".to_owned(), e.kind().to_owned())),
+                    }
+                    attrs.push(("worker".to_owned(), worker.to_string()));
+                    runner.journal.record(Event::span(
+                        &sweep_ctx.child(),
+                        "job",
+                        "internal",
+                        job_start_us,
+                        duration_us,
+                        attrs,
+                    ));
+                }
                 let line = render_job_line(
                     &runner,
                     i,
@@ -842,6 +863,19 @@ fn handle_sweep(
         builds: Vec::new(),
     };
     state.journal.record(summary.clone());
+    if let Some(ctx) = &sweep_ctx {
+        state.journal.record(Event::span(
+            ctx,
+            "sweep",
+            "server",
+            sweep_start_us,
+            t0.elapsed().as_micros() as u64,
+            vec![
+                ("jobs".to_owned(), jobs.len().to_string()),
+                ("failed".to_owned(), failed.to_string()),
+            ],
+        ));
+    }
     let _ = writer.chunk(format!("{}\n", summary.to_json()).as_bytes());
     let _ = writer.finish();
     Ok(())
